@@ -1,0 +1,32 @@
+"""Ablation — D4 symmetry augmentation (library extension).
+
+The paper trains on a single simulated trajectory.  The linearized
+Euler equations are D4-equivariant on the square domain, so the
+training trajectory's 8-element symmetry orbit is free extra data; this
+benchmark quantifies the accuracy effect under an equal epoch budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments import DataConfig, run_augmentation_ablation
+
+
+def test_d4_augmentation_ablation(benchmark, record_report):
+    result = run_once(
+        benchmark,
+        lambda: run_augmentation_ablation(
+            data=DataConfig(grid_size=48, num_snapshots=30, num_train=24),
+            epochs=6,
+            num_ranks=4,
+            seed=0,
+        ),
+    )
+    record_report("ablation_augmentation", result.report())
+
+    by_name = {r.name: r for r in result.rows}
+    assert set(by_name) == {"baseline", "d4_augmented"}
+    # The augmented run sees 8x the samples per epoch, so it must cost
+    # more wall time...
+    assert by_name["d4_augmented"].train_time > by_name["baseline"].train_time
+    # ...and with 8x gradient steps it should not be (much) worse.
+    assert by_name["d4_augmented"].value < 1.2 * by_name["baseline"].value + 0.05

@@ -1,0 +1,29 @@
+"""Ablation — loss functions (Sec. II motivates MAPE over MSE).
+
+All losses get the same budget; evaluation is loss-neutral (relative L2
+of the physical fields).  MAPE trains on raw fields (per the paper),
+the others on standardized channels.
+"""
+
+from conftest import run_once
+
+from repro.experiments import DataConfig, run_loss_ablation
+
+
+def test_loss_function_ablation(benchmark, record_report):
+    result = run_once(
+        benchmark,
+        lambda: run_loss_ablation(
+            data=DataConfig(grid_size=48, num_snapshots=40, num_train=32),
+            losses=("mse", "mae", "mape", "huber"),
+            epochs=10,
+            num_ranks=4,
+            seed=0,
+        ),
+    )
+    record_report("ablation_loss", result.report())
+
+    by_name = {r.name: r for r in result.rows}
+    assert set(by_name) == {"mse", "mae", "mape", "huber"}
+    for row in result.rows:
+        assert row.value < 1.2, (row.name, row.value)

@@ -1,0 +1,37 @@
+"""Ablation — the four dimension-matching strategies of Sec. III.
+
+The paper uses strategies 1-2 (zero padding, neighbour-data input
+enlargement), rejects 3 (inner cropping, unusable for rollout) and
+defers 4 (transposed convolution).  This benchmark trains all of them
+(plus the all-valid NEIGHBOR_ALL extreme) under an equal budget and
+compares single-step validation error.
+"""
+
+from conftest import run_once
+
+from repro.core import PaddingStrategy
+from repro.experiments import DataConfig, default_training_config, run_padding_ablation
+
+
+def test_padding_strategy_ablation(benchmark, record_report):
+    result = run_once(
+        benchmark,
+        lambda: run_padding_ablation(
+            data=DataConfig(grid_size=64, num_snapshots=40, num_train=32),
+            training=default_training_config(epochs=10),
+            num_ranks=4,
+            strategies=tuple(PaddingStrategy),
+            seed=0,
+        ),
+    )
+    record_report("ablation_padding", result.report())
+
+    by_name = {r.name: r for r in result.rows}
+    assert set(by_name) == {s.value for s in PaddingStrategy}
+    # Every variant must have learned something (error < 1 = better than
+    # predicting zero fields).
+    for row in result.rows:
+        assert row.value < 1.0, (row.name, row.value)
+    # The neighbour-data strategies see true interface data, so they
+    # should not be substantially worse than plain zero padding.
+    assert by_name["neighbor_first"].value < 1.5 * by_name["zero"].value + 0.05

@@ -1,0 +1,91 @@
+"""Kernel-level microbenchmarks for the performance-critical pieces:
+the im2col convolution, the halo exchange, and one solver step on the
+paper's full 256 x 256 grid.
+
+These are not paper artifacts; they document where the training time of
+Figs. 3-4 is spent and guard against performance regressions.
+"""
+
+import numpy as np
+
+from repro import mpi
+from repro.domain import BlockDecomposition, HaloExchanger
+from repro.solver import LinearizedEuler, Simulation, UniformGrid2D, paper_initial_condition
+from repro.tensor import Tensor, conv2d, im2col, no_grad
+
+
+def test_im2col_256(benchmark):
+    x = np.random.default_rng(0).standard_normal((1, 4, 256, 256))
+    cols, dims = benchmark(lambda: im2col(x, (5, 5), (1, 1), (2, 2)))
+    assert dims == (256, 256)
+
+
+def test_conv2d_forward_256(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+    w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+
+    def forward():
+        with no_grad():
+            return conv2d(x, w, padding=2)
+
+    out = benchmark(forward)
+    assert out.shape == (1, 6, 256, 256)
+
+
+def test_conv2d_backward_128(benchmark):
+    rng = np.random.default_rng(0)
+    x_data = rng.standard_normal((1, 4, 128, 128))
+    w_data = rng.standard_normal((6, 4, 5, 5))
+
+    def step():
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        conv2d(x, w, padding=2).sum().backward()
+        return w.grad
+
+    grad = benchmark(step)
+    assert grad.shape == (6, 4, 5, 5)
+
+
+def test_solver_step_256(benchmark):
+    """One RK4 step of the linearized Euler solver on the paper grid."""
+    grid = UniformGrid2D.square(256)
+    sim = Simulation(grid, LinearizedEuler(), boundary="outflow")
+    state = paper_initial_condition(grid)
+
+    result = benchmark(lambda: sim.advance(state, 1))
+    assert result.is_finite()
+
+
+def test_halo_exchange_round(benchmark):
+    """One full halo exchange across a 2x2 rank grid (4 channels,
+    64x64 blocks, halo 2 — the paper's inference communication)."""
+    decomp = BlockDecomposition((128, 128), (2, 2))
+    field = np.random.default_rng(0).standard_normal((4, 128, 128))
+
+    def exchange_round():
+        def program(comm):
+            local = decomp.extract(field, comm.rank)
+            exchanger = HaloExchanger(comm, decomp, halo=2)
+            return exchanger.exchange(local).shape
+
+        return mpi.run_parallel(program, 4)
+
+    shapes = benchmark(exchange_round)
+    assert all(s == (4, 68, 68) for s in shapes)
+
+
+def test_allreduce_weight_volume(benchmark):
+    """One allreduce of a Table-I-sized parameter set across 4 ranks
+    (the per-epoch cost of the weight-averaging baseline)."""
+    payload = np.random.default_rng(0).standard_normal(6032)  # Table-I params
+
+    def round_trip():
+        def program(comm):
+            return comm.allreduce(payload, op=mpi.SUM)
+
+        return mpi.run_parallel(program, 4)
+
+    results = benchmark(round_trip)
+    assert np.allclose(results[0], payload * 4)

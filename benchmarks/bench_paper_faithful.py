@@ -1,0 +1,67 @@
+"""Paper-faithful recipe check: raw fields + MAPE (Eq. 7) + Adam η=0.01.
+
+The default experiment pipeline standardizes channels and trains with
+MSE (EXPERIMENTS.md explains why).  This benchmark runs the *literal*
+paper configuration — un-normalized bar-unit fields, MAPE loss with the
+ε-clamped denominator, Adam at the quoted η = 0.01 — and verifies that
+it does train: per-rank losses drop by a large factor and the one-step
+prediction is far better than predicting zero.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import ParallelPredictor, ParallelTrainer, per_channel, relative_l2
+from repro.experiments import (
+    DataConfig,
+    default_cnn_config,
+    paper_faithful_training_config,
+    prepare_data,
+)
+from repro.experiments.reporting import format_table
+
+
+def run_paper_recipe():
+    experiment = prepare_data(
+        DataConfig(grid_size=48, num_snapshots=80, num_train=64, normalize=False)
+    )
+    trainer = ParallelTrainer(
+        default_cnn_config(),
+        paper_faithful_training_config(epochs=25),
+        num_ranks=4,
+        seed=0,
+    )
+    result = trainer.train(experiment.train, execution="serial")
+    predictor = ParallelPredictor(result.build_models(), result.decomposition)
+    model_input, target = experiment.validation[0]
+    prediction = predictor.rollout(model_input, 1).trajectory[1]
+    errors = per_channel(relative_l2, prediction, target)
+    loss_drop = [
+        r.history.epoch_losses[0] / r.history.epoch_losses[-1]
+        for r in result.rank_results
+    ]
+    report = format_table(
+        ["channel", "rel. L2 (1 step)"],
+        list(errors.items()),
+        title=(
+            "Paper-faithful recipe (raw fields, MAPE, Adam eta=0.01): "
+            f"per-rank MAPE dropped {min(loss_drop):.1f}x-{max(loss_drop):.1f}x "
+            "over 25 epochs"
+        ),
+    )
+    return report, errors, loss_drop
+
+
+def test_paper_faithful_recipe_trains(benchmark, record_report):
+    report, errors, loss_drop = run_once(benchmark, run_paper_recipe)
+    record_report("paper_faithful_mape", report)
+
+    # The MAPE training loss must have dropped on every rank (the first
+    # recorded epoch already includes early optimizer progress, so the
+    # visible drop understates the total).
+    assert min(loss_drop) > 1.2, loss_drop
+    assert max(loss_drop) > 3.0, loss_drop
+    # One-step prediction is clearly better than the zero field
+    # (rel L2 = 1) on average — raw-MAPE converges slowly, per
+    # EXPERIMENTS.md, but it does converge.
+    assert np.mean(list(errors.values())) < 0.95, errors

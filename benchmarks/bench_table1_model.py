@@ -1,0 +1,67 @@
+"""Table I — architecture verification and forward/backward cost.
+
+Regenerates the architecture table from the constructed network and
+benchmarks the cost of one forward and one training step of the
+Table-I CNN on a paper-sized 64-rank subdomain block (32 x 32).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CNNConfig, SubdomainCNN, build_paper_cnn
+from repro.experiments import render_table1
+from repro.nn import Conv2d, MAPELoss
+from repro.tensor import Tensor
+
+
+def test_table1_report(benchmark, record_report):
+    text = benchmark.pedantic(render_table1, rounds=3, iterations=1)
+    record_report("table1_architecture", text)
+    assert "Table I" in text
+
+
+def test_table1_channel_contract():
+    model = build_paper_cnn(rng=np.random.default_rng(0))
+    convs = [m for m in model.layers if isinstance(m, Conv2d)]
+    assert [(c.in_channels, c.out_channels) for c in convs] == [
+        (4, 6),
+        (6, 16),
+        (16, 6),
+        (6, 4),
+    ]
+
+
+def test_forward_pass_cost(benchmark):
+    """Inference cost of one subdomain network on a 32x32 block."""
+    model = build_paper_cnn(rng=np.random.default_rng(0))
+    halo = model.input_halo
+    x = Tensor(np.random.default_rng(1).standard_normal((1, 4, 32 + 2 * halo, 32 + 2 * halo)))
+
+    from repro.tensor import no_grad
+
+    def forward():
+        with no_grad():
+            return model(x)
+
+    out = benchmark(forward)
+    assert out.shape == (1, 4, 32, 32)
+
+
+def test_training_step_cost(benchmark):
+    """One forward+backward+loss on a batch of 16 blocks (the unit of
+    work whose repetition the Fig. 4 scaling measures)."""
+    rng = np.random.default_rng(0)
+    model = build_paper_cnn(rng=rng)
+    halo = model.input_halo
+    x = Tensor(rng.standard_normal((16, 4, 32 + 2 * halo, 32 + 2 * halo)))
+    y = Tensor(rng.standard_normal((16, 4, 32, 32)))
+    loss_fn = MAPELoss(epsilon=1e-2)
+
+    def step():
+        model.zero_grad()
+        loss = loss_fn(model(x), y)
+        loss.backward()
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss.item())

@@ -1,0 +1,33 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure of the paper (or one
+ablation from DESIGN.md) and writes the rendered report to
+``benchmarks/results/<name>.txt`` so the EXPERIMENTS.md record can be
+refreshed from a single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_report():
+    """Write a rendered experiment report to the results directory."""
+
+    def writer(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return writer
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark
+    timer and return its result object."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Using the library beyond the paper: learning a *different* PDE.
+
+The paper's scheme is PDE-agnostic — any time-dependent field data can
+be decomposed spatially.  Here we build a custom dataset (background
+advection of a density blob, i.e. the linearized Euler equations with a
+non-zero background velocity), train the parallel surrogate on it, and
+verify the surrogate moves the blob the right way.
+
+This demonstrates the extension points of the library:
+- custom :class:`~repro.solver.Background` (moving base flow),
+- custom initial conditions,
+- custom CNN configuration (3x3 kernels, different channel widths).
+
+Run:  python examples/custom_pde_advection.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro import core, data, solver
+from repro.core import CNNConfig, PaddingStrategy, TrainingConfig
+
+
+def main() -> int:
+    # --- custom physics: uniform background wind along +x ------------
+    background = solver.Background(u_c=0.6, v_c=0.0)
+    grid = solver.UniformGrid2D.square(48)
+    equations = solver.LinearizedEuler(background)
+    sim = solver.Simulation(grid, equations, boundary="outflow", cfl=0.4)
+
+    initial = solver.gaussian_pulse(
+        grid, amplitude=0.3, half_width=0.25, center=(-0.4, 0.0),
+        background=background, isentropic=True,
+    )
+    print(f"background wind u_c={background.u_c}, sound speed c={background.sound_speed:.2f}")
+    result = sim.run(initial, num_snapshots=120, steps_per_snapshot=1)
+    dataset = data.SnapshotDataset(result.snapshots)
+    train, validation = dataset.split(90)
+
+    normalizer = data.StandardNormalizer().fit(train.snapshots)
+    train_n = data.SnapshotDataset(normalizer.transform(train.snapshots))
+    val_n = data.SnapshotDataset(normalizer.transform(validation.snapshots))
+
+    # --- custom architecture: narrower/faster than Table I -----------
+    cnn = CNNConfig(
+        channels=(4, 8, 8, 4),
+        kernel_size=3,
+        strategy=PaddingStrategy.NEIGHBOR_ALL,  # exact interface handling
+    )
+    trainer = core.ParallelTrainer(
+        cnn_config=cnn,
+        training_config=TrainingConfig(epochs=25, batch_size=16, lr=0.002, loss="mse"),
+        num_ranks=4,
+    )
+    trained = trainer.train(train_n, execution="threads")
+    print(f"trained 4 custom networks; losses {[f'{l:.4f}' for l in trained.final_losses]}")
+
+    # --- verify the surrogate advects the blob downstream ------------
+    predictor = core.ParallelPredictor(trained.build_models(), trained.decomposition)
+    start_n = val_n.snapshots[0]
+    steps = 5
+    rollout = predictor.rollout(start_n, num_steps=steps)
+    prediction = normalizer.inverse_transform(rollout.trajectory[steps])
+    truth = normalizer.inverse_transform(val_n.snapshots[steps])
+
+    error = core.relative_l2(prediction, truth)
+    print(f"relative L2 error after {steps} surrogate steps: {error:.3f}")
+
+    def centroid_x(field: np.ndarray) -> float:
+        weights = np.abs(field[1])  # density channel
+        X, _ = grid.meshgrid()
+        return float((X * weights).sum() / weights.sum())
+
+    start_raw = normalizer.inverse_transform(start_n)
+    moved_pred = centroid_x(prediction) - centroid_x(start_raw)
+    moved_true = centroid_x(truth) - centroid_x(start_raw)
+    print(
+        f"density centroid drift over {steps} steps: "
+        f"surrogate {moved_pred:+.4f} m vs solver {moved_true:+.4f} m"
+    )
+    if moved_true != 0 and np.sign(moved_pred) == np.sign(moved_true):
+        print("surrogate advects the blob in the correct (downwind) direction")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Strong-scaling study (the paper's Fig. 4), 1 to 64 ranks.
+
+Measures the wall time of the communication-free training phase for
+each rank count and prints the scaling table plus an ASCII bar chart.
+
+Run:  python examples/parallel_scaling.py [--max-ranks 64] [--epochs 2]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    DataConfig,
+    Fig4Config,
+    default_training_config,
+    run_fig4,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-ranks", type=int, default=64)
+    parser.add_argument("--grid-size", type=int, default=64)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--snapshots", type=int, default=25)
+    args = parser.parse_args()
+
+    rank_counts = [p for p in (1, 2, 4, 8, 16, 32, 64) if p <= args.max_ranks]
+    config = Fig4Config(
+        data=DataConfig(
+            grid_size=args.grid_size,
+            num_snapshots=args.snapshots,
+            num_train=args.snapshots - 5,
+        ),
+        training=default_training_config(epochs=args.epochs),
+        rank_counts=tuple(rank_counts),
+        repeats=2,
+    )
+    print(
+        f"Measuring training time on {args.grid_size}^2 grid for "
+        f"P in {rank_counts} (each rank trains on 1/P of the domain; "
+        "no communication during training)..."
+    )
+    result = run_fig4(config)
+    print()
+    print(result.report())
+    print()
+    last = result.rows[-1]
+    print(
+        f"speedup at P={last.num_ranks}: {last.speedup:.1f}x "
+        f"(efficiency {last.efficiency:.2f}; >1 reflects cache effects "
+        "on the smaller per-rank blocks)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Parallel Machine Learning of Partial
+Differential Equations" (Totounferoush et al., PDSEC @ IPDPS 2021).
+
+The package provides, from scratch and with NumPy as the only numerical
+dependency:
+
+- :mod:`repro.tensor` — a reverse-mode autodiff tensor engine,
+- :mod:`repro.nn` / :mod:`repro.optim` — CNN layers, losses, optimizers,
+- :mod:`repro.mpi` — an in-process MPI-style message-passing runtime,
+- :mod:`repro.solver` — a 2-D linearized-Euler solver (the Ateles
+  stand-in) that generates training data,
+- :mod:`repro.data` — snapshot datasets and normalization,
+- :mod:`repro.domain` — 2-D block domain decomposition and halo plans,
+- :mod:`repro.core` — the paper's contribution: communication-free
+  per-subdomain parallel training and halo-exchange parallel inference,
+- :mod:`repro.experiments` — runners regenerating every table/figure.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+results.
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

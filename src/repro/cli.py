@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Subcommands cover the full workflow:
+
+- ``repro generate``  — run the solver and save a snapshot dataset,
+- ``repro train``     — train the parallel surrogate on a dataset (or
+  generate one on the fly) and checkpoint the models,
+- ``repro evaluate``  — single/multi-step accuracy of a checkpoint,
+- ``repro scaling``   — the Fig.-4 strong-scaling study,
+- ``repro table1``    — print the architecture table.
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="simulate the Gaussian-pulse dataset and save it"
+    )
+    parser.add_argument("output", help="output .npz path")
+    parser.add_argument("--grid-size", type=int, default=64)
+    parser.add_argument("--snapshots", type=int, default=150)
+    parser.add_argument("--steps-per-snapshot", type=int, default=1)
+    parser.add_argument("--cfl", type=float, default=0.5)
+
+
+def _add_train(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train", help="train the parallel surrogate and save a checkpoint"
+    )
+    parser.add_argument("checkpoint", help="output model checkpoint (.npz)")
+    parser.add_argument("--dataset", help="input dataset (.npz); generated if omitted")
+    parser.add_argument("--grid-size", type=int, default=64)
+    parser.add_argument("--snapshots", type=int, default=150)
+    parser.add_argument("--train-fraction", type=float, default=2.0 / 3.0)
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--lr", type=float, default=0.002)
+    parser.add_argument("--loss", default="mse", choices=["mse", "mae", "mape", "huber"])
+    parser.add_argument(
+        "--strategy",
+        default="neighbor_first",
+        choices=["zero", "neighbor_first", "neighbor_all", "inner_crop", "transpose"],
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--execution", default="threads", choices=["threads", "serial"]
+    )
+    parser.add_argument(
+        "--augment",
+        action="store_true",
+        help="augment the training trajectory with its D4 symmetry orbit",
+    )
+
+
+def _add_evaluate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "evaluate", help="evaluate a checkpoint on freshly simulated data"
+    )
+    parser.add_argument("checkpoint", help="model checkpoint (.npz)")
+    parser.add_argument("--dataset", help="dataset (.npz); regenerated if omitted")
+    parser.add_argument("--snapshots", type=int, default=150)
+    parser.add_argument("--steps", type=int, default=1, help="rollout depth")
+
+
+def _add_scaling(subparsers) -> None:
+    parser = subparsers.add_parser("scaling", help="run the Fig.-4 scaling study")
+    parser.add_argument("--grid-size", type=int, default=64)
+    parser.add_argument("--snapshots", type=int, default=25)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument(
+        "--ranks", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel machine learning of PDEs (IPDPS/PDSEC 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_train(subparsers)
+    _add_evaluate(subparsers)
+    _add_scaling(subparsers)
+    subparsers.add_parser("table1", help="print the Table-I architecture")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    from .data import generate_paper_dataset, save_snapshots
+
+    produced = generate_paper_dataset(
+        grid_size=args.grid_size,
+        num_snapshots=args.snapshots,
+        num_train=max(args.snapshots - 1, 2) - 1 or 2,
+        steps_per_snapshot=args.steps_per_snapshot,
+        cfl=args.cfl,
+    )
+    snapshots = produced.full_snapshots
+    save_snapshots(
+        args.output,
+        snapshots,
+        grid_size=args.grid_size,
+        dt=produced.dt,
+        steps_per_snapshot=args.steps_per_snapshot,
+    )
+    print(
+        f"wrote {snapshots.shape[0]} snapshots of {args.grid_size}^2 x 4 "
+        f"channels to {args.output}"
+    )
+    return 0
+
+
+def _load_or_generate(dataset_path: str | None, snapshots: int, grid_size: int):
+    from .data import SnapshotDataset, generate_paper_dataset, load_snapshots
+
+    if dataset_path:
+        arrays, _ = load_snapshots(dataset_path)
+        return SnapshotDataset(arrays)
+    produced = generate_paper_dataset(
+        grid_size=grid_size,
+        num_snapshots=snapshots,
+        num_train=snapshots - max(snapshots // 3, 1),
+    )
+    return SnapshotDataset(produced.full_snapshots)
+
+
+def _cmd_train(args) -> int:
+    from .core import (
+        CNNConfig,
+        ParallelTrainer,
+        TrainingConfig,
+        parse_strategy,
+        save_parallel_models,
+    )
+
+    dataset = _load_or_generate(args.dataset, args.snapshots, args.grid_size)
+    num_train = max(int(dataset.snapshots.shape[0] * args.train_fraction), 2)
+    train, validation = dataset.split(num_train)
+    if args.augment:
+        from .data import augment_dataset
+
+        train = augment_dataset(train)
+        print("D4 augmentation: 8x training trajectories")
+    print(
+        f"dataset: {dataset.snapshots.shape}, training on {train.num_samples} "
+        f"pairs across {args.ranks} ranks"
+    )
+    trainer = ParallelTrainer(
+        cnn_config=CNNConfig(strategy=parse_strategy(args.strategy)),
+        training_config=TrainingConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            loss=args.loss,
+            seed=args.seed,
+        ),
+        num_ranks=args.ranks,
+        seed=args.seed,
+    )
+    result = trainer.train(train, execution=args.execution)
+    save_parallel_models(args.checkpoint, result)
+    print(
+        f"trained in {result.max_train_time:.2f}s (slowest rank); "
+        f"final losses {[f'{l:.4g}' for l in result.final_losses]}"
+    )
+    print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .core import ParallelPredictor, load_parallel_models, per_channel, relative_l2
+
+    models, decomposition, config = load_parallel_models(args.checkpoint)
+    grid_size = decomposition.field_shape[0]
+    dataset = _load_or_generate(args.dataset, args.snapshots, grid_size)
+    predictor = ParallelPredictor(models, decomposition)
+    initial = dataset.snapshots[0]
+    rollout = predictor.rollout(initial, num_steps=args.steps)
+    prediction = rollout.trajectory[args.steps]
+    target = dataset.snapshots[min(args.steps, dataset.snapshots.shape[0] - 1)]
+    errors = per_channel(relative_l2, prediction, target)
+    print(f"strategy: {config.strategy.value}; rollout depth {args.steps}")
+    for name, value in errors.items():
+        print(f"  {name:>4}: relative L2 = {value:.4f}")
+    print(
+        f"halo messages: {rollout.messages_sent}, "
+        f"volume: {rollout.bytes_sent / 1024:.1f} KiB"
+    )
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .experiments import DataConfig, Fig4Config, default_training_config, run_fig4
+
+    config = Fig4Config(
+        data=DataConfig(
+            grid_size=args.grid_size,
+            num_snapshots=args.snapshots,
+            num_train=args.snapshots - max(args.snapshots // 5, 1),
+        ),
+        training=default_training_config(epochs=args.epochs),
+        rank_counts=tuple(args.ranks),
+    )
+    print(run_fig4(config).report())
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from .experiments import render_table1
+
+    print(render_table1())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "scaling": _cmd_scaling,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

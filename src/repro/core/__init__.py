@@ -1,0 +1,83 @@
+"""The paper's contribution: domain-decomposed parallel training and
+halo-exchange parallel inference of PDE-surrogate CNNs."""
+
+from .checkpoint import load_parallel_models, save_parallel_models
+from .evaluation import ParallelEvaluation, evaluate_parallel
+from .inference import ParallelPredictor, RolloutResult, SequentialPredictor
+from .parallel_recurrent import (
+    ParallelRecurrentResult,
+    RecurrentRankResult,
+    train_parallel_recurrent,
+)
+from .recurrent_surrogate import RecurrentSurrogate, WindowDataset, train_recurrent
+from .metrics import (
+    mae,
+    mape,
+    max_error,
+    per_channel,
+    relative_l2,
+    rmse,
+    summarize,
+)
+from .model import (
+    PAPER_CHANNELS,
+    PAPER_KERNEL_SIZE,
+    PAPER_NEGATIVE_SLOPE,
+    CNNConfig,
+    SubdomainCNN,
+    build_paper_cnn,
+)
+from .padding import PaddingStrategy, parse_strategy
+from .parallel import (
+    ParallelTrainer,
+    ParallelTrainingResult,
+    RankTrainingResult,
+    train_sequential_baseline,
+)
+from .subdomain_data import RankDataset, build_rank_dataset
+from .trainer import TrainingConfig, TrainingHistory, evaluate_network, predict, train_network
+from .weight_averaging import WeightAveragingResult, train_weight_averaging
+
+__all__ = [
+    "PaddingStrategy",
+    "parse_strategy",
+    "CNNConfig",
+    "SubdomainCNN",
+    "build_paper_cnn",
+    "PAPER_CHANNELS",
+    "PAPER_KERNEL_SIZE",
+    "PAPER_NEGATIVE_SLOPE",
+    "RankDataset",
+    "build_rank_dataset",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_network",
+    "evaluate_network",
+    "predict",
+    "ParallelTrainer",
+    "ParallelTrainingResult",
+    "RankTrainingResult",
+    "train_sequential_baseline",
+    "ParallelPredictor",
+    "SequentialPredictor",
+    "RolloutResult",
+    "train_weight_averaging",
+    "WeightAveragingResult",
+    "save_parallel_models",
+    "evaluate_parallel",
+    "ParallelEvaluation",
+    "load_parallel_models",
+    "RecurrentSurrogate",
+    "WindowDataset",
+    "train_recurrent",
+    "train_parallel_recurrent",
+    "ParallelRecurrentResult",
+    "RecurrentRankResult",
+    "mape",
+    "rmse",
+    "mae",
+    "max_error",
+    "relative_l2",
+    "per_channel",
+    "summarize",
+]

@@ -1,0 +1,109 @@
+"""Checkpointing of trained parallel models.
+
+A parallel training result is P state dictionaries plus the
+architecture and decomposition metadata needed to rebuild a
+:class:`~repro.core.inference.ParallelPredictor`.  Everything is stored
+in a single compressed ``.npz`` (no pickle: robust to refactors and
+safe to share).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..domain.decomposition import BlockDecomposition
+from ..exceptions import DatasetError
+from .model import CNNConfig, SubdomainCNN
+from .padding import PaddingStrategy
+from .parallel import ParallelTrainingResult
+
+_FORMAT_VERSION = 1
+
+
+def _config_to_json(config: CNNConfig) -> str:
+    return json.dumps(
+        {
+            "channels": list(config.channels),
+            "kernel_size": config.kernel_size,
+            "negative_slope": config.negative_slope,
+            "strategy": config.strategy.value,
+            "init": config.init,
+        }
+    )
+
+
+def _config_from_json(payload: str) -> CNNConfig:
+    raw = json.loads(payload)
+    return CNNConfig(
+        channels=tuple(raw["channels"]),
+        kernel_size=raw["kernel_size"],
+        negative_slope=raw["negative_slope"],
+        strategy=PaddingStrategy(raw["strategy"]),
+        init=raw["init"],
+    )
+
+
+def save_parallel_models(
+    path: str | os.PathLike, result: ParallelTrainingResult
+) -> None:
+    """Persist the trained per-rank networks of ``result``.
+
+    The file stores, per rank, every parameter array under the key
+    ``rank<r>/<param>``, plus the architecture and decomposition
+    metadata.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for rank_result in result.rank_results:
+        for name, value in rank_result.state_dict.items():
+            arrays[f"rank{rank_result.rank}/{name}"] = value
+    decomp = result.decomposition
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_ranks": result.num_ranks,
+        "pgrid": list(decomp.pgrid),
+        "field_shape": list(decomp.field_shape),
+        "cnn_config": _config_to_json(result.cnn_config),
+    }
+    np.savez_compressed(path, __meta__=json.dumps(meta), **arrays)
+
+
+def load_parallel_models(
+    path: str | os.PathLike,
+) -> tuple[list[SubdomainCNN], BlockDecomposition, CNNConfig]:
+    """Load networks saved by :func:`save_parallel_models`.
+
+    Returns the rank-ordered models, the decomposition, and the
+    architecture config — everything a
+    :class:`~repro.core.inference.ParallelPredictor` needs.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise DatasetError(f"{path} is not a repro model checkpoint")
+        meta = json.loads(str(archive["__meta__"]))
+        version = int(meta.get("format_version", 0))
+        if version > _FORMAT_VERSION:
+            raise DatasetError(
+                f"checkpoint version {version} is newer than supported "
+                f"({_FORMAT_VERSION})"
+            )
+        config = _config_from_json(meta["cnn_config"])
+        decomposition = BlockDecomposition(
+            tuple(meta["field_shape"]), tuple(meta["pgrid"])
+        )
+        models: list[SubdomainCNN] = []
+        for rank in range(int(meta["num_ranks"])):
+            prefix = f"rank{rank}/"
+            state = {
+                key[len(prefix):]: archive[key]
+                for key in archive.files
+                if key.startswith(prefix)
+            }
+            if not state:
+                raise DatasetError(f"checkpoint misses parameters for rank {rank}")
+            model = SubdomainCNN(config, rng=np.random.default_rng(0))
+            model.load_state_dict(state)
+            models.append(model)
+    return models, decomposition, config

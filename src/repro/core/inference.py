@@ -1,0 +1,190 @@
+"""Parallel inference with point-to-point halo exchange (Sec. III).
+
+Each rank predicts only its own subdomain.  Single-step prediction is
+embarrassingly parallel; for multi-step rollout the network input at
+step *t+1* needs the neighbour overlap of the *predicted* fields, which
+ranks obtain through the fully point-to-point halo exchange — no
+central instance, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import mpi
+from ..domain.decomposition import BlockDecomposition
+from ..domain.halo import HaloExchanger
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+from .model import SubdomainCNN
+from .padding import PaddingStrategy
+
+
+@dataclass
+class RolloutResult:
+    """Predicted trajectory plus communication statistics."""
+
+    #: shape ``(num_steps + 1, C, H, W)`` — element 0 is the initial state
+    trajectory: np.ndarray
+    #: total point-to-point messages sent across all ranks and steps
+    messages_sent: int
+    #: total payload volume in bytes
+    bytes_sent: int
+
+    @property
+    def num_steps(self) -> int:
+        return self.trajectory.shape[0] - 1
+
+
+class ParallelPredictor:
+    """Drives P trained subdomain networks as a coupled surrogate.
+
+    Parameters
+    ----------
+    models:
+        One trained :class:`SubdomainCNN` per rank (rank order).
+    decomposition:
+        The block decomposition used during training.
+    fill:
+        Physical-boundary halo fill, matching training.
+    """
+
+    def __init__(
+        self,
+        models: list[SubdomainCNN],
+        decomposition: BlockDecomposition,
+        fill: str = "zero",
+    ) -> None:
+        if len(models) != decomposition.num_subdomains:
+            raise ConfigurationError(
+                f"{len(models)} models for {decomposition.num_subdomains} subdomains"
+            )
+        strategies = {m.config.strategy for m in models}
+        if len(strategies) > 1:
+            raise ConfigurationError(
+                f"all models must share one padding strategy, got {strategies}"
+            )
+        self.strategy = strategies.pop()
+        if self.strategy is PaddingStrategy.INNER_CROP:
+            raise ConfigurationError(
+                "INNER_CROP outputs miss the subdomain interface lines, so "
+                "they cannot seed the next step (the drawback the paper "
+                "notes); use another strategy for rollout"
+            )
+        self.models = models
+        self.decomposition = decomposition
+        self.fill = fill
+        self.halo = models[0].input_halo
+
+    # ------------------------------------------------------------------
+    def predict_step(self, state: np.ndarray) -> np.ndarray:
+        """One global step ``t -> t+1`` (embarrassingly parallel)."""
+        return self.rollout(state, num_steps=1).trajectory[1]
+
+    def rollout(self, initial: np.ndarray, num_steps: int) -> RolloutResult:
+        """Autoregressive multi-step prediction from a global field.
+
+        ``initial`` has shape ``(C, H, W)``; each step exchanges halos
+        (when the strategy uses neighbour data), forwards the local
+        network, and feeds the prediction back as the next input.
+        """
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        if initial.ndim != 3 or initial.shape[-2:] != self.decomposition.field_shape:
+            raise ShapeError(
+                f"initial state shape {initial.shape} does not match the "
+                f"decomposition {self.decomposition.field_shape}"
+            )
+        decomposition = self.decomposition
+        halo = self.halo
+        size = decomposition.num_subdomains
+
+        def program(comm: mpi.Communicator):
+            local = decomposition.extract(initial, comm.rank)
+            model = self.models[comm.rank]
+            exchanger = (
+                HaloExchanger(comm, decomposition, halo, self.fill)
+                if halo > 0
+                else None
+            )
+            messages = 0
+            volume = 0
+            trajectory = [local]
+            for _ in range(num_steps):
+                if exchanger is not None:
+                    net_input = exchanger.exchange(local)
+                    messages += exchanger.messages_per_exchange
+                    # Each message carries a halo strip of the local block.
+                    volume += sum(
+                        strip_bytes
+                        for strip_bytes in _strip_volumes(local.shape, halo, exchanger)
+                    )
+                elif self.strategy is PaddingStrategy.ZERO or self.strategy is PaddingStrategy.TRANSPOSE:
+                    net_input = local
+                else:  # pragma: no cover - excluded in __init__
+                    raise ConfigurationError(f"strategy {self.strategy} cannot roll out")
+                with no_grad():
+                    prediction = model(Tensor(net_input[None]))
+                local = prediction.numpy()[0]
+                if local.shape[-2:] != trajectory[0].shape[-2:]:
+                    raise ShapeError(
+                        f"network output {local.shape[-2:]} does not match the "
+                        f"subdomain block {trajectory[0].shape[-2:]}"
+                    )
+                trajectory.append(local)
+            return np.stack(trajectory), messages, volume
+
+        rank_outputs = mpi.run_parallel(program, size)
+        pieces = [out[0] for out in rank_outputs]
+        messages = sum(out[1] for out in rank_outputs)
+        volume = sum(out[2] for out in rank_outputs)
+        # pieces[r] has shape (steps+1, C, h, w): assemble per step.
+        trajectory = self.decomposition.assemble(pieces)
+        return RolloutResult(trajectory, messages, volume)
+
+
+def _strip_volumes(local_shape: tuple[int, ...], halo: int, exchanger: HaloExchanger):
+    """Byte volume of each halo strip this rank sends in one exchange."""
+    c, h, w = local_shape
+    itemsize = 8  # float64
+    for (axis, _direction), peer in exchanger.neighbours.items():
+        if peer is None:
+            continue
+        if axis == 0:
+            yield c * halo * w * itemsize
+        else:
+            # Phase 2 sends strips of the y-extended array.
+            yield c * (h + 2 * halo) * halo * itemsize
+
+
+class SequentialPredictor:
+    """Reference single-network predictor on the undecomposed domain."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+
+    def rollout(self, initial: np.ndarray, num_steps: int) -> RolloutResult:
+        """Autoregressive rollout with one network (no communication).
+
+        Only meaningful for networks whose output size equals their
+        input size (ZERO / TRANSPOSE strategies, or NEIGHBOR_* networks
+        trained at P=1 where halo=0 padding was applied externally).
+        """
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        state = np.asarray(initial)
+        halo = getattr(self.model, "input_halo", 0)
+        trajectory = [state]
+        with no_grad():
+            for _ in range(num_steps):
+                net_input = state
+                if halo:
+                    # The physical-boundary halo is plain zero padding.
+                    pad = ((0, 0), (halo, halo), (halo, halo))
+                    net_input = np.pad(state, pad)
+                state = self.model(Tensor(net_input[None])).numpy()[0]
+                trajectory.append(state)
+        return RolloutResult(np.stack(trajectory), messages_sent=0, bytes_sent=0)

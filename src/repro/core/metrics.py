@@ -1,0 +1,88 @@
+"""Accuracy metrics for field predictions.
+
+All metrics operate on plain NumPy arrays of shape ``(..., C, H, W)``
+and can report per-channel values (the paper's Fig. 3 compares the four
+physical channels separately).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..solver.state import CHANNELS
+
+
+def _check(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    return prediction, target
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, epsilon: float = 1e-8) -> float:
+    """Mean absolute percentage error (Eq. 7), in percent."""
+    prediction, target = _check(prediction, target)
+    denom = np.maximum(np.abs(target), epsilon)
+    return float(100.0 * np.mean(np.abs(prediction - target) / denom))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root-mean-square error."""
+    prediction, target = _check(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = _check(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def max_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Largest pointwise absolute error."""
+    prediction, target = _check(prediction, target)
+    return float(np.max(np.abs(prediction - target)))
+
+
+def relative_l2(prediction: np.ndarray, target: np.ndarray, epsilon: float = 1e-30) -> float:
+    """``||pred - target||₂ / ||target||₂`` — scale-free field error."""
+    prediction, target = _check(prediction, target)
+    num = float(np.linalg.norm((prediction - target).ravel()))
+    den = float(np.linalg.norm(target.ravel()))
+    return num / max(den, epsilon)
+
+
+def per_channel(
+    metric,
+    prediction: np.ndarray,
+    target: np.ndarray,
+    channel_names: tuple[str, ...] = CHANNELS,
+) -> dict[str, float]:
+    """Apply ``metric`` channel by channel (channel axis is -3)."""
+    prediction, target = _check(prediction, target)
+    if prediction.ndim < 3:
+        raise ShapeError(f"need (..., C, H, W) arrays, got {prediction.shape}")
+    count = prediction.shape[-3]
+    if len(channel_names) != count:
+        channel_names = tuple(f"ch{i}" for i in range(count))
+    take = lambda a, i: a[..., i, :, :]  # noqa: E731
+    return {
+        name: metric(take(prediction, i), take(target, i))
+        for i, name in enumerate(channel_names)
+    }
+
+
+def summarize(prediction: np.ndarray, target: np.ndarray) -> dict[str, object]:
+    """A bundle of whole-field and per-channel metrics (Fig. 3 report)."""
+    return {
+        "rmse": rmse(prediction, target),
+        "mae": mae(prediction, target),
+        "relative_l2": relative_l2(prediction, target),
+        "max_error": max_error(prediction, target),
+        "per_channel_relative_l2": per_channel(relative_l2, prediction, target),
+        "per_channel_rmse": per_channel(rmse, prediction, target),
+    }

@@ -1,0 +1,86 @@
+"""Padding strategies for subdomain networks (Sec. III of the paper).
+
+A stack of valid ``k × k`` convolutions shrinks the field by ``k - 1``
+lines per layer, so the network output cannot be compared directly with
+the same-size target.  The paper enumerates four remedies; all are
+implemented here so the choice can be ablated:
+
+1. ``ZERO`` — zero-pad inside every layer ("same" convolutions).
+2. ``NEIGHBOR_FIRST`` — enlarge the *input* with neighbour data so the
+   first (valid) layer's output already matches the target; remaining
+   layers zero-pad.  This is the paper's production configuration
+   ("For the first layer, we increase the input dimension …").
+3. ``NEIGHBOR_ALL`` — every layer valid; the input halo covers the full
+   receptive-field shrinkage, so no artificial padding at subdomain
+   interfaces at all (the logical extreme of strategy 2).
+4. ``INNER_CROP`` — compare only the inner points of the target
+   (discussed and rejected by the paper because interface data would be
+   missing at inference; included for the ablation).
+5. ``TRANSPOSE`` — restore the size with a trailing transposed
+   convolution (the paper's "under investigation" option).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..exceptions import ConfigurationError
+
+
+class PaddingStrategy(Enum):
+    """How a subdomain network reconciles output and target sizes."""
+
+    ZERO = "zero"
+    NEIGHBOR_FIRST = "neighbor_first"
+    NEIGHBOR_ALL = "neighbor_all"
+    INNER_CROP = "inner_crop"
+    TRANSPOSE = "transpose"
+
+    # ------------------------------------------------------------------
+    def input_halo(self, kernel_size: int, num_layers: int) -> int:
+        """Overlap (grid lines per side) the *input* must carry.
+
+        Strategy 2 needs the first layer's shrinkage ``(k-1)/2``;
+        strategy 3 needs the whole stack's ``num_layers * (k-1)/2``;
+        the others feed the bare block.
+        """
+        per_layer = (kernel_size - 1) // 2
+        if self is PaddingStrategy.NEIGHBOR_FIRST:
+            return per_layer
+        if self is PaddingStrategy.NEIGHBOR_ALL:
+            return per_layer * num_layers
+        return 0
+
+    def output_crop(self, kernel_size: int, num_layers: int) -> int:
+        """How many lines per side the *target* must be cropped by."""
+        if self is PaddingStrategy.INNER_CROP:
+            return (kernel_size - 1) // 2 * num_layers
+        return 0
+
+    @property
+    def uses_neighbour_data(self) -> bool:
+        """Whether inference requires halo exchange between ranks."""
+        return self in (PaddingStrategy.NEIGHBOR_FIRST, PaddingStrategy.NEIGHBOR_ALL)
+
+    @property
+    def description(self) -> str:
+        return {
+            PaddingStrategy.ZERO: "zero padding in every layer",
+            PaddingStrategy.NEIGHBOR_FIRST: "neighbour-data halo for layer 1, zero padding after (paper default)",
+            PaddingStrategy.NEIGHBOR_ALL: "valid convolutions with full neighbour-data halo",
+            PaddingStrategy.INNER_CROP: "valid convolutions, loss on inner target points only",
+            PaddingStrategy.TRANSPOSE: "valid convolutions plus a transposed-convolution upscale",
+        }[self]
+
+
+def parse_strategy(value: "PaddingStrategy | str") -> PaddingStrategy:
+    """Coerce a string (e.g. from a CLI) into a :class:`PaddingStrategy`."""
+    if isinstance(value, PaddingStrategy):
+        return value
+    try:
+        return PaddingStrategy(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown padding strategy {value!r}; choose from "
+            f"{[s.value for s in PaddingStrategy]}"
+        ) from None

@@ -1,0 +1,220 @@
+"""The paper's parallel training scheme (Sec. III "Training").
+
+Every MPI rank owns one spatial subdomain, builds an independent
+Table-I CNN and trains it on its own sub-fields — no communication at
+all during training.  Two execution modes are provided:
+
+``"threads"``
+    One in-process MPI rank (thread) per subdomain through
+    :func:`repro.mpi.run_parallel`; the faithful SPMD execution.
+``"serial"``
+    Rank programs executed one after another in the calling thread.
+    Because training is communication-free this is *algorithmically
+    identical*; it exists so per-rank training time can be measured
+    without thread-scheduling noise on machines with fewer cores than
+    ranks (this is how the Fig. 4 strong-scaling study runs inside a
+    single-core container — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import SnapshotDataset
+from ..domain.decomposition import BlockDecomposition, Subdomain
+from ..exceptions import ConfigurationError
+from .. import mpi
+from .model import CNNConfig, SubdomainCNN
+from .subdomain_data import build_rank_dataset
+from .trainer import TrainingConfig, TrainingHistory, train_network
+
+
+@dataclass
+class RankTrainingResult:
+    """Outcome of one rank's independent training."""
+
+    rank: int
+    subdomain: Subdomain
+    state_dict: dict[str, np.ndarray]
+    history: TrainingHistory
+    train_time: float  # seconds, measured inside the rank
+
+    @property
+    def final_loss(self) -> float:
+        return self.history.final_loss
+
+
+@dataclass
+class ParallelTrainingResult:
+    """Outcome of the whole parallel training phase."""
+
+    cnn_config: CNNConfig
+    training_config: TrainingConfig
+    decomposition: BlockDecomposition
+    rank_results: list[RankTrainingResult]
+    execution: str
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.rank_results)
+
+    @property
+    def max_train_time(self) -> float:
+        """Wall-clock time of the slowest rank — the strong-scaling
+        metric: with communication-free training, the parallel wall
+        time equals the slowest rank's local training time."""
+        return max(r.train_time for r in self.rank_results)
+
+    @property
+    def mean_train_time(self) -> float:
+        return float(np.mean([r.train_time for r in self.rank_results]))
+
+    @property
+    def final_losses(self) -> list[float]:
+        return [r.final_loss for r in self.rank_results]
+
+    def build_models(self, rng: np.random.Generator | None = None) -> list[SubdomainCNN]:
+        """Reconstruct the trained per-rank networks from their state
+        dictionaries (in rank order)."""
+        models = []
+        for result in self.rank_results:
+            model = SubdomainCNN(self.cnn_config, rng=rng or np.random.default_rng(0))
+            model.load_state_dict(result.state_dict)
+            models.append(model)
+        return models
+
+
+class ParallelTrainer:
+    """Communication-free per-subdomain training of Table-I CNNs.
+
+    Parameters
+    ----------
+    cnn_config:
+        Network architecture + padding strategy (identical on every
+        rank, as in the paper).
+    training_config:
+        Optimizer/loss/epoch settings (each rank runs its *own*
+        optimizer instance on its own loss — paper step 4).
+    num_ranks:
+        Number of subdomains P.
+    pgrid:
+        Explicit process grid ``(Py, Px)``; default balanced
+        factorization of ``num_ranks``.
+    fill:
+        Halo fill at physical boundaries (``"zero"`` or ``"edge"``).
+    seed:
+        Base seed; rank *r* initializes its network from ``seed + r``.
+    """
+
+    def __init__(
+        self,
+        cnn_config: CNNConfig | None = None,
+        training_config: TrainingConfig | None = None,
+        num_ranks: int = 4,
+        pgrid: tuple[int, int] | None = None,
+        fill: str = "zero",
+        seed: int = 0,
+    ) -> None:
+        if num_ranks < 1:
+            raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.cnn_config = cnn_config if cnn_config is not None else CNNConfig()
+        self.training_config = (
+            training_config if training_config is not None else TrainingConfig()
+        )
+        self.num_ranks = num_ranks
+        self.pgrid = pgrid
+        self.fill = fill
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _decomposition(self, field_shape: tuple[int, int]) -> BlockDecomposition:
+        if self.pgrid is not None:
+            return BlockDecomposition(field_shape, self.pgrid)
+        return BlockDecomposition.from_num_ranks(field_shape, self.num_ranks)
+
+    def _rank_program(
+        self, dataset: SnapshotDataset, decomposition: BlockDecomposition, rank: int
+    ) -> RankTrainingResult:
+        """What one rank executes: build data, build net, train, report."""
+        cfg = self.cnn_config
+        data = build_rank_dataset(
+            dataset,
+            decomposition,
+            rank,
+            halo=cfg.input_halo,
+            crop=cfg.output_crop,
+            fill=self.fill,
+        )
+        rng = np.random.default_rng(self.seed + rank)
+        model = SubdomainCNN(cfg, rng=rng)
+        rank_training = TrainingConfig(
+            **{
+                **self.training_config.__dict__,
+                "seed": self.training_config.seed + rank,
+            }
+        )
+        start = time.perf_counter()
+        history = train_network(model, data, rank_training)
+        elapsed = time.perf_counter() - start
+        return RankTrainingResult(
+            rank=rank,
+            subdomain=decomposition.subdomain(rank),
+            state_dict=model.state_dict(),
+            history=history,
+            train_time=elapsed,
+        )
+
+    def train(
+        self, dataset: SnapshotDataset, execution: str = "threads"
+    ) -> ParallelTrainingResult:
+        """Train all P networks on ``dataset`` and collect the results."""
+        decomposition = self._decomposition(dataset.field_shape)
+        if execution == "threads":
+
+            def program(comm: mpi.Communicator) -> RankTrainingResult:
+                result = self._rank_program(dataset, decomposition, comm.rank)
+                # A single barrier marks the end of the training phase —
+                # the only synchronization, matching the paper.
+                comm.barrier()
+                return result
+
+            rank_results = mpi.run_parallel(program, self.num_ranks)
+        elif execution == "serial":
+            rank_results = [
+                self._rank_program(dataset, decomposition, rank)
+                for rank in range(self.num_ranks)
+            ]
+        else:
+            raise ConfigurationError(
+                f"unknown execution mode {execution!r} (use 'threads' or 'serial')"
+            )
+        return ParallelTrainingResult(
+            cnn_config=self.cnn_config,
+            training_config=self.training_config,
+            decomposition=decomposition,
+            rank_results=rank_results,
+            execution=execution,
+        )
+
+
+def train_sequential_baseline(
+    dataset: SnapshotDataset,
+    cnn_config: CNNConfig | None = None,
+    training_config: TrainingConfig | None = None,
+    seed: int = 0,
+) -> ParallelTrainingResult:
+    """The sequential reference: one network for the whole domain.
+
+    Exactly the parallel scheme at P = 1 — the paper's baseline for the
+    Fig. 4 speedup.
+    """
+    trainer = ParallelTrainer(
+        cnn_config=cnn_config,
+        training_config=training_config,
+        num_ranks=1,
+        seed=seed,
+    )
+    return trainer.train(dataset, execution="serial")

@@ -1,0 +1,157 @@
+"""Recurrent (ConvLSTM) surrogate — the paper's future-work model.
+
+The pure-CNN model of the paper sees only one time step and therefore
+accumulates error under rollout (Sec. IV-B).  The recurrent surrogate
+consumes a short history window and carries a hidden state, which is
+exactly the remedy the paper proposes ("the data must be fed into the
+network as time-series").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import SnapshotDataset
+from ..exceptions import ConfigurationError, DatasetError
+from ..nn import Conv2d, Module
+from ..nn.recurrent import ConvLSTMCell
+from ..optim import get_optimizer
+from ..nn import get_loss
+from ..tensor import Tensor, no_grad
+from .trainer import TrainingConfig, TrainingHistory
+
+
+class RecurrentSurrogate(Module):
+    """ConvLSTM encoder + convolutional regression head.
+
+    Maps a window of ``window`` past states to the next state.  Spatial
+    dimensions are preserved throughout (same padding), so the model is
+    rollout-capable on the full domain or (with halo handling at a
+    higher level) per subdomain.
+    """
+
+    def __init__(
+        self,
+        channels: int = 4,
+        hidden_channels: int = 12,
+        kernel_size: int = 5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        self.cell = ConvLSTMCell(channels, hidden_channels, kernel_size, rng=generator)
+        self.head = Conv2d(
+            hidden_channels, channels, kernel_size=kernel_size, padding="same",
+            rng=generator,
+        )
+        self.channels = channels
+
+    def forward(self, window: Tensor) -> Tensor:
+        """Predict the next state from a ``(N, T, C, H, W)`` window."""
+        state = None
+        for t in range(window.shape[1]):
+            state = self.cell(window[:, t], state)
+        return self.head(state[0])
+
+    def rollout(self, window: np.ndarray, num_steps: int) -> np.ndarray:
+        """Autoregressive rollout from an initial ``(T, C, H, W)`` window.
+
+        The hidden state persists across predicted steps — the temporal
+        memory the pure-CNN model lacks.  Returns ``(num_steps, C, H, W)``.
+        """
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        predictions = []
+        with no_grad():
+            state = None
+            for t in range(window.shape[0]):
+                state = self.cell(Tensor(window[t][None]), state)
+            current_hidden = state
+            for _ in range(num_steps):
+                prediction = self.head(current_hidden[0])
+                predictions.append(prediction.numpy()[0])
+                current_hidden = self.cell(prediction, current_hidden)
+        return np.stack(predictions)
+
+
+@dataclass
+class WindowDataset:
+    """Sliding windows over snapshots: sample ``i`` is the pair
+    (``snapshots[i : i + window]``, ``snapshots[i + window]``)."""
+
+    snapshots: np.ndarray
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if self.snapshots.shape[0] <= self.window:
+            raise DatasetError(
+                f"{self.snapshots.shape[0]} snapshots cannot form windows "
+                f"of length {self.window} plus a target"
+            )
+
+    @classmethod
+    def from_dataset(cls, dataset: SnapshotDataset, window: int) -> "WindowDataset":
+        return cls(dataset.snapshots, window)
+
+    @property
+    def num_samples(self) -> int:
+        return self.snapshots.shape[0] - self.window
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(f"window index {index} out of range")
+        return (
+            self.snapshots[index : index + self.window],
+            self.snapshots[index + self.window],
+        )
+
+    def batches(self, batch_size: int, shuffle: bool, rng: np.random.Generator | None):
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        if shuffle and rng is None:
+            raise DatasetError("shuffle=True requires an explicit rng")
+        order = np.arange(self.num_samples)
+        if shuffle:
+            rng.shuffle(order)
+        for start in range(0, self.num_samples, batch_size):
+            chosen = order[start : start + batch_size]
+            windows = np.stack([self.snapshots[i : i + self.window] for i in chosen])
+            targets = self.snapshots[chosen + self.window]
+            yield windows, targets
+
+
+def train_recurrent(
+    model: RecurrentSurrogate,
+    data: WindowDataset,
+    config: TrainingConfig,
+) -> TrainingHistory:
+    """Train the recurrent surrogate on sliding windows (same loop
+    structure as :func:`repro.core.trainer.train_network`)."""
+    rng = np.random.default_rng(config.seed)
+    loss_fn = get_loss(config.loss, **config.loss_kwargs)
+    optimizer = get_optimizer(
+        config.optimizer, model.parameters(), lr=config.lr, **config.optimizer_kwargs
+    )
+    history = TrainingHistory()
+    model.train()
+    for _ in range(config.epochs):
+        start = time.perf_counter()
+        epoch_loss = 0.0
+        samples = 0
+        for windows, targets in data.batches(config.batch_size, config.shuffle, rng):
+            optimizer.zero_grad()
+            prediction = model(Tensor(windows))
+            loss = loss_fn(prediction, Tensor(targets))
+            loss.backward()
+            optimizer.step()
+            batch = windows.shape[0]
+            epoch_loss += loss.item() * batch
+            samples += batch
+        history.epoch_losses.append(epoch_loss / samples)
+        history.epoch_times.append(time.perf_counter() - start)
+    return history

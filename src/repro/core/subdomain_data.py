@@ -1,0 +1,91 @@
+"""Per-rank training data assembly (Sec. III "Training", steps 1-2).
+
+During *training* the overlapped inputs are cut directly from the
+locally available snapshots — no communication, which is the paper's
+central point.  The halo (overlap) width and target cropping follow the
+network's padding strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import SnapshotDataset
+from ..domain.decomposition import BlockDecomposition
+from ..exceptions import DatasetError
+
+
+@dataclass
+class RankDataset:
+    """Input/target arrays for one rank's network.
+
+    ``inputs`` has shape ``(S, C, h + 2*halo, w + 2*halo)`` and
+    ``targets`` ``(S, C, h - 2*crop, w - 2*crop)`` where ``(h, w)`` is
+    the rank's interior block.
+    """
+
+    rank: int
+    inputs: np.ndarray
+    targets: np.ndarray
+    halo: int
+    crop: int
+
+    def __post_init__(self) -> None:
+        if self.inputs.shape[0] != self.targets.shape[0]:
+            raise DatasetError(
+                f"inputs ({self.inputs.shape[0]}) and targets "
+                f"({self.targets.shape[0]}) disagree on sample count"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return self.inputs.shape[0]
+
+    def batches(self, batch_size: int, shuffle: bool, rng: np.random.Generator | None):
+        """Yield ``(inputs, targets)`` mini-batches."""
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        if shuffle and rng is None:
+            raise DatasetError("shuffle=True requires an explicit rng")
+        order = np.arange(self.num_samples)
+        if shuffle:
+            rng.shuffle(order)
+        for start in range(0, self.num_samples, batch_size):
+            chosen = order[start : start + batch_size]
+            yield self.inputs[chosen], self.targets[chosen]
+
+
+def build_rank_dataset(
+    dataset: SnapshotDataset,
+    decomposition: BlockDecomposition,
+    rank: int,
+    halo: int,
+    crop: int = 0,
+    fill: str = "zero",
+) -> RankDataset:
+    """Extract one rank's overlapped inputs and (optionally cropped)
+    targets from a global snapshot dataset.
+
+    The extraction happens entirely from memory, mirroring the paper's
+    communication-free training: every rank of a real MPI job would
+    load (or receive once, before training) exactly these arrays.
+    """
+    snapshots = dataset.snapshots
+    inputs = decomposition.extract(snapshots[:-1], rank, halo=halo, fill=fill)
+    targets = decomposition.extract(snapshots[1:], rank)
+    if crop > 0:
+        h, w = targets.shape[-2:]
+        if h <= 2 * crop or w <= 2 * crop:
+            raise DatasetError(
+                f"target block {targets.shape[-2:]} too small for crop {crop}"
+            )
+        targets = targets[..., crop:-crop, crop:-crop]
+    return RankDataset(
+        rank=rank,
+        inputs=np.ascontiguousarray(inputs),
+        targets=np.ascontiguousarray(targets),
+        halo=halo,
+        crop=crop,
+    )

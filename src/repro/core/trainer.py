@@ -1,0 +1,149 @@
+"""Single-network training loop (used per rank and by the baselines)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn import Module, get_loss
+from ..optim import clip_grad_norm, get_optimizer
+from ..tensor import Tensor, no_grad
+from .subdomain_data import RankDataset
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of one network's training.
+
+    Defaults follow the paper: Adam with the η = 0.01 global learning
+    rate quoted from Kingma & Ba, ε = 1e-8, MAPE loss.
+    """
+
+    epochs: int = 20
+    batch_size: int = 32
+    optimizer: str = "adam"
+    lr: float = 0.01
+    loss: str = "mape"
+    loss_kwargs: dict = field(default_factory=dict)
+    optimizer_kwargs: dict = field(default_factory=dict)
+    shuffle: bool = True
+    grad_clip: float | None = None
+    seed: int = 0
+    #: optional learning-rate schedule name ("constant", "step",
+    #: "exponential", "cosine"), stepped once per epoch
+    lr_schedule: str | None = None
+    lr_schedule_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {self.lr}")
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ConfigurationError(f"grad_clip must be > 0, got {self.grad_clip}")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_times: list[float] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock training time in seconds (sum over epochs)."""
+        return float(sum(self.epoch_times))
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ConfigurationError("history is empty")
+        return self.epoch_losses[-1]
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epoch_losses)
+
+
+def train_network(
+    model: Module,
+    data: RankDataset,
+    config: TrainingConfig,
+) -> TrainingHistory:
+    """Train ``model`` on one rank's data; returns the loss/time history.
+
+    The loop is the paper's step 4: an individual loss function and an
+    individual optimizer per network, full epochs over the local data,
+    zero communication.
+    """
+    rng = np.random.default_rng(config.seed)
+    loss_fn = get_loss(config.loss, **config.loss_kwargs)
+    optimizer = get_optimizer(
+        config.optimizer, model.parameters(), lr=config.lr, **config.optimizer_kwargs
+    )
+    schedule = None
+    if config.lr_schedule is not None:
+        from ..optim import get_schedule
+
+        schedule = get_schedule(
+            config.lr_schedule, optimizer, **config.lr_schedule_kwargs
+        )
+    history = TrainingHistory()
+    model.train()
+    for _ in range(config.epochs):
+        start = time.perf_counter()
+        epoch_loss = 0.0
+        samples = 0
+        for inputs, targets in data.batches(config.batch_size, config.shuffle, rng):
+            optimizer.zero_grad()
+            prediction = model(Tensor(inputs))
+            loss = loss_fn(prediction, Tensor(targets))
+            loss.backward()
+            if config.grad_clip is not None:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            batch = inputs.shape[0]
+            epoch_loss += loss.item() * batch
+            samples += batch
+        history.epoch_losses.append(epoch_loss / samples)
+        history.epoch_times.append(time.perf_counter() - start)
+        if schedule is not None:
+            schedule.step()
+    return history
+
+
+def evaluate_network(
+    model: Module,
+    data: RankDataset,
+    loss: str = "mape",
+    batch_size: int = 64,
+    **loss_kwargs,
+) -> float:
+    """Mean loss of ``model`` over ``data`` without recording gradients."""
+    loss_fn = get_loss(loss, **loss_kwargs)
+    model.eval()
+    total = 0.0
+    samples = 0
+    with no_grad():
+        for inputs, targets in data.batches(batch_size, shuffle=False, rng=None):
+            value = loss_fn(model(Tensor(inputs)), Tensor(targets))
+            total += value.item() * inputs.shape[0]
+            samples += inputs.shape[0]
+    return total / samples
+
+
+def predict(model: Module, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Forward ``inputs`` of shape ``(S, C, H, W)`` in inference mode."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, inputs.shape[0], batch_size):
+            batch = inputs[start : start + batch_size]
+            outputs.append(model(Tensor(batch)).numpy())
+    return np.concatenate(outputs, axis=0)

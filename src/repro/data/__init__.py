@@ -1,0 +1,50 @@
+"""Datasets, generation and normalization for the PDE-surrogate CNNs."""
+
+from .augmentation import (
+    augment_dataset,
+    augment_trajectory,
+    compose,
+    d4_transforms,
+    flip_x,
+    flip_y,
+    rotate90,
+)
+from .dataset import SnapshotDataset
+from .generation import (
+    TrainValData,
+    generate_multi_pulse_dataset,
+    generate_paper_dataset,
+    synthetic_advection_snapshots,
+)
+from .io import load_dataset, load_snapshots, save_dataset, save_snapshots
+from .normalization import (
+    IdentityNormalizer,
+    MinMaxNormalizer,
+    Normalizer,
+    StandardNormalizer,
+    get_normalizer,
+)
+
+__all__ = [
+    "SnapshotDataset",
+    "augment_dataset",
+    "augment_trajectory",
+    "d4_transforms",
+    "flip_x",
+    "flip_y",
+    "rotate90",
+    "compose",
+    "TrainValData",
+    "generate_paper_dataset",
+    "generate_multi_pulse_dataset",
+    "synthetic_advection_snapshots",
+    "save_snapshots",
+    "load_snapshots",
+    "save_dataset",
+    "load_dataset",
+    "Normalizer",
+    "IdentityNormalizer",
+    "StandardNormalizer",
+    "MinMaxNormalizer",
+    "get_normalizer",
+]

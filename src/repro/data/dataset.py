@@ -1,0 +1,122 @@
+"""Snapshot datasets: pairs ``(state_t, state_{t+1})`` for the CNN.
+
+The paper trains the network to map the full field at time step *t* to
+the field at *t + 1*; a :class:`SnapshotDataset` wraps a time-ordered
+array of snapshots and serves exactly those pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+
+@dataclass
+class SnapshotDataset:
+    """Time-ordered snapshots of shape ``(T, C, H, W)``.
+
+    Sample ``i`` is the pair ``(snapshots[i], snapshots[i+1])``; the
+    dataset therefore has ``T - 1`` samples.
+    """
+
+    snapshots: np.ndarray
+
+    def __post_init__(self) -> None:
+        snaps = np.asarray(self.snapshots)
+        if snaps.ndim != 4:
+            raise DatasetError(
+                f"snapshots must have shape (T, C, H, W), got {snaps.shape}"
+            )
+        if snaps.shape[0] < 2:
+            raise DatasetError(
+                f"need at least 2 snapshots for one (t, t+1) pair, got {snaps.shape[0]}"
+            )
+        if not np.all(np.isfinite(snaps)):
+            raise DatasetError("snapshots contain non-finite values")
+        self.snapshots = snaps
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return self.snapshots.shape[0] - 1
+
+    @property
+    def num_channels(self) -> int:
+        return self.snapshots.shape[1]
+
+    @property
+    def field_shape(self) -> tuple[int, int]:
+        return self.snapshots.shape[2], self.snapshots.shape[3]
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(input, target)`` pair for sample ``index``."""
+        if not -self.num_samples <= index < self.num_samples:
+            raise IndexError(f"sample index {index} out of range")
+        index %= self.num_samples
+        return self.snapshots[index], self.snapshots[index + 1]
+
+    # ------------------------------------------------------------------
+    def inputs(self) -> np.ndarray:
+        """All inputs stacked: shape ``(T-1, C, H, W)`` (a view)."""
+        return self.snapshots[:-1]
+
+    def targets(self) -> np.ndarray:
+        """All targets stacked: shape ``(T-1, C, H, W)`` (a view)."""
+        return self.snapshots[1:]
+
+    def split(self, num_train: int) -> tuple["SnapshotDataset", "SnapshotDataset"]:
+        """Chronological train/validation split.
+
+        The paper uses the first 1000 of 1500 snapshots for training and
+        the remainder for validation.  The validation set starts at the
+        last training snapshot so no (t, t+1) pair is lost or shared.
+        """
+        total = self.snapshots.shape[0]
+        if not 2 <= num_train <= total - 1:
+            raise DatasetError(
+                f"num_train must be in [2, {total - 1}], got {num_train}"
+            )
+        train = SnapshotDataset(self.snapshots[:num_train])
+        validation = SnapshotDataset(self.snapshots[num_train - 1 :])
+        return train, validation
+
+    def restrict(self, y_slice: slice, x_slice: slice) -> "SnapshotDataset":
+        """Spatially restrict every snapshot (used per subdomain).
+
+        Returns a dataset over ``snapshots[:, :, y_slice, x_slice]``
+        (a copy, so ranks own their training data like real MPI ranks
+        with distributed memory would)."""
+        return SnapshotDataset(np.ascontiguousarray(self.snapshots[:, :, y_slice, x_slice]))
+
+    # ------------------------------------------------------------------
+    def batches(
+        self,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate mini-batches of ``(inputs, targets)``.
+
+        Shuffling requires an explicit ``rng`` so experiments stay
+        reproducible; the last short batch is kept unless ``drop_last``.
+        """
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        if shuffle and rng is None:
+            raise DatasetError("shuffle=True requires an explicit rng")
+        order = np.arange(self.num_samples)
+        if shuffle:
+            rng.shuffle(order)
+        for start in range(0, self.num_samples, batch_size):
+            chosen = order[start : start + batch_size]
+            if drop_last and len(chosen) < batch_size:
+                return
+            yield self.snapshots[chosen], self.snapshots[chosen + 1]

@@ -1,0 +1,64 @@
+"""Dataset persistence (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .dataset import SnapshotDataset
+
+_FORMAT_VERSION = 1
+
+
+def save_snapshots(path: str | os.PathLike, snapshots: np.ndarray, **metadata: Any) -> None:
+    """Save a snapshot array plus scalar/string metadata to ``path``.
+
+    Metadata values must be NumPy-serializable scalars or small arrays.
+    """
+    snapshots = np.asarray(snapshots)
+    if snapshots.ndim != 4:
+        raise DatasetError(
+            f"snapshots must have shape (T, C, H, W), got {snapshots.shape}"
+        )
+    np.savez_compressed(
+        path,
+        snapshots=snapshots,
+        format_version=np.int64(_FORMAT_VERSION),
+        **{f"meta_{k}": v for k, v in metadata.items()},
+    )
+
+
+def load_snapshots(path: str | os.PathLike) -> tuple[np.ndarray, dict[str, Any]]:
+    """Load a snapshot array and its metadata from ``path``."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "snapshots" not in archive:
+            raise DatasetError(f"{path} is not a repro snapshot archive")
+        version = int(archive.get("format_version", 0))
+        if version > _FORMAT_VERSION:
+            raise DatasetError(
+                f"snapshot archive version {version} is newer than supported "
+                f"({_FORMAT_VERSION})"
+            )
+        snapshots = archive["snapshots"]
+        metadata = {
+            key[len("meta_") :]: archive[key].item()
+            if archive[key].ndim == 0
+            else archive[key]
+            for key in archive.files
+            if key.startswith("meta_")
+        }
+    return snapshots, metadata
+
+
+def save_dataset(path: str | os.PathLike, dataset: SnapshotDataset, **metadata: Any) -> None:
+    """Persist a :class:`SnapshotDataset`."""
+    save_snapshots(path, dataset.snapshots, **metadata)
+
+
+def load_dataset(path: str | os.PathLike) -> tuple[SnapshotDataset, dict[str, Any]]:
+    """Load a :class:`SnapshotDataset` saved by :func:`save_dataset`."""
+    snapshots, metadata = load_snapshots(path)
+    return SnapshotDataset(snapshots), metadata

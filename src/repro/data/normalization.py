@@ -1,0 +1,139 @@
+"""Per-channel normalization.
+
+The four physical channels span several orders of magnitude (p' up to
+10⁴ Pa, ρ' below 1, velocities around 10² m/s) — the very property that
+motivates the paper's MAPE loss.  Normalizers are provided both to make
+that ablation honest (MSE on standardized data vs. MAPE on raw data)
+and as a practical tool; all are fit on training data only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DatasetError
+
+
+class Normalizer:
+    """Base class: invertible per-channel transform of ``(.., C, H, W)``
+    arrays (channels on axis -3)."""
+
+    fitted: bool = False
+
+    def fit(self, snapshots: np.ndarray) -> "Normalizer":
+        raise NotImplementedError
+
+    def transform(self, array: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse_transform(self, array: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, snapshots: np.ndarray) -> np.ndarray:
+        return self.fit(snapshots).transform(snapshots)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise DatasetError(f"{type(self).__name__} used before fit()")
+
+
+class IdentityNormalizer(Normalizer):
+    """No-op (the paper trains on raw fields)."""
+
+    def fit(self, snapshots: np.ndarray) -> "IdentityNormalizer":
+        self.fitted = True
+        return self
+
+    def transform(self, array: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return array
+
+    def inverse_transform(self, array: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return array
+
+
+class StandardNormalizer(Normalizer):
+    """Per-channel zero-mean / unit-variance standardization."""
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, snapshots: np.ndarray) -> "StandardNormalizer":
+        snaps = np.asarray(snapshots)
+        if snaps.ndim < 3:
+            raise DatasetError(f"expected (..., C, H, W), got shape {snaps.shape}")
+        axes = tuple(i for i in range(snaps.ndim) if i != snaps.ndim - 3)
+        self.mean = snaps.mean(axis=axes, keepdims=False)
+        self.std = np.maximum(snaps.std(axis=axes, keepdims=False), self.epsilon)
+        self.fitted = True
+        return self
+
+    def _shaped(self, stat: np.ndarray, ndim: int) -> np.ndarray:
+        return stat.reshape((len(stat),) + (1, 1))
+
+    def transform(self, array: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (array - self._shaped(self.mean, array.ndim)) / self._shaped(self.std, array.ndim)
+
+    def inverse_transform(self, array: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return array * self._shaped(self.std, array.ndim) + self._shaped(self.mean, array.ndim)
+
+
+class MinMaxNormalizer(Normalizer):
+    """Per-channel affine map onto ``[low, high]`` (default ``[-1, 1]``)."""
+
+    def __init__(self, low: float = -1.0, high: float = 1.0, epsilon: float = 1e-12) -> None:
+        if high <= low:
+            raise ConfigurationError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self.epsilon = float(epsilon)
+        self.data_min: np.ndarray | None = None
+        self.data_range: np.ndarray | None = None
+
+    def fit(self, snapshots: np.ndarray) -> "MinMaxNormalizer":
+        snaps = np.asarray(snapshots)
+        if snaps.ndim < 3:
+            raise DatasetError(f"expected (..., C, H, W), got shape {snaps.shape}")
+        axes = tuple(i for i in range(snaps.ndim) if i != snaps.ndim - 3)
+        self.data_min = snaps.min(axis=axes)
+        self.data_range = np.maximum(snaps.max(axis=axes) - self.data_min, self.epsilon)
+        self.fitted = True
+        return self
+
+    def _shaped(self, stat: np.ndarray) -> np.ndarray:
+        return stat.reshape((len(stat),) + (1, 1))
+
+    def transform(self, array: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        unit = (array - self._shaped(self.data_min)) / self._shaped(self.data_range)
+        return unit * (self.high - self.low) + self.low
+
+    def inverse_transform(self, array: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        unit = (array - self.low) / (self.high - self.low)
+        return unit * self._shaped(self.data_range) + self._shaped(self.data_min)
+
+
+_NORMALIZERS = {
+    "identity": IdentityNormalizer,
+    "standard": StandardNormalizer,
+    "minmax": MinMaxNormalizer,
+}
+
+
+def get_normalizer(name: str, **kwargs) -> Normalizer:
+    """Instantiate a normalizer by name."""
+    try:
+        cls = _NORMALIZERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown normalizer {name!r}; choose from {sorted(_NORMALIZERS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,13 @@
+"""Domain decomposition and halo exchange."""
+
+from .decomposition import BlockDecomposition, Subdomain, split_extent
+from .halo import HaloExchanger, gather_blocks, scatter_blocks
+
+__all__ = [
+    "BlockDecomposition",
+    "Subdomain",
+    "split_extent",
+    "HaloExchanger",
+    "gather_blocks",
+    "scatter_blocks",
+]

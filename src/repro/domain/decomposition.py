@@ -1,0 +1,209 @@
+"""2-D block decomposition of a grid into per-rank subdomains.
+
+The decomposition is the paper's Sec. III step 1: each training data
+set is split into ``Py × Px`` non-overlapping spatial blocks, one per
+MPI rank.  Ranks are numbered row-major over the process grid, matching
+:class:`repro.mpi.CartComm` with dims ``(Py, Px)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DecompositionError
+from ..mpi.cartesian import dims_create
+
+
+def split_extent(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``n`` indices into ``parts`` contiguous balanced ranges.
+
+    The first ``n % parts`` ranges get one extra index, so sizes differ
+    by at most one (standard block distribution).
+    """
+    if parts <= 0:
+        raise DecompositionError(f"parts must be positive, got {parts}")
+    if n < parts:
+        raise DecompositionError(f"cannot split {n} indices into {parts} parts")
+    base, extra = divmod(n, parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rank's block: interior index ranges into the global field."""
+
+    rank: int
+    coords: tuple[int, int]  # (iy, ix) in the process grid
+    y_range: tuple[int, int]  # [start, stop) rows
+    x_range: tuple[int, int]  # [start, stop) columns
+
+    @property
+    def y_slice(self) -> slice:
+        return slice(*self.y_range)
+
+    @property
+    def x_slice(self) -> slice:
+        return slice(*self.x_range)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Local ``(height, width)``."""
+        return (
+            self.y_range[1] - self.y_range[0],
+            self.x_range[1] - self.x_range[0],
+        )
+
+    @property
+    def num_points(self) -> int:
+        h, w = self.shape
+        return h * w
+
+
+class BlockDecomposition:
+    """Balanced ``Py × Px`` block decomposition of an ``(H, W)`` grid.
+
+    Parameters
+    ----------
+    field_shape:
+        Global grid shape ``(H, W)``.
+    pgrid:
+        Process grid ``(Py, Px)``; use :meth:`from_num_ranks` to let the
+        library pick a balanced factorization (``MPI_Dims_create``
+        style).
+    """
+
+    def __init__(self, field_shape: tuple[int, int], pgrid: tuple[int, int]) -> None:
+        height, width = field_shape
+        py, px = pgrid
+        if py <= 0 or px <= 0:
+            raise DecompositionError(f"process grid must be positive, got {pgrid}")
+        self.field_shape = (int(height), int(width))
+        self.pgrid = (int(py), int(px))
+        self._y_ranges = split_extent(height, py)
+        self._x_ranges = split_extent(width, px)
+
+    @classmethod
+    def from_num_ranks(
+        cls, field_shape: tuple[int, int], num_ranks: int
+    ) -> "BlockDecomposition":
+        """Decompose for ``num_ranks`` using a balanced 2-D factorization."""
+        return cls(field_shape, dims_create(num_ranks, 2))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_subdomains(self) -> int:
+        return self.pgrid[0] * self.pgrid[1]
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Process-grid coordinates ``(iy, ix)`` of ``rank`` (row-major)."""
+        py, px = self.pgrid
+        if not 0 <= rank < py * px:
+            raise DecompositionError(f"rank {rank} out of range for {py}x{px} grid")
+        return divmod(rank, px)
+
+    def rank_of(self, coords: tuple[int, int]) -> int:
+        """Rank at process-grid coordinates ``(iy, ix)``."""
+        iy, ix = coords
+        py, px = self.pgrid
+        if not (0 <= iy < py and 0 <= ix < px):
+            raise DecompositionError(f"coords {coords} out of range for {py}x{px} grid")
+        return iy * px + ix
+
+    def subdomain(self, rank: int) -> Subdomain:
+        """The block owned by ``rank``."""
+        iy, ix = self.coords_of(rank)
+        return Subdomain(rank, (iy, ix), self._y_ranges[iy], self._x_ranges[ix])
+
+    def subdomains(self) -> list[Subdomain]:
+        """All blocks in rank order."""
+        return [self.subdomain(rank) for rank in range(self.num_subdomains)]
+
+    def neighbour(self, rank: int, axis: int, direction: int) -> int | None:
+        """Neighbouring rank along ``axis`` (0 = y, 1 = x) in
+        ``direction`` (-1 or +1); ``None`` at the domain boundary."""
+        if axis not in (0, 1):
+            raise DecompositionError(f"axis must be 0 or 1, got {axis}")
+        if direction not in (-1, 1):
+            raise DecompositionError(f"direction must be -1 or +1, got {direction}")
+        coords = list(self.coords_of(rank))
+        coords[axis] += direction
+        py, px = self.pgrid
+        if not (0 <= coords[0] < py and 0 <= coords[1] < px):
+            return None
+        return self.rank_of((coords[0], coords[1]))
+
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        field: np.ndarray,
+        rank: int,
+        halo: int = 0,
+        fill: str = "zero",
+    ) -> np.ndarray:
+        """Cut rank's block out of a global ``(..., H, W)`` field.
+
+        With ``halo > 0`` the block is extended by ``halo`` grid lines
+        on every side: neighbour data where a neighbour exists, and
+        ``fill`` (``"zero"`` or ``"edge"`` replication) at physical
+        domain boundaries.  This is the paper's "padding the input with
+        data from neighbouring subdomains".
+        """
+        if field.shape[-2:] != self.field_shape:
+            raise DecompositionError(
+                f"field shape {field.shape[-2:]} does not match decomposition "
+                f"{self.field_shape}"
+            )
+        if halo < 0:
+            raise DecompositionError(f"halo must be >= 0, got {halo}")
+        sub = self.subdomain(rank)
+        if halo == 0:
+            return np.ascontiguousarray(field[..., sub.y_slice, sub.x_slice])
+        height, width = self.field_shape
+        y0, y1 = sub.y_range
+        x0, x1 = sub.x_range
+        cy0, cy1 = max(y0 - halo, 0), min(y1 + halo, height)
+        cx0, cx1 = max(x0 - halo, 0), min(x1 + halo, width)
+        block = field[..., cy0:cy1, cx0:cx1]
+        pad = (
+            (halo - (y0 - cy0), halo - (cy1 - y1)),
+            (halo - (x0 - cx0), halo - (cx1 - x1)),
+        )
+        if all(lo == 0 and hi == 0 for lo, hi in pad):
+            return np.ascontiguousarray(block)
+        pad_width = ((0, 0),) * (field.ndim - 2) + pad
+        if fill == "zero":
+            return np.pad(block, pad_width)
+        if fill == "edge":
+            return np.pad(block, pad_width, mode="edge")
+        raise DecompositionError(f"unknown fill mode {fill!r} (use 'zero' or 'edge')")
+
+    def assemble(self, pieces: list[np.ndarray]) -> np.ndarray:
+        """Reassemble a global ``(..., H, W)`` field from per-rank blocks
+        (the inverse of halo-free :meth:`extract`, rank order)."""
+        if len(pieces) != self.num_subdomains:
+            raise DecompositionError(
+                f"expected {self.num_subdomains} pieces, got {len(pieces)}"
+            )
+        lead_shape = pieces[0].shape[:-2]
+        out = np.empty(lead_shape + self.field_shape, dtype=pieces[0].dtype)
+        for rank, piece in enumerate(pieces):
+            sub = self.subdomain(rank)
+            if piece.shape[-2:] != sub.shape:
+                raise DecompositionError(
+                    f"piece {rank} has shape {piece.shape[-2:]}, expected {sub.shape}"
+                )
+            out[..., sub.y_slice, sub.x_slice] = piece
+        return out
+
+    def load_balance(self) -> float:
+        """Ratio of largest to smallest block size (1.0 = perfect)."""
+        sizes = [s.num_points for s in self.subdomains()]
+        return max(sizes) / min(sizes)

@@ -1,0 +1,168 @@
+"""Point-to-point halo exchange (Sec. III "Inference" of the paper).
+
+Each rank owns a non-overlapping block; to rebuild the overlapped input
+the next prediction step needs, boundary strips are exchanged with the
+axis neighbours using fully point-to-point messages — no central
+instance, exactly as the paper prescribes.  The exchange proceeds axis
+by axis (y then x); the second phase sends strips of the already
+extended array, which transports corner data implicitly, the standard
+two-phase scheme from structured-grid codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DecompositionError
+from ..mpi.api import Communicator
+from .decomposition import BlockDecomposition
+
+#: Tag block reserved for halo traffic; offsets encode (axis, direction).
+_HALO_TAG_BASE = 7000
+
+
+def _halo_tag(phase: int, direction: int) -> int:
+    return _HALO_TAG_BASE + phase * 4 + (0 if direction < 0 else 1)
+
+
+class HaloExchanger:
+    """Reusable halo-exchange plan for one rank of a decomposition.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator (world or Cartesian — only
+        point-to-point messaging is used).
+    decomposition:
+        The global block decomposition (must be identical on all ranks).
+    halo:
+        Halo width in grid lines.
+    fill:
+        Treatment of halos at physical domain boundaries: ``"zero"``
+        (matches zero padding in the network) or ``"edge"``
+        (replicates the wall line).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        decomposition: BlockDecomposition,
+        halo: int,
+        fill: str = "zero",
+    ) -> None:
+        if halo < 1:
+            raise DecompositionError(f"halo width must be >= 1, got {halo}")
+        if fill not in ("zero", "edge"):
+            raise DecompositionError(f"unknown fill mode {fill!r}")
+        if comm.size != decomposition.num_subdomains:
+            raise DecompositionError(
+                f"communicator size {comm.size} != decomposition size "
+                f"{decomposition.num_subdomains}"
+            )
+        sub = decomposition.subdomain(comm.rank)
+        h, w = sub.shape
+        if halo > h or halo > w:
+            raise DecompositionError(
+                f"halo {halo} exceeds local block {sub.shape}; "
+                "use fewer ranks or a finer grid"
+            )
+        self.comm = comm
+        self.decomposition = decomposition
+        self.halo = halo
+        self.fill = fill
+        self.subdomain = sub
+        # Axis neighbours (None at physical boundaries).
+        self.neighbours = {
+            (axis, direction): decomposition.neighbour(comm.rank, axis, direction)
+            for axis in (0, 1)
+            for direction in (-1, +1)
+        }
+        #: number of messages this rank sends (== receives) per exchange
+        self.messages_per_exchange = sum(
+            1 for peer in self.neighbours.values() if peer is not None
+        )
+
+    # ------------------------------------------------------------------
+    def _exchange_axis(self, local: np.ndarray, axis: int, phase: int) -> np.ndarray:
+        """Extend ``local`` by ``halo`` lines on both sides of ``axis``
+        (the spatial axis ``local.ndim - 2 + axis``)."""
+        o = self.halo
+        ax = local.ndim - 2 + axis
+        lo_peer = self.neighbours[(axis, -1)]
+        hi_peer = self.neighbours[(axis, +1)]
+
+        def strip(side: int) -> np.ndarray:
+            index = [slice(None)] * local.ndim
+            index[ax] = slice(0, o) if side < 0 else slice(local.shape[ax] - o, None)
+            return np.ascontiguousarray(local[tuple(index)])
+
+        # Post all sends first (buffered), then receive: deadlock-free.
+        if lo_peer is not None:
+            self.comm.send(strip(-1), dest=lo_peer, tag=_halo_tag(phase, -1))
+        if hi_peer is not None:
+            self.comm.send(strip(+1), dest=hi_peer, tag=_halo_tag(phase, +1))
+
+        def received_or_fill(peer: int | None, direction: int) -> np.ndarray:
+            if peer is not None:
+                # The neighbour on our low side sent with tag(+1) (its
+                # high-side strip), and vice versa.
+                return np.asarray(
+                    self.comm.recv(source=peer, tag=_halo_tag(phase, -direction))
+                )
+            shape = list(local.shape)
+            shape[ax] = o
+            if self.fill == "zero":
+                return np.zeros(shape, dtype=local.dtype)
+            # Edge replication: repeat the wall line o times.
+            index = [slice(None)] * local.ndim
+            index[ax] = slice(0, 1) if direction < 0 else slice(-1, None)
+            return np.repeat(local[tuple(index)], o, axis=ax)
+
+        lo_block = received_or_fill(lo_peer, -1)
+        hi_block = received_or_fill(hi_peer, +1)
+        return np.concatenate([lo_block, local, hi_block], axis=ax)
+
+    def exchange(self, local: np.ndarray) -> np.ndarray:
+        """Return the halo-extended field.
+
+        ``local`` has shape ``(..., h, w)`` matching this rank's block;
+        the result has shape ``(..., h + 2*halo, w + 2*halo)``.
+        """
+        if local.shape[-2:] != self.subdomain.shape:
+            raise DecompositionError(
+                f"local field shape {local.shape[-2:]} does not match "
+                f"subdomain {self.subdomain.shape}"
+            )
+        extended = self._exchange_axis(local, axis=0, phase=0)
+        return self._exchange_axis(extended, axis=1, phase=1)
+
+
+def gather_blocks(
+    comm: Communicator, decomposition: BlockDecomposition, local: np.ndarray, root: int = 0
+) -> np.ndarray | None:
+    """Gather per-rank blocks and assemble the global field at ``root``.
+
+    Returns the assembled ``(..., H, W)`` array at ``root``; ``None``
+    elsewhere.  Used for diagnostics/visualization, never on the
+    training path (which is communication-free).
+    """
+    pieces = comm.gather(local, root=root)
+    if pieces is None:
+        return None
+    return decomposition.assemble(pieces)
+
+
+def scatter_blocks(
+    comm: Communicator,
+    decomposition: BlockDecomposition,
+    field: np.ndarray | None,
+    root: int = 0,
+) -> np.ndarray:
+    """Scatter a global ``(..., H, W)`` field held at ``root`` into
+    per-rank blocks (inverse of :func:`gather_blocks`)."""
+    payloads = None
+    if comm.rank == root:
+        payloads = [
+            decomposition.extract(field, rank) for rank in range(comm.size)
+        ]
+    return comm.scatter(payloads, root=root)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AutogradError(ReproError):
+    """Raised for invalid operations on the autodiff graph.
+
+    Examples: calling ``backward()`` on a tensor that does not require
+    gradients, or passing a seed gradient whose shape does not match the
+    tensor.
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """Raised when tensor/array shapes are incompatible for an operation."""
+
+
+class CommunicatorError(ReproError):
+    """Raised for misuse of the message-passing layer.
+
+    Examples: sending to an out-of-range rank, mismatched collective
+    participation, or using a communicator after the parallel region
+    finished.
+    """
+
+
+class DeadlockError(CommunicatorError):
+    """Raised when the in-process MPI runtime detects a communication
+    deadlock (all live ranks blocked with no messages in flight)."""
+
+
+class SolverError(ReproError):
+    """Raised for invalid PDE-solver configurations.
+
+    Examples: a CFL number that renders the scheme unstable, or a grid
+    too small for the stencil.
+    """
+
+
+class DecompositionError(ReproError):
+    """Raised when a domain cannot be decomposed as requested.
+
+    Examples: more ranks than grid points along an axis, or a subdomain
+    smaller than the requested halo width.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised for malformed datasets (wrong channel count, empty splits,
+    inconsistent snapshot shapes)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a user-facing configuration object is inconsistent."""

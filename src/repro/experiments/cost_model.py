@@ -1,0 +1,107 @@
+"""Analytic cost model for the strong-scaling curve (Fig. 4 analysis).
+
+The communication-free training time at P ranks is modelled as
+
+.. math::  T(P) = t_{fixed} + t_{point} \\cdot N / P
+
+where ``N`` is the number of grid points, ``t_point`` the per-point
+per-epoch compute cost and ``t_fixed`` the P-independent overhead
+(Python/loop/optimizer costs per batch).  Fitting the two parameters to
+a few measured points lets the model (a) quantify how close the
+measured curve is to ideal scaling and (b) extrapolate to machine sizes
+the container cannot measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .fig4_scaling import Fig4Result
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Fitted two-parameter strong-scaling model."""
+
+    fixed_time: float  # seconds, P-independent
+    point_time: float  # seconds per grid point (per training run)
+    num_points: int  # grid points of the modelled problem
+
+    def predict(self, num_ranks: int) -> float:
+        """Predicted training wall time at ``num_ranks``."""
+        if num_ranks < 1:
+            raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+        return self.fixed_time + self.point_time * self.num_points / num_ranks
+
+    def speedup(self, num_ranks: int) -> float:
+        """Predicted speedup over the single-rank time."""
+        return self.predict(1) / self.predict(num_ranks)
+
+    def parallel_fraction(self) -> float:
+        """Amdahl parallel fraction implied by the fit."""
+        total = self.predict(1)
+        return (self.point_time * self.num_points) / total
+
+    def saturation_ranks(self, efficiency_floor: float = 0.5) -> int:
+        """Largest P with predicted parallel efficiency >= the floor."""
+        if not 0.0 < efficiency_floor <= 1.0:
+            raise ConfigurationError(
+                f"efficiency_floor must be in (0, 1], got {efficiency_floor}"
+            )
+        p = 1
+        while self.speedup(p * 2) / (p * 2) >= efficiency_floor and p < 2**20:
+            p *= 2
+        return p
+
+
+def fit_scaling_model(
+    rank_counts: list[int], times: list[float], num_points: int
+) -> ScalingModel:
+    """Least-squares fit of the two-parameter model to measurements.
+
+    Linear in the parameters: ``T = a + b * (N / P)``.
+    """
+    if len(rank_counts) != len(times) or len(rank_counts) < 2:
+        raise ConfigurationError(
+            "need at least two (rank_count, time) measurement pairs"
+        )
+    if any(p < 1 for p in rank_counts):
+        raise ConfigurationError(f"rank counts must be >= 1: {rank_counts}")
+    if any(t <= 0 for t in times):
+        raise ConfigurationError("measured times must be positive")
+    work = np.array([num_points / p for p in rank_counts], dtype=float)
+    design = np.stack([np.ones_like(work), work], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, np.array(times, dtype=float), rcond=None)
+    fixed, per_point = float(coeffs[0]), float(coeffs[1])
+    # Clamp tiny negative intercepts from noise: the model is physical.
+    return ScalingModel(max(fixed, 0.0), max(per_point, 0.0), num_points)
+
+
+def analyse_fig4(result: Fig4Result, extrapolate_to: tuple[int, ...] = (128, 256, 1024)) -> str:
+    """Fit the model to a Fig.-4 run and report measured vs. predicted
+    plus an extrapolation beyond the measured range."""
+    num_points = result.config.data.grid_size ** 2
+    model = fit_scaling_model(result.rank_counts, result.times, num_points)
+    rows = []
+    for row in result.rows:
+        predicted = model.predict(row.num_ranks)
+        rows.append((row.num_ranks, row.train_time, predicted, row.train_time / predicted))
+    measured = format_table(
+        ["P", "measured [s]", "model [s]", "ratio"],
+        rows,
+        title=(
+            "Strong-scaling model fit: "
+            f"T(P) = {model.fixed_time:.4g} + {model.point_time:.3e} * N/P, "
+            f"parallel fraction {model.parallel_fraction():.4f}"
+        ),
+    )
+    extrapolated = format_table(
+        ["P", "predicted time [s]", "predicted speedup"],
+        [(p, model.predict(p), model.speedup(p)) for p in extrapolate_to],
+        title="Extrapolation beyond the measured range",
+    )
+    return measured + "\n\n" + extrapolated

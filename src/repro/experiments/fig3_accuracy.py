@@ -1,0 +1,133 @@
+"""Fig. 3 — prediction vs. target fields on validation data.
+
+The paper picks a random validation snapshot, feeds it to the trained
+networks and compares the predicted next step against the simulated
+next step for all four channels, reporting "very good agreement …
+especially for density and pressure" with "small discrepancies in the
+velocities".  This runner reproduces that comparison and quantifies it
+with per-channel metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import (
+    CNNConfig,
+    ParallelPredictor,
+    ParallelTrainer,
+    ParallelTrainingResult,
+    TrainingConfig,
+    per_channel,
+    relative_l2,
+    rmse,
+)
+from ..exceptions import ConfigurationError
+from ..solver.state import CHANNELS
+from .common import DataConfig, ExperimentData, default_cnn_config, default_training_config, prepare_data
+from .reporting import ascii_heatmap, format_table, side_by_side
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Configuration of the Fig.-3 experiment."""
+
+    data: DataConfig = field(default_factory=DataConfig)
+    cnn: CNNConfig = field(default_factory=default_cnn_config)
+    training: TrainingConfig = field(default_factory=default_training_config)
+    num_ranks: int = 4
+    #: validation sample index fed to the network ("chosen randomly from
+    #: the validation data set" in the paper — fixed here for
+    #: reproducibility, override to inspect other samples)
+    sample_index: int = 0
+    seed: int = 0
+
+
+@dataclass
+class Fig3Result:
+    """Outputs of the Fig.-3 run."""
+
+    config: Fig3Config
+    #: physical-unit fields, each of shape (4, H, W)
+    input_field: np.ndarray
+    prediction: np.ndarray
+    target: np.ndarray
+    per_channel_relative_l2: dict[str, float]
+    per_channel_rmse: dict[str, float]
+    identity_relative_l2: dict[str, float]
+    training_result: ParallelTrainingResult
+    experiment_data: ExperimentData
+
+    def report(self, heatmaps: bool = True) -> str:
+        """Human-readable summary (table + optional ASCII heatmaps)."""
+        rows = []
+        for name in self.per_channel_relative_l2:
+            rows.append(
+                (
+                    name,
+                    self.per_channel_relative_l2[name],
+                    self.per_channel_rmse[name],
+                    self.identity_relative_l2[name],
+                )
+            )
+        parts = [
+            format_table(
+                ["channel", "rel. L2 error", "RMSE", "identity rel. L2"],
+                rows,
+                title=(
+                    "Fig. 3 — single-step prediction vs. target "
+                    f"(validation sample {self.config.sample_index}, "
+                    f"P={self.config.num_ranks})"
+                ),
+            )
+        ]
+        if heatmaps:
+            for index, name in enumerate(CHANNELS):
+                block = side_by_side(
+                    ascii_heatmap(self.prediction[index]),
+                    ascii_heatmap(self.target[index]),
+                    labels=(f"prediction [{name}]", f"target [{name}]"),
+                )
+                parts.append(block)
+        return "\n\n".join(parts)
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    """Train the parallel networks and evaluate one validation step."""
+    config = config if config is not None else Fig3Config()
+    experiment = prepare_data(config.data)
+    if not 0 <= config.sample_index < experiment.validation.num_samples:
+        raise ConfigurationError(
+            f"sample_index {config.sample_index} outside the validation set "
+            f"({experiment.validation.num_samples} samples)"
+        )
+
+    trainer = ParallelTrainer(
+        cnn_config=config.cnn,
+        training_config=config.training,
+        num_ranks=config.num_ranks,
+        seed=config.seed,
+    )
+    result = trainer.train(experiment.train, execution="threads")
+
+    predictor = ParallelPredictor(result.build_models(), result.decomposition)
+    model_input, target_n = experiment.validation[config.sample_index]
+    rollout = predictor.rollout(model_input, num_steps=1)
+
+    prediction = experiment.denormalize(rollout.trajectory[1])
+    target = experiment.denormalize(target_n)
+    input_field = experiment.denormalize(model_input)
+
+    return Fig3Result(
+        config=config,
+        input_field=input_field,
+        prediction=prediction,
+        target=target,
+        per_channel_relative_l2=per_channel(relative_l2, prediction, target),
+        per_channel_rmse=per_channel(rmse, prediction, target),
+        identity_relative_l2=per_channel(relative_l2, input_field, target),
+        training_result=result,
+        experiment_data=experiment,
+    )

@@ -1,0 +1,109 @@
+"""Plain-text reporting: aligned tables and ASCII field heatmaps.
+
+The paper's figures are color plots; in a terminal-only environment the
+experiment runners render the same content as ASCII heatmaps and
+aligned tables, and additionally save raw arrays for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_RAMP = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if 1e-3 <= magnitude < 1e5:
+                return f"{cell:.4g}"
+            return f"{cell:.3e}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    field: np.ndarray,
+    width: int = 48,
+    height: int = 20,
+    symmetric: bool = True,
+) -> str:
+    """Downsample a 2-D field to a character heatmap.
+
+    With ``symmetric=True`` the color scale is centred on zero (natural
+    for perturbation fields); darker characters mark larger magnitude.
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError(f"expected a 2-D field, got shape {field.shape}")
+    h, w = field.shape
+    ys = np.linspace(0, h - 1, min(height, h)).astype(int)
+    xs = np.linspace(0, w - 1, min(width, w)).astype(int)
+    sample = field[np.ix_(ys, xs)]
+    if symmetric:
+        scale = float(np.max(np.abs(sample))) or 1.0
+        unit = (sample / scale + 1.0) / 2.0  # [-1,1] -> [0,1]
+    else:
+        lo, hi = float(sample.min()), float(sample.max())
+        unit = (sample - lo) / ((hi - lo) or 1.0)
+    indices = np.clip((unit * (len(_RAMP) - 1)).round().astype(int), 0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def side_by_side(left: str, right: str, gap: int = 4, labels: tuple[str, str] | None = None) -> str:
+    """Join two multi-line blocks horizontally (prediction | target)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max((len(l) for l in left_lines), default=0)
+    if labels is not None:
+        left_lines.insert(0, labels[0])
+        right_lines.insert(0, labels[1])
+        width = max(width, len(labels[0]))
+    rows = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (rows - len(left_lines))
+    right_lines += [""] * (rows - len(right_lines))
+    pad = " " * gap
+    return "\n".join(
+        l.ljust(width) + pad + r for l, r in zip(left_lines, right_lines)
+    )
+
+
+def format_scaling_plot(
+    xs: Sequence[float], ys: Sequence[float], width: int = 50, label: str = "time"
+) -> str:
+    """Log-log-ish bar rendering of a scaling curve (Fig. 4 analogue)."""
+    lines = [f"{'P':>4}  {label:>12}  "]
+    max_y = max(ys)
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * y / max_y)))
+        lines.append(f"{int(x):>4}  {y:12.4g}  {bar}")
+    return "\n".join(lines)

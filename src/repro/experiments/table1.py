@@ -1,0 +1,60 @@
+"""Table I — the CNN architecture specification.
+
+Table I is not a measurement but the architecture contract; this module
+renders the table from the *constructed network* (not from constants),
+so any drift between code and paper is visible immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import CNNConfig, SubdomainCNN
+from ..nn import Conv2d
+from .reporting import format_table
+
+
+@dataclass
+class Table1Row:
+    layer: int
+    input_channels: int
+    output_channels: int
+    kernel: str
+    padding: str
+
+
+def architecture_rows(model: SubdomainCNN) -> list[Table1Row]:
+    """Extract the Table-I rows from a built network."""
+    rows = []
+    conv_layers = [m for m in model.layers if isinstance(m, Conv2d)]
+    for index, conv in enumerate(conv_layers, start=1):
+        rows.append(
+            Table1Row(
+                layer=index,
+                input_channels=conv.in_channels,
+                output_channels=conv.out_channels,
+                kernel=(
+                    f"{conv.in_channels}x{conv.out_channels}"
+                    f"x{conv.kernel_size}x{conv.kernel_size}"
+                ),
+                padding="Yes" if conv.padding > 0 else "No (input halo)",
+            )
+        )
+    return rows
+
+
+def render_table1(config: CNNConfig | None = None) -> str:
+    """Render the architecture table for ``config`` (paper defaults)."""
+    import numpy as np
+
+    model = SubdomainCNN(config, rng=np.random.default_rng(0))
+    rows = architecture_rows(model)
+    return format_table(
+        ["layer", "input channels", "output channels", "kernel size", "padding"],
+        [(r.layer, r.input_channels, r.output_channels, r.kernel, r.padding) for r in rows],
+        title=(
+            "Table I — CNN layer architecture "
+            f"(strategy: {model.config.strategy.value}, "
+            f"{model.num_parameters()} trainable parameters)"
+        ),
+    )

@@ -1,0 +1,65 @@
+"""In-process MPI-style message passing (the mpi4py stand-in).
+
+Typical SPMD usage::
+
+    from repro import mpi
+
+    def program(comm):
+        if comm.rank == 0:
+            comm.send({"hello": comm.size}, dest=1, tag=7)
+        elif comm.rank == 1:
+            data = comm.recv(source=0, tag=7)
+        return comm.allreduce(comm.rank)
+
+    results = mpi.run_parallel(program, size=4)
+
+The transport is an in-memory router with threads standing in for
+processes; see DESIGN.md for why this preserves the paper's parallel
+behaviour.
+"""
+
+from .api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    LAND,
+    LOR,
+    MAX,
+    MAX_USER_TAG,
+    MIN,
+    PROD,
+    SUM,
+    Communicator,
+    ReduceOp,
+    Request,
+    Status,
+    SubCommunicator,
+    wait_all,
+)
+from .cartesian import CartComm, dims_create
+from .launcher import run_parallel
+from .router import MessageRouter
+from .world import SelfCommunicator, WorldCommunicator
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "ReduceOp",
+    "Status",
+    "Request",
+    "wait_all",
+    "Communicator",
+    "SubCommunicator",
+    "WorldCommunicator",
+    "SelfCommunicator",
+    "MessageRouter",
+    "CartComm",
+    "dims_create",
+    "run_parallel",
+]

@@ -1,0 +1,168 @@
+"""Cartesian process topologies (``MPI_Cart_create`` analogue).
+
+The paper decomposes the square domain into a 2-D grid of subdomains
+and exchanges halo data with the four axis neighbours; :class:`CartComm`
+provides the rank ↔ coordinate mapping and neighbour queries that the
+halo-exchange plans are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..exceptions import CommunicatorError
+from .api import Communicator, Request, Status
+
+
+def dims_create(size: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``size`` into ``ndims`` dimensions, as balanced as possible.
+
+    Mirrors ``MPI_Dims_create``: the returned dims are sorted in
+    non-increasing order and their product equals ``size``.
+    """
+    if size <= 0:
+        raise CommunicatorError(f"size must be positive, got {size}")
+    if ndims <= 0:
+        raise CommunicatorError(f"ndims must be positive, got {ndims}")
+    dims: list[int] = []
+    remaining = size
+    for k in range(ndims, 0, -1):
+        # Pick the divisor of `remaining` closest to the k-th root: this
+        # is provably optimal (minimal spread) for 2-D and a strong
+        # heuristic for higher dimensions.
+        target = remaining ** (1.0 / k)
+        divisors = [d for d in range(1, remaining + 1) if remaining % d == 0]
+        chosen = min(divisors, key=lambda d: abs(d - target))
+        dims.append(chosen)
+        remaining //= chosen
+    return tuple(sorted(dims, reverse=True))
+
+
+class CartComm(Communicator):
+    """A communicator with an attached Cartesian topology.
+
+    Delegates all communication to the parent communicator; rank
+    numbering is row-major over the coordinate grid (C order), matching
+    ``MPI_Cart_create`` with default reordering disabled.
+    """
+
+    def __init__(
+        self,
+        parent: Communicator,
+        dims: Sequence[int],
+        periods: Sequence[bool] | None = None,
+    ) -> None:
+        dims = tuple(int(d) for d in dims)
+        if any(d <= 0 for d in dims):
+            raise CommunicatorError(f"all dims must be positive, got {dims}")
+        total = 1
+        for d in dims:
+            total *= d
+        if total != parent.size:
+            raise CommunicatorError(
+                f"dims {dims} require {total} ranks, world has {parent.size}"
+            )
+        if periods is None:
+            periods = (False,) * len(dims)
+        periods = tuple(bool(p) for p in periods)
+        if len(periods) != len(dims):
+            raise CommunicatorError("periods must have one entry per dimension")
+        self.parent = parent
+        self.dims = dims
+        self.periods = periods
+        self._collective_seq = 0
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.parent.rank
+
+    @property
+    def size(self) -> int:
+        return self.parent.size
+
+    def _send(self, payload: Any, dest: int, tag: int) -> None:
+        self.parent._send(payload, dest, tag)
+
+    def _recv(self, source: int, tag: int, timeout: float | None) -> tuple[Any, Status]:
+        return self.parent._recv(source, tag, timeout)
+
+    def _irecv(self, source: int, tag: int) -> Request:
+        return self.parent._irecv(source, tag)
+
+    def _iprobe(self, source: int, tag: int) -> bool:
+        return self.parent._iprobe(source, tag)
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Coordinates of ``rank`` in the Cartesian grid (row-major)."""
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"rank {rank} out of range")
+        coords = []
+        for dim in reversed(self.dims):
+            coords.append(rank % dim)
+            rank //= dim
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at ``coords``; periodic axes wrap, others must be in range."""
+        if len(coords) != self.ndims:
+            raise CommunicatorError(
+                f"expected {self.ndims} coordinates, got {len(coords)}"
+            )
+        normalized = []
+        for axis, (c, d, per) in enumerate(zip(coords, self.dims, self.periods)):
+            if per:
+                c = c % d
+            elif not 0 <= c < d:
+                raise CommunicatorError(
+                    f"coordinate {c} out of range on non-periodic axis {axis}"
+                )
+            normalized.append(c)
+        rank = 0
+        for c, d in zip(normalized, self.dims):
+            rank = rank * d + c
+        return rank
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's coordinates."""
+        return self.coords_of(self.rank)
+
+    def shift(self, axis: int, displacement: int = 1) -> tuple[int | None, int | None]:
+        """``MPI_Cart_shift``: returns ``(source, dest)`` ranks for a
+        shift along ``axis``; ``None`` marks an off-grid neighbour
+        (``MPI_PROC_NULL`` analogue)."""
+        if not 0 <= axis < self.ndims:
+            raise CommunicatorError(f"axis {axis} out of range")
+        me = list(self.coords)
+
+        def neighbour(offset: int) -> int | None:
+            coords = list(me)
+            coords[axis] += offset
+            try:
+                return self.rank_of(coords)
+            except CommunicatorError:
+                return None
+
+        return neighbour(-displacement), neighbour(+displacement)
+
+    def neighbours(self) -> dict[tuple[int, int], int]:
+        """Map ``(axis, direction)`` → neighbour rank for the existing
+        axis neighbours (direction is -1 or +1)."""
+        result: dict[tuple[int, int], int] = {}
+        for axis in range(self.ndims):
+            lo, hi = self.shift(axis, 1)
+            if lo is not None:
+                result[(axis, -1)] = lo
+            if hi is not None:
+                result[(axis, +1)] = hi
+        return result

@@ -1,0 +1,139 @@
+"""Thread-safe message router shared by the ranks of a world.
+
+One mailbox per destination rank holds ``(source, tag, payload)``
+entries; receives match on ``(source, tag)`` with MPI wildcard
+semantics and are serviced in arrival order per matching pair
+(non-overtaking, as MPI guarantees).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import DeadlockError
+from .api import ANY_SOURCE, ANY_TAG, Status
+
+
+@dataclass
+class _Envelope:
+    source: int
+    tag: int
+    payload: Any
+    seq: int
+
+
+def _isolate(payload: Any) -> Any:
+    """Deep-copy a payload so sender and receiver share no memory.
+
+    NumPy arrays take the fast path (``np.array`` copy); everything else
+    goes through :func:`copy.deepcopy`.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if payload is None or isinstance(payload, (int, float, bool, str, bytes)):
+        return payload
+    return copy.deepcopy(payload)
+
+
+class MessageRouter:
+    """In-memory transport connecting the ranks of one world."""
+
+    def __init__(self, size: int, isolate: bool = True) -> None:
+        self.size = size
+        self.isolate = isolate
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._mailboxes: list[deque[_Envelope]] = [deque() for _ in range(size)]
+        self._seq = 0
+        self._waiting = 0  # ranks currently blocked in recv
+        self._failed: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def post(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        """Deposit a message (buffered send)."""
+        if self.isolate:
+            payload = _isolate(payload)
+        with self._ready:
+            self._seq += 1
+            self._mailboxes[dest].append(_Envelope(source, tag, payload, self._seq))
+            self._ready.notify_all()
+
+    def abort(self, exc: BaseException) -> None:
+        """Poison the world: every blocked and future receive re-raises."""
+        with self._ready:
+            self._failed = exc
+            self._ready.notify_all()
+
+    # ------------------------------------------------------------------
+    def _match(self, dest: int, source: int, tag: int) -> _Envelope | None:
+        box = self._mailboxes[dest]
+        for i, env in enumerate(box):
+            if (source == ANY_SOURCE or env.source == source) and (
+                tag == ANY_TAG or env.tag == tag
+            ):
+                del box[i]
+                return env
+        return None
+
+    def peek(self, dest: int, source: int, tag: int) -> bool:
+        """Whether a matching message is waiting (non-destructive)."""
+        with self._ready:
+            if self._failed is not None:
+                raise DeadlockError(f"world aborted: {self._failed!r}") from self._failed
+            for env in self._mailboxes[dest]:
+                if (source == ANY_SOURCE or env.source == source) and (
+                    tag == ANY_TAG or env.tag == tag
+                ):
+                    return True
+        return False
+
+    def try_collect(self, dest: int, source: int, tag: int) -> tuple[Any, Status] | None:
+        """Non-blocking matching receive; ``None`` when nothing matches."""
+        with self._ready:
+            if self._failed is not None:
+                raise DeadlockError(f"world aborted: {self._failed!r}") from self._failed
+            env = self._match(dest, source, tag)
+        if env is None:
+            return None
+        return env.payload, Status(env.source, env.tag)
+
+    def collect(
+        self, dest: int, source: int, tag: int, timeout: float | None
+    ) -> tuple[Any, Status]:
+        """Blocking matching receive with a deadlock watchdog timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            while True:
+                if self._failed is not None:
+                    raise DeadlockError(
+                        f"world aborted: {self._failed!r}"
+                    ) from self._failed
+                env = self._match(dest, source, tag)
+                if env is not None:
+                    return env.payload, Status(env.source, env.tag)
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {dest} timed out waiting for message "
+                        f"(source={source}, tag={tag}); likely deadlock"
+                    )
+                self._waiting += 1
+                try:
+                    self._ready.wait(remaining)
+                finally:
+                    self._waiting -= 1
+
+    # ------------------------------------------------------------------
+    def pending_count(self, dest: int | None = None) -> int:
+        """Number of undelivered messages (for one rank or the world)."""
+        with self._lock:
+            if dest is None:
+                return sum(len(box) for box in self._mailboxes)
+            return len(self._mailboxes[dest])

@@ -1,0 +1,82 @@
+"""Activation modules wrapping the functional ops.
+
+The paper (Sec. II) motivates leaky ReLU (Eq. 2) with constant
+ε = 0.01 over plain ReLU (Eq. 1), sigmoid and tanh; all four are
+provided so the choice can be ablated.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from ..tensor import Tensor, leaky_relu, relu, sigmoid, tanh
+from .module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit, Eq. (1)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with constant negative slope ε, Eq. (2).
+
+    The paper fixes ε = 0.01 rather than learning it.
+    """
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        if negative_slope < 0:
+            raise ConfigurationError(
+                f"negative_slope must be >= 0, got {negative_slope}"
+            )
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid (suffers from vanishing gradients at large |x|)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return sigmoid(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return tanh(x)
+
+
+class Identity(Module):
+    """Pass-through; useful as a placeholder in ablations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "identity": Identity,
+}
+
+
+def get_activation(name: str, **kwargs) -> Module:
+    """Instantiate an activation by name (``leaky_relu`` accepts
+    ``negative_slope``)."""
+    try:
+        cls = _ACTIVATIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,84 @@
+"""Weight initialization schemes.
+
+Glorot (Xavier) uniform is the default for the paper's CNN; He (Kaiming)
+initialization is provided for ReLU-family stacks, with the leaky-ReLU
+gain correction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def compute_fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of the given shape.
+
+    Linear weights are ``(out, in)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)`` where the receptive-field
+    size multiplies both fans.
+    """
+    if len(shape) < 2:
+        raise ConfigurationError(f"fan computation needs >= 2 dims, got {shape}")
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def leaky_relu_gain(negative_slope: float) -> float:
+    """He et al. gain recommended for leaky-ReLU nonlinearities."""
+    return math.sqrt(2.0 / (1.0 + negative_slope**2))
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initialization."""
+    fan_in, fan_out = compute_fans(shape)
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, shape)
+
+
+def glorot_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) normal initialization."""
+    fan_in, fan_out = compute_fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+    """He et al. (2015) uniform initialization for (leaky-)ReLU stacks."""
+    fan_in, _ = compute_fans(shape)
+    gain = leaky_relu_gain(negative_slope)
+    limit = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-limit, limit, shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+    """He et al. (2015) normal initialization for (leaky-)ReLU stacks."""
+    fan_in, _ = compute_fans(shape)
+    gain = leaky_relu_gain(negative_slope)
+    return rng.normal(0.0, gain / math.sqrt(fan_in), shape)
+
+
+_SCHEMES = {
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Resolve an initializer by name; raises ``ConfigurationError`` for
+    unknown schemes."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; choose from {sorted(_SCHEMES)}"
+        ) from None

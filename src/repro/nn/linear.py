@@ -1,0 +1,45 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tensor import Tensor
+from .init import get_initializer
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over the last input axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "glorot_uniform",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        generator = rng if rng is not None else np.random.default_rng()
+        self.weight = Parameter(
+            get_initializer(init)((out_features, in_features), generator)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Linear({self.in_features}, {self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,107 @@
+"""Loss functions.
+
+The paper trains with the mean absolute percentage error (MAPE, Eq. 7)
+because the four physical channels span different orders of magnitude
+and MSE would over-weight the large-magnitude channel.  MSE, MAE and
+Huber are provided for the loss ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tensor import Tensor, ensure_tensor
+from ..tensor.tensor import Tensor as _T
+from .module import Module
+
+
+class Loss(Module):
+    """Base class: losses map ``(prediction, target)`` to a scalar."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()
+
+
+class MAELoss(Loss):
+    """Mean absolute error (L1)."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+        return (prediction - target).abs().mean()
+
+
+class MAPELoss(Loss):
+    """Mean absolute percentage error, Eq. (7) of the paper.
+
+    .. math::
+        L = \\frac{100\\%}{m} \\sum_k \\left|
+            \\frac{y_{pred} - y_{target}}{y_{target}} \\right|
+
+    Physical perturbation fields cross zero, where the paper's formula
+    is singular; ``epsilon`` clamps the denominator magnitude from
+    below, which is the standard regularization (and reduces to Eq. (7)
+    exactly wherever ``|target| >= epsilon``).
+    """
+
+    def __init__(self, epsilon: float = 1e-8) -> None:
+        super().__init__()
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+        # The denominator is a constant w.r.t. the prediction, so detach
+        # it from the graph: Eq. (7) differentiates only the numerator.
+        denom = _T(np.maximum(np.abs(target.data), self.epsilon))
+        return 100.0 * ((prediction - target).abs() / denom).mean()
+
+
+class HuberLoss(Loss):
+    """Huber loss: quadratic near zero, linear in the tails."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        super().__init__()
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be > 0, got {delta}")
+        self.delta = float(delta)
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+        diff = prediction - target
+        abs_diff = diff.abs()
+        quadratic = 0.5 * diff * diff
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        from ..tensor import where
+
+        return where(abs_diff.data <= self.delta, quadratic, linear).mean()
+
+
+_LOSSES = {
+    "mse": MSELoss,
+    "mae": MAELoss,
+    "mape": MAPELoss,
+    "huber": HuberLoss,
+}
+
+
+def get_loss(name: str, **kwargs) -> Loss:
+    """Instantiate a loss by name (``mape`` accepts ``epsilon``,
+    ``huber`` accepts ``delta``)."""
+    try:
+        cls = _LOSSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown loss {name!r}; choose from {sorted(_LOSSES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,143 @@
+"""Module base class: parameter registration, traversal, state dicts.
+
+Mirrors the subset of the ``torch.nn.Module`` contract that the paper's
+training pipeline needs: named parameter iteration for optimizers,
+recursive submodule discovery, and (de)serializable state dictionaries
+so per-rank networks can be checkpointed and the weight-averaging
+baseline can allreduce parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is automatically registered as trainable."""
+
+    def __init__(self, data, dtype=None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically by
+    :meth:`parameters` / :meth:`named_parameters`.
+    """
+
+    def __init__(self) -> None:
+        # Insertion-ordered registries (dicts preserve order).
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total count of trainable scalar weights."""
+        return sum(p.size for p in self.parameters())
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        """Yield the direct child modules."""
+        yield from self._modules.values()
+
+    # ------------------------------------------------------------------
+    # Train / eval switches
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Recursively set training mode (affects e.g. dropout layers)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradient helpers
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State (de)serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        Raises :class:`~repro.exceptions.ShapeError` on any missing,
+        unexpected, or shape-mismatched entry.
+        """
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise ShapeError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ShapeError(
+                    f"parameter {name!r}: expected shape {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data[...] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [type(self).__name__ + "("]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        lines.append(")")
+        return "\n".join(lines) if self._modules else f"{type(self).__name__}()"

@@ -1,0 +1,133 @@
+"""Convolutional LSTM layers — the paper's future-work extension.
+
+Sec. IV-B: "authors are considering incorporation of more complex
+layers, such as recurrent and LSTM layers. For these layers, the data
+must be fed into the network as time-series."  This module provides a
+ConvLSTM cell (Shi et al., 2015 formulation) built entirely from the
+package's own autodiff ops, so the extension can be evaluated against
+the paper's pure-CNN model (see ``benchmarks/bench_extension_convlstm.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..tensor import Tensor, concatenate, conv2d, sigmoid, tanh
+from .init import get_initializer
+from .module import Module, Parameter
+
+
+class ConvLSTMCell(Module):
+    """One ConvLSTM cell.
+
+    All gates are computed by a single convolution over the
+    channel-concatenated ``[input, hidden]`` tensor:
+
+    .. math::
+        i, f, g, o &= \\mathrm{split}(W * [x, h] + b) \\\\
+        c' &= \\sigma(f) \\odot c + \\sigma(i) \\odot \\tanh(g) \\\\
+        h' &= \\sigma(o) \\odot \\tanh(c')
+
+    Spatial dimensions are preserved ("same" padding), matching the
+    paper's padded CNN layers.
+    """
+
+    def __init__(
+        self,
+        input_channels: int,
+        hidden_channels: int,
+        kernel_size: int = 5,
+        init: str = "glorot_uniform",
+        rng: np.random.Generator | None = None,
+        forget_bias: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if input_channels <= 0 or hidden_channels <= 0:
+            raise ConfigurationError("channel counts must be positive")
+        if kernel_size % 2 == 0:
+            raise ConfigurationError(
+                f"kernel size must be odd for same-padding, got {kernel_size}"
+            )
+        self.input_channels = input_channels
+        self.hidden_channels = hidden_channels
+        self.kernel_size = int(kernel_size)
+        generator = rng if rng is not None else np.random.default_rng()
+        gate_out = 4 * hidden_channels
+        shape = (gate_out, input_channels + hidden_channels, kernel_size, kernel_size)
+        self.weight = Parameter(get_initializer(init)(shape, generator))
+        bias = np.zeros(gate_out)
+        # Standard LSTM trick: bias the forget gate open initially.
+        bias[hidden_channels : 2 * hidden_channels] = forget_bias
+        self.bias = Parameter(bias)
+
+    def initial_state(self, batch: int, height: int, width: int) -> tuple[Tensor, Tensor]:
+        """Zero hidden and cell states for a given spatial extent."""
+        shape = (batch, self.hidden_channels, height, width)
+        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Advance one time step; returns the new ``(hidden, cell)``."""
+        if x.ndim != 4:
+            raise ShapeError(f"ConvLSTMCell input must be (N, C, H, W), got {x.shape}")
+        n, c, height, width = x.shape
+        if c != self.input_channels:
+            raise ShapeError(
+                f"expected {self.input_channels} input channels, got {c}"
+            )
+        if state is None:
+            state = self.initial_state(n, height, width)
+        hidden, cell = state
+        stacked = concatenate([x, hidden], axis=1)
+        gates = conv2d(
+            stacked, self.weight, self.bias, padding=(self.kernel_size - 1) // 2
+        )
+        hc = self.hidden_channels
+        i = sigmoid(gates[:, 0 * hc : 1 * hc])
+        f = sigmoid(gates[:, 1 * hc : 2 * hc])
+        g = tanh(gates[:, 2 * hc : 3 * hc])
+        o = sigmoid(gates[:, 3 * hc : 4 * hc])
+        new_cell = f * cell + i * g
+        new_hidden = o * tanh(new_cell)
+        return new_hidden, new_cell
+
+
+class ConvLSTM(Module):
+    """A ConvLSTM layer unrolled over an input sequence.
+
+    Input shape ``(N, T, C, H, W)``; returns the final hidden state
+    ``(N, hidden_channels, H, W)`` (and optionally the full hidden
+    sequence).
+    """
+
+    def __init__(
+        self,
+        input_channels: int,
+        hidden_channels: int,
+        kernel_size: int = 5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.cell = ConvLSTMCell(
+            input_channels, hidden_channels, kernel_size, rng=rng
+        )
+
+    def forward(
+        self, sequence: Tensor, return_sequence: bool = False
+    ) -> Tensor | list[Tensor]:
+        if sequence.ndim != 5:
+            raise ShapeError(
+                f"ConvLSTM input must be (N, T, C, H, W), got {sequence.shape}"
+            )
+        steps = sequence.shape[1]
+        if steps < 1:
+            raise ShapeError("sequence must contain at least one step")
+        state: tuple[Tensor, Tensor] | None = None
+        hiddens: list[Tensor] = []
+        for t in range(steps):
+            frame = sequence[:, t]
+            state = self.cell(frame, state)
+            hiddens.append(state[0])
+        return hiddens if return_sequence else hiddens[-1]

@@ -1,0 +1,109 @@
+"""Regularization layers: BatchNorm2d and Dropout.
+
+Not used by the paper's Table-I network, but standard equipment a
+downstream user of the framework expects; both respect the
+train/eval switch of :class:`~repro.nn.module.Module`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..tensor import Tensor
+from ..tensor.tensor import Tensor as _T
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over ``(N, C, H, W)`` inputs.
+
+    Normalizes each channel by the batch statistics during training and
+    by running statistics during evaluation; learnable affine
+    parameters follow.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        affine: bool = True,
+    ) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be > 0, got {num_features}")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be > 0, got {eps}")
+        if not 0.0 < momentum <= 1.0:
+            raise ConfigurationError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        else:
+            self.weight = None
+            self.bias = None
+        # Running statistics are buffers, not parameters.
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ShapeError(f"BatchNorm2d expects (N, C, H, W), got {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"expected {self.num_features} channels, got {x.shape[1]}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            # Update running statistics (plain arrays, outside the graph).
+            m = self.momentum
+            self.running_mean = (
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+            )
+            self.running_var = (1 - m) * self.running_var + m * var.data.reshape(-1)
+            normalized = centered / (var + self.eps) ** 0.5
+        else:
+            mean = _T(self.running_mean.reshape(1, -1, 1, 1))
+            var = _T(self.running_var.reshape(1, -1, 1, 1))
+            normalized = (x - mean) / (var + self.eps) ** 0.5
+        if self.weight is not None:
+            scale = self.weight.reshape(1, self.num_features, 1, 1)
+            shift = self.bias.reshape(1, self.num_features, 1, 1)
+            return normalized * scale + shift
+        return normalized
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchNorm2d({self.num_features}, eps={self.eps}, "
+            f"momentum={self.momentum})"
+        )
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode.
+
+    Requires an explicit ``rng`` for reproducible training runs.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * _T(mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dropout(p={self.p})"

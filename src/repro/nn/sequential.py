@@ -1,0 +1,44 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Supports indexing, iteration and ``len`` so callers (e.g. the
+    padding-strategy machinery, which needs per-layer receptive-field
+    accounting) can inspect the chain.
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers: list[Module] = []
+        for index, layer in enumerate(layers):
+            setattr(self, str(index), layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end of the chain."""
+        setattr(self, str(len(self._layers)), layer)
+        self._layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]

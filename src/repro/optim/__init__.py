@@ -1,0 +1,55 @@
+"""Optimizers and learning-rate schedules."""
+
+from ..exceptions import ConfigurationError
+from .adam import Adam
+from .lr_schedule import ConstantLR, CosineAnnealingLR, ExponentialLR, LRSchedule, StepLR
+from .optimizer import Optimizer, clip_grad_norm, global_grad_norm
+from .sgd import SGD
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam}
+
+_SCHEDULES = {
+    "constant": ConstantLR,
+    "step": StepLR,
+    "exponential": ExponentialLR,
+    "cosine": CosineAnnealingLR,
+}
+
+
+def get_optimizer(name: str, params, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name (``'sgd'`` or ``'adam'``)."""
+    try:
+        cls = _OPTIMIZERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls(params, **kwargs)
+
+
+def get_schedule(name: str, optimizer: Optimizer, **kwargs) -> LRSchedule:
+    """Instantiate an LR schedule by name (``constant``, ``step``,
+    ``exponential`` or ``cosine``)."""
+    try:
+        cls = _SCHEDULES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lr schedule {name!r}; choose from {sorted(_SCHEDULES)}"
+        ) from None
+    return cls(optimizer, **kwargs)
+
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "get_optimizer",
+    "get_schedule",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "LRSchedule",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+]

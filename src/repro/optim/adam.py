@@ -1,0 +1,92 @@
+"""The Adam optimizer (Kingma & Ba), Eqs. (3)-(6) of the paper."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tensor import Tensor
+from .optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam: first/second-moment SGD with bias correction.
+
+    Implements exactly the paper's formulation:
+
+    - first moment  (Eq. 3):  ``m_t = ρ₁ m_{t-1} + (1-ρ₁) g``
+    - second moment (Eq. 4):  ``v_t = ρ₂ v_{t-1} + (1-ρ₂) g ⊙ g``
+    - bias correction (Eq. 5): ``m̂ = m_t / (1-ρ₁ᵗ)``, ``v̂ = v_t / (1-ρ₂ᵗ)``
+    - update (Eq. 6): ``W ← W − η m̂ / √(v̂ + ε)``
+
+    Defaults follow the paper: η = 0.01, ε = 1e-8, ρ₁ = 0.9, ρ₂ = 0.999.
+    Note the paper (and this implementation) puts ε *inside* the square
+    root in Eq. (6).
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.01,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        rho1, rho2 = betas
+        if not (0.0 <= rho1 < 1.0 and 0.0 <= rho2 < 1.0):
+            raise ConfigurationError(f"betas must lie in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be > 0, got {eps}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.rho1 = float(rho1)
+        self.rho2 = float(rho2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: list[np.ndarray | None] = [None] * len(self.params)
+        self._v: list[np.ndarray | None] = [None] * len(self.params)
+
+    def _update(self, index: int, param: Tensor) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        m = self._m[index]
+        v = self._v[index]
+        if m is None:
+            # Moments start as zero vectors (paper: m⁰ = v⁰ = 0).
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+            self._m[index] = m
+            self._v[index] = v
+        m *= self.rho1
+        m += (1.0 - self.rho1) * grad
+        v *= self.rho2
+        v += (1.0 - self.rho2) * (grad * grad)
+        t = self.step_count
+        m_hat = m / (1.0 - self.rho1**t)
+        v_hat = v / (1.0 - self.rho2**t)
+        param.data -= self.lr * m_hat / np.sqrt(v_hat + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            rho1=self.rho1,
+            rho2=self.rho2,
+            eps=self.eps,
+            weight_decay=self.weight_decay,
+            m=[None if x is None else x.copy() for x in self._m],
+            v=[None if x is None else x.copy() for x in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.rho1 = float(state["rho1"])
+        self.rho2 = float(state["rho2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._m = [None if x is None else np.array(x) for x in state["m"]]
+        self._v = [None if x is None else np.array(x) for x in state["v"]]

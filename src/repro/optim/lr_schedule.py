@@ -1,0 +1,86 @@
+"""Learning-rate schedules.
+
+Schedules wrap an optimizer and mutate its ``lr`` when ``step()`` is
+called, following the common "call once per epoch" convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+from .optimizer import Optimizer
+
+
+class LRSchedule:
+    """Base class: subclasses define the lr as a function of the epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        new_lr = self.lr_at(self.epoch)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class ConstantLR(LRSchedule):
+    """No-op schedule (paper default)."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ConfigurationError(f"step_size must be > 0, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(LRSchedule):
+    """Multiply the lr by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0 < gamma <= 1:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealingLR(LRSchedule):
+    """Cosine decay from the base lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ConfigurationError(f"total_epochs must be > 0, got {total_epochs}")
+        if min_lr < 0:
+            raise ConfigurationError(f"min_lr must be >= 0, got {min_lr}")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        frac = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * frac)
+        )

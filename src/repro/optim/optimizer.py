@@ -1,0 +1,81 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tensor import Tensor
+
+
+class Optimizer:
+    """Base class for parameter-update rules.
+
+    All optimizers follow the paper's description (Sec. II): starting
+    from an initial estimate ``W^(0)``, they apply
+    ``W^(t+1) <- W^(t) + eta^(t) * s^(t)`` where the search direction
+    ``s`` and step size ``eta`` distinguish the methods.
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params: list[Tensor] = list(params)
+        if not self.params:
+            raise ConfigurationError("optimizer received no parameters")
+        if any(not p.requires_grad for p in self.params):
+            raise ConfigurationError(
+                "all optimized parameters must require gradients"
+            )
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every managed parameter."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the
+        parameters.  Parameters with ``grad is None`` are skipped."""
+        self.step_count += 1
+        for index, param in enumerate(self.params):
+            if param.grad is not None:
+                self._update(index, param)
+
+    def _update(self, index: int, param: Tensor) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (overridden by stateful rules)."""
+        return {"lr": self.lr, "step_count": self.step_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+
+
+def global_grad_norm(params: Sequence[Tensor]) -> float:
+    """L2 norm of the concatenated gradients (``None`` grads count as 0)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad * p.grad))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most
+    ``max_norm``.  Returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be > 0, got {max_norm}")
+    norm = global_grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

@@ -1,0 +1,73 @@
+"""Stochastic gradient descent, optionally with momentum (Eq. 3)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tensor import Tensor
+from .optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Plain SGD or SGD with the paper's momentum rule.
+
+    With ``momentum = ρ₁ > 0`` the update follows Eq. (3):
+
+    .. math::
+        m^{(t)} = ρ_1 m^{(t-1)} + (1 - ρ_1)\\, dL/dW, \\qquad
+        W^{(t+1)} = W^{(t)} - η\\, m^{(t)}
+
+    (the paper folds η into ``m``; we keep it explicit, which is
+    equivalent up to a rescaling of η).
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def _update(self, index: int, param: Tensor) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            vel = self._velocity[index]
+            if vel is None:
+                vel = np.zeros_like(param.data)
+                self._velocity[index] = vel
+            vel *= self.momentum
+            vel += (1.0 - self.momentum) * grad
+            param.data -= self.lr * vel
+        else:
+            param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["weight_decay"] = self.weight_decay
+        state["velocity"] = [
+            None if v is None else v.copy() for v in self._velocity
+        ]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = [
+            None if v is None else np.array(v) for v in state["velocity"]
+        ]

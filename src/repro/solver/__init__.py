@@ -1,0 +1,60 @@
+"""2-D linearized-Euler finite-difference solver (the *Ateles* stand-in).
+
+Quick start::
+
+    from repro import solver
+
+    grid = solver.UniformGrid2D.square(128)
+    sim = solver.Simulation(grid)
+    initial = solver.paper_initial_condition(grid)
+    result = sim.run(initial, num_snapshots=100)
+    result.snapshots.shape  # (100, 4, 128, 128)
+"""
+
+from .boundary import (
+    apply_outflow,
+    apply_periodic,
+    apply_reflecting,
+    get_boundary_condition,
+    make_sponge,
+)
+from .derivatives import ddx, ddy, divergence, laplacian
+from .equations import Background, LinearizedEuler
+from .grid import UniformGrid2D
+from .initial_conditions import (
+    gaussian_pulse,
+    multiple_pulses,
+    paper_initial_condition,
+    plane_wave,
+)
+from .simulation import Simulation, SimulationResult
+from .state import CHANNELS, NUM_CHANNELS, EulerState
+from .time_integrators import euler_step, get_integrator, heun_step, rk4_step
+
+__all__ = [
+    "UniformGrid2D",
+    "EulerState",
+    "CHANNELS",
+    "NUM_CHANNELS",
+    "Background",
+    "LinearizedEuler",
+    "Simulation",
+    "SimulationResult",
+    "gaussian_pulse",
+    "paper_initial_condition",
+    "plane_wave",
+    "multiple_pulses",
+    "apply_outflow",
+    "apply_periodic",
+    "apply_reflecting",
+    "get_boundary_condition",
+    "make_sponge",
+    "ddx",
+    "ddy",
+    "divergence",
+    "laplacian",
+    "euler_step",
+    "heun_step",
+    "rk4_step",
+    "get_integrator",
+]

@@ -1,0 +1,118 @@
+"""Boundary conditions.
+
+The paper (Sec. IV-A) prescribes *outflow* boundaries on all four walls:
+the pressure perturbation is set to zero while density and velocity get
+homogeneous Neumann conditions.  Periodic and reflecting walls are
+provided for the solver's own verification tests (energy conservation,
+pulse wrap-around).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .state import EulerState
+
+
+def apply_outflow(state: EulerState) -> EulerState:
+    """Paper outflow: ``p' = 0`` on the wall, zero normal gradient for
+    ``rho'``, ``u'``, ``v'`` (values copied from the first interior
+    line).  Applied in place, returns the state."""
+    state.p[0, :] = 0.0
+    state.p[-1, :] = 0.0
+    state.p[:, 0] = 0.0
+    state.p[:, -1] = 0.0
+    for field in (state.rho, state.u, state.v):
+        field[0, :] = field[1, :]
+        field[-1, :] = field[-2, :]
+        field[:, 0] = field[:, 1]
+        field[:, -1] = field[:, -2]
+    return state
+
+
+def apply_reflecting(state: EulerState) -> EulerState:
+    """Rigid walls: zero normal velocity, zero normal gradient of
+    ``p'`` and ``rho'``.  Conserves acoustic energy (up to scheme
+    dissipation), which the verification tests rely on."""
+    state.u[:, 0] = 0.0
+    state.u[:, -1] = 0.0
+    state.v[0, :] = 0.0
+    state.v[-1, :] = 0.0
+    for field in (state.p, state.rho):
+        field[0, :] = field[1, :]
+        field[-1, :] = field[-2, :]
+        field[:, 0] = field[:, 1]
+        field[:, -1] = field[:, -2]
+    # Tangential velocity: free slip (zero normal gradient).
+    state.u[0, :] = state.u[1, :]
+    state.u[-1, :] = state.u[-2, :]
+    state.v[:, 0] = state.v[:, 1]
+    state.v[:, -1] = state.v[:, -2]
+    return state
+
+
+def apply_periodic(state: EulerState) -> EulerState:
+    """Wrap-around walls: each edge copies the opposite interior line.
+
+    On a node-centred grid the first and last nodes represent the same
+    physical point, so edge nodes mirror the opposite side's first
+    interior node."""
+    for field in (state.p, state.rho, state.u, state.v):
+        field[0, :] = field[-2, :]
+        field[-1, :] = field[1, :]
+        field[:, 0] = field[:, -2]
+        field[:, -1] = field[:, 1]
+    return state
+
+
+def make_sponge(width: int = 8, strength: float = 0.05) -> "BoundaryCondition":
+    """Absorbing sponge layer (an *extension* beyond the paper's BC).
+
+    The paper's outflow condition (``p' = 0`` on the wall) is a
+    pressure-release surface: it reflects the pulse with inverted sign
+    instead of letting it leave.  The sponge damps all perturbation
+    fields inside a boundary band of ``width`` cells with a smoothly
+    increasing coefficient, absorbing outgoing waves; the paper outflow
+    condition is applied at the wall itself.
+    """
+    if width < 1:
+        raise ConfigurationError(f"sponge width must be >= 1, got {width}")
+    if not 0.0 < strength < 1.0:
+        raise ConfigurationError(f"sponge strength must be in (0, 1), got {strength}")
+
+    def apply_sponge(state: EulerState) -> EulerState:
+        ny, nx = state.p.shape
+        band = min(width, ny // 2, nx // 2)
+        y = np.arange(ny)
+        x = np.arange(nx)
+        dist = np.minimum.outer(np.minimum(y, ny - 1 - y), np.minimum(x, nx - 1 - x))
+        ramp = np.clip((band - dist) / band, 0.0, 1.0)
+        damping = 1.0 - strength * ramp**2
+        for field in (state.p, state.rho, state.u, state.v):
+            field *= damping
+        return apply_outflow(state)
+
+    return apply_sponge
+
+
+BoundaryCondition = Callable[[EulerState], EulerState]
+
+_BOUNDARIES: dict[str, BoundaryCondition] = {
+    "outflow": apply_outflow,
+    "reflecting": apply_reflecting,
+    "periodic": apply_periodic,
+    "sponge": make_sponge(),
+}
+
+
+def get_boundary_condition(name: str) -> BoundaryCondition:
+    """Resolve a boundary condition by name."""
+    try:
+        return _BOUNDARIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown boundary condition {name!r}; choose from {sorted(_BOUNDARIES)}"
+        ) from None

@@ -1,0 +1,95 @@
+"""Uniform Cartesian grids for the 2-D solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SolverError
+
+
+@dataclass(frozen=True)
+class UniformGrid2D:
+    """A uniform node-centred grid over a rectangle.
+
+    Axis convention: arrays are indexed ``[y, x]`` (row-major), matching
+    image layout of the CNN tensors ``(channel, H, W)``.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of grid points along x and y (paper: 256 × 256).
+    x_min, x_max, y_min, y_max:
+        Physical extent.  The paper centres its square domain on the
+        origin; the default is the unit-ish square ``[-1, 1]²`` metres.
+    """
+
+    nx: int
+    ny: int
+    x_min: float = -1.0
+    x_max: float = 1.0
+    y_min: float = -1.0
+    y_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise SolverError(
+                f"grid must be at least 3x3 for the stencils, got {self.nx}x{self.ny}"
+            )
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise SolverError("grid extent must be positive along both axes")
+
+    @classmethod
+    def square(cls, n: int, half_extent: float = 1.0) -> "UniformGrid2D":
+        """Square ``n × n`` grid on ``[-half_extent, half_extent]²``."""
+        return cls(n, n, -half_extent, half_extent, -half_extent, half_extent)
+
+    @property
+    def dx(self) -> float:
+        """Grid spacing along x."""
+        return (self.x_max - self.x_min) / (self.nx - 1)
+
+    @property
+    def dy(self) -> float:
+        """Grid spacing along y."""
+        return (self.y_max - self.y_min) / (self.ny - 1)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Array shape ``(ny, nx)``."""
+        return (self.ny, self.nx)
+
+    @property
+    def num_points(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def x(self) -> np.ndarray:
+        """1-D x coordinates (length ``nx``)."""
+        return np.linspace(self.x_min, self.x_max, self.nx)
+
+    @property
+    def y(self) -> np.ndarray:
+        """1-D y coordinates (length ``ny``)."""
+        return np.linspace(self.y_min, self.y_max, self.ny)
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """2-D coordinate arrays ``(X, Y)`` of shape ``(ny, nx)``."""
+        return np.meshgrid(self.x, self.y)
+
+    def subgrid(self, y_slice: slice, x_slice: slice) -> "UniformGrid2D":
+        """The grid restricted to an index box (used by the domain
+        decomposition to give each subdomain its physical extent)."""
+        ys = self.y[y_slice]
+        xs = self.x[x_slice]
+        if len(xs) < 3 or len(ys) < 3:
+            raise SolverError("subgrid too small (needs >= 3 points per axis)")
+        return UniformGrid2D(
+            nx=len(xs),
+            ny=len(ys),
+            x_min=float(xs[0]),
+            x_max=float(xs[-1]),
+            y_min=float(ys[0]),
+            y_max=float(ys[-1]),
+        )

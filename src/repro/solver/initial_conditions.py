@@ -1,0 +1,120 @@
+"""Initial conditions for the linearized Euler solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SolverError
+from .equations import Background
+from .grid import UniformGrid2D
+from .state import EulerState
+
+
+def gaussian_pulse(
+    grid: UniformGrid2D,
+    amplitude: float | None = None,
+    half_width: float = 0.3,
+    center: tuple[float, float] = (0.0, 0.0),
+    background: Background | None = None,
+    isentropic: bool = True,
+) -> EulerState:
+    """Gaussian pressure pulse (Sec. IV-A of the paper).
+
+    The pressure perturbation is
+
+    .. math:: p'(x, y) = A \\exp(-\\ln 2\\, r^2 / h^2)
+
+    where ``h`` is the *half width at half maximum* (paper: 0.3 m) and
+    ``A`` the amplitude (paper: 0.5 of the 1-bar background, i.e.
+    0.5e5 Pa in SI).  The fluid starts at rest with zero density
+    perturbation as prescribed by the paper; with ``isentropic=True``
+    the density perturbation is instead initialized to the acoustic
+    relation ``rho' = p' / c²`` (useful for clean single-mode tests).
+
+    The paper sets the *density* perturbation to zero initially, so the
+    default is ``isentropic=True`` only for test convenience turned
+    **off**; pass ``isentropic=False`` explicitly for the paper setup.
+    """
+    bg = background if background is not None else Background()
+    if amplitude is None:
+        # Paper: amplitude 0.5 in units of the 1-bar background.
+        amplitude = 0.5 * bg.p_c
+    if amplitude == 0:
+        raise SolverError("pulse amplitude must be nonzero")
+    if half_width <= 0:
+        raise SolverError(f"half_width must be positive, got {half_width}")
+    X, Y = grid.meshgrid()
+    cx, cy = center
+    r2 = (X - cx) ** 2 + (Y - cy) ** 2
+    p = amplitude * np.exp(-np.log(2.0) * r2 / half_width**2)
+    state = EulerState.zeros(grid.shape)
+    state.p[...] = p
+    if isentropic:
+        state.rho[...] = p / bg.sound_speed**2
+    return state
+
+
+def paper_initial_condition(grid: UniformGrid2D, background: Background | None = None) -> EulerState:
+    """Exactly the paper's Sec. IV-A setup: Gaussian pressure pulse of
+    amplitude 0.5 bar and half width 0.3 m centred at the origin; fluid
+    at rest; zero initial density perturbation."""
+    return gaussian_pulse(
+        grid,
+        amplitude=None,  # 0.5 x background pressure, per the paper
+        half_width=0.3,
+        center=(0.0, 0.0),
+        background=background,
+        isentropic=False,
+    )
+
+
+def plane_wave(
+    grid: UniformGrid2D,
+    amplitude: float = 1.0,
+    wavenumber: tuple[int, int] = (1, 0),
+    background: Background | None = None,
+) -> EulerState:
+    """Right-travelling acoustic plane wave (an exact eigenmode on a
+    periodic domain — used to verify the solver's dispersion error).
+
+    For a mode with unit direction ``n`` the acoustic relations are
+    ``u' = n p' / (rho_c c)`` and ``rho' = p' / c²``.
+    """
+    bg = background if background is not None else Background()
+    kx, ky = wavenumber
+    if kx == 0 and ky == 0:
+        raise SolverError("plane wave needs a nonzero wavenumber")
+    X, Y = grid.meshgrid()
+    lx = grid.x_max - grid.x_min
+    ly = grid.y_max - grid.y_min
+    phase = 2.0 * np.pi * (kx * (X - grid.x_min) / lx + ky * (Y - grid.y_min) / ly)
+    p = amplitude * np.sin(phase)
+    knorm = np.hypot(kx / lx, ky / ly)
+    nx = (kx / lx) / knorm
+    ny = (ky / ly) / knorm
+    c = bg.sound_speed
+    state = EulerState.zeros(grid.shape)
+    state.p[...] = p
+    state.rho[...] = p / c**2
+    state.u[...] = nx * p / (bg.rho_c * c)
+    state.v[...] = ny * p / (bg.rho_c * c)
+    return state
+
+
+def multiple_pulses(
+    grid: UniformGrid2D,
+    centers: list[tuple[float, float]],
+    amplitude: float | None = None,
+    half_width: float = 0.3,
+    background: Background | None = None,
+) -> EulerState:
+    """Superposition of Gaussian pulses (for richer training sets)."""
+    if not centers:
+        raise SolverError("multiple_pulses needs at least one center")
+    state = EulerState.zeros(grid.shape)
+    for center in centers:
+        pulse = gaussian_pulse(
+            grid, amplitude, half_width, center, background, isentropic=False
+        )
+        state.p += pulse.p
+    return state

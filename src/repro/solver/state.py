@@ -1,0 +1,109 @@
+"""Solution state of the linearized Euler equations.
+
+The state holds the four perturbation fields on a grid; the channel
+order ``(p, rho, u, v)`` matches the paper's Fig. 3 ordering and is the
+channel layout of all CNN tensors in the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+#: Canonical channel order used everywhere in the package.
+CHANNELS: tuple[str, ...] = ("p", "rho", "u", "v")
+NUM_CHANNELS: int = len(CHANNELS)
+
+
+@dataclass
+class EulerState:
+    """Perturbation fields ``p'``, ``rho'``, ``u'``, ``v'`` on a grid.
+
+    All arrays have shape ``(ny, nx)`` and share a dtype.  The class
+    supports the vector-space operations the Runge-Kutta integrators
+    need (addition, scalar multiplication).
+    """
+
+    p: np.ndarray
+    rho: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = self.p.shape
+        for name in ("rho", "u", "v"):
+            if getattr(self, name).shape != shape:
+                raise ShapeError(
+                    f"field {name!r} shape {getattr(self, name).shape} "
+                    f"differs from p shape {shape}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors / converters
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape: tuple[int, int], dtype=np.float64) -> "EulerState":
+        """All-quiescent state."""
+        return cls(*(np.zeros(shape, dtype=dtype) for _ in CHANNELS))
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "EulerState":
+        """Build a state from a ``(4, ny, nx)`` channel-stacked array."""
+        if array.ndim != 3 or array.shape[0] != NUM_CHANNELS:
+            raise ShapeError(
+                f"expected array of shape (4, ny, nx), got {array.shape}"
+            )
+        return cls(*(array[i].copy() for i in range(NUM_CHANNELS)))
+
+    def to_array(self) -> np.ndarray:
+        """Stack the fields into a ``(4, ny, nx)`` array (p, rho, u, v)."""
+        return np.stack([self.p, self.rho, self.u, self.v])
+
+    def copy(self) -> "EulerState":
+        return EulerState(self.p.copy(), self.rho.copy(), self.u.copy(), self.v.copy())
+
+    # ------------------------------------------------------------------
+    # Vector-space operations for time integrators
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.p.shape
+
+    def __add__(self, other: "EulerState") -> "EulerState":
+        return EulerState(
+            self.p + other.p, self.rho + other.rho, self.u + other.u, self.v + other.v
+        )
+
+    def __mul__(self, scalar: float) -> "EulerState":
+        return EulerState(
+            self.p * scalar, self.rho * scalar, self.u * scalar, self.v * scalar
+        )
+
+    __rmul__ = __mul__
+
+    def axpy(self, alpha: float, other: "EulerState") -> "EulerState":
+        """In-place ``self += alpha * other`` (returns ``self``)."""
+        self.p += alpha * other.p
+        self.rho += alpha * other.rho
+        self.u += alpha * other.u
+        self.v += alpha * other.v
+        return self
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def max_abs(self) -> float:
+        """Largest magnitude over all fields (stability indicator)."""
+        return max(
+            float(np.max(np.abs(field))) for field in (self.p, self.rho, self.u, self.v)
+        )
+
+    def is_finite(self) -> bool:
+        """Whether every field is free of NaN/Inf."""
+        return all(
+            bool(np.all(np.isfinite(field)))
+            for field in (self.p, self.rho, self.u, self.v)
+        )

@@ -1,0 +1,58 @@
+"""Explicit time integrators for the method-of-lines system.
+
+Integrators advance an :class:`~repro.solver.state.EulerState` given a
+right-hand-side callable; boundary conditions are applied by the caller
+(the :class:`~repro.solver.simulation.Simulation` driver) after each
+full step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+from .state import EulerState
+
+RHSFn = Callable[[EulerState], EulerState]
+
+
+def euler_step(state: EulerState, rhs: RHSFn, dt: float) -> EulerState:
+    """Forward Euler (first order).  Unconditionally unstable for pure
+    central advection — provided for demonstration/ablation only."""
+    return state + dt * rhs(state)
+
+
+def heun_step(state: EulerState, rhs: RHSFn, dt: float) -> EulerState:
+    """Heun / RK2 (second order)."""
+    k1 = rhs(state)
+    k2 = rhs(state + dt * k1)
+    return state + (0.5 * dt) * (k1 + k2)
+
+
+def rk4_step(state: EulerState, rhs: RHSFn, dt: float) -> EulerState:
+    """Classic fourth-order Runge-Kutta (the production integrator)."""
+    k1 = rhs(state)
+    k2 = rhs(state + (0.5 * dt) * k1)
+    k3 = rhs(state + (0.5 * dt) * k2)
+    k4 = rhs(state + dt * k3)
+    return state + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+Integrator = Callable[[EulerState, RHSFn, float], EulerState]
+
+_INTEGRATORS: dict[str, Integrator] = {
+    "euler": euler_step,
+    "heun": heun_step,
+    "rk2": heun_step,
+    "rk4": rk4_step,
+}
+
+
+def get_integrator(name: str) -> Integrator:
+    """Resolve an integrator by name (``euler``, ``heun``/``rk2``, ``rk4``)."""
+    try:
+        return _INTEGRATORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown integrator {name!r}; choose from {sorted(_INTEGRATORS)}"
+        ) from None

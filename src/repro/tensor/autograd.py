@@ -1,0 +1,186 @@
+"""Reverse-mode automatic differentiation engine.
+
+The engine is deliberately small: tensors form a DAG through the
+``_parents`` / ``_backward`` attributes set by each differentiable
+operation (see the ``ops_*`` modules).  :func:`backward_pass` performs a
+topological sort of the DAG rooted at the output tensor and invokes each
+node's backward closure exactly once, accumulating gradients into every
+leaf tensor with ``requires_grad=True``.
+
+Gradient recording can be suspended with :func:`no_grad`, which is the
+mechanism used by the training loops for the forward-only inference path
+(the hot path of the paper's parallel rollout).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..exceptions import AutogradError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .tensor import Tensor
+
+# Thread-local so the thread-backed MPI ranks can toggle grad mode
+# independently (each rank runs its own training loop in its own thread).
+_STATE = threading.local()
+
+
+def grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return getattr(_STATE, "enabled", True)
+
+
+def _set_grad_enabled(value: bool) -> None:
+    _STATE.enabled = value
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording.
+
+    Inside the ``with`` block, operations produce plain result tensors
+    with no parents, so no backward graph is built and no intermediate
+    buffers are retained.  Nesting is supported.
+    """
+    previous = grad_enabled()
+    _set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(previous)
+
+
+@contextlib.contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables graph recording inside ``no_grad``."""
+    previous = grad_enabled()
+    _set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(previous)
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcast.
+
+    NumPy broadcasting may have expanded an operand of shape ``shape`` to
+    the gradient's shape; the adjoint of broadcasting is summation over
+    the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def topological_order(root: "Tensor") -> list["Tensor"]:
+    """Return the tensors reachable from ``root`` in reverse-usable order.
+
+    The returned list ends with ``root``; iterating it in reverse visits
+    every node after all of its consumers, which is the order required
+    for reverse-mode accumulation.  Implemented iteratively so very deep
+    graphs (long rollouts, deep unrolled loops) do not hit the Python
+    recursion limit.
+    """
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    # Each stack entry is (tensor, parents_pushed_flag).
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def backward_pass(root: "Tensor", seed: np.ndarray | None = None) -> None:
+    """Run reverse-mode differentiation from ``root``.
+
+    Parameters
+    ----------
+    root:
+        The tensor to differentiate.  Must require gradients.
+    seed:
+        The gradient of some downstream scalar with respect to ``root``.
+        Defaults to ones, which is only permitted for scalar roots (the
+        usual ``loss.backward()`` case).
+    """
+    if not root.requires_grad:
+        raise AutogradError(
+            "backward() called on a tensor that does not require gradients"
+        )
+    if seed is None:
+        if root.data.size != 1:
+            raise AutogradError(
+                "backward() without an explicit gradient requires a scalar "
+                f"tensor, got shape {root.data.shape}"
+            )
+        seed = np.ones_like(root.data)
+    else:
+        seed = np.asarray(seed, dtype=root.data.dtype)
+        if seed.shape != root.data.shape:
+            raise AutogradError(
+                f"seed gradient shape {seed.shape} does not match tensor "
+                f"shape {root.data.shape}"
+            )
+
+    order = topological_order(root)
+    # Gradient accumulation buffers keyed by tensor identity.  Gradients
+    # of interior nodes are dropped as soon as their backward closure has
+    # consumed them, keeping peak memory proportional to the graph
+    # frontier rather than the whole graph.
+    #
+    # Buffers handed to us by op backward closures may alias each other
+    # (e.g. `add` returns the incoming gradient for both parents), so we
+    # only mutate a buffer in place after we have created it ourselves;
+    # `owned` tracks which entries are engine-allocated.
+    grads: dict[int, np.ndarray] = {id(root): seed}
+    owned: set[int] = set()
+    for node in reversed(order):
+        grad = grads.pop(id(node), None)
+        owned.discard(id(node))
+        if grad is None:
+            continue
+        if node._retains_grad:
+            if node.grad is None:
+                node.grad = grad.copy()
+            else:
+                node.grad = node.grad + grad
+        backward = node._backward
+        if backward is None:
+            continue
+        parent_grads = backward(grad)
+        for parent, pgrad in zip(node._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            existing = grads.get(key)
+            if existing is None:
+                grads[key] = pgrad
+            elif key in owned and existing is not pgrad:
+                # Safe to accumulate in place: we allocated this buffer.
+                existing += pgrad
+            else:
+                grads[key] = existing + pgrad
+                owned.add(key)

@@ -1,0 +1,146 @@
+"""Differentiable 2-D convolution and transposed convolution.
+
+The forward convolution is im2col + one GEMM; the backward pass reuses
+the cached patch matrix for the weight gradient (another GEMM) and
+:func:`~repro.tensor.im2col.col2im` for the input gradient.  The
+transposed convolution is implemented as the exact adjoint of the
+convolution, which is what the paper's "de-convolutional layer"
+alternative (Sec. III, option 4) requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .im2col import col2im, im2col
+from .tensor import Tensor, ensure_tensor, register_op
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        return (int(value[0]), int(value[1]))
+    return (int(value), int(value))
+
+
+@register_op("conv2d")
+def conv2d(
+    x: Any,
+    weight: Any,
+    bias: Any | None = None,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
+    """2-D cross-correlation of ``x`` (N, C, H, W) with ``weight``
+    (F, C, kh, kw), optional per-filter ``bias`` (F,).
+
+    ``padding`` is symmetric zero padding; neighbour-data padding (the
+    paper's preferred strategy) is applied by the caller before invoking
+    this op with ``padding=0``.
+    """
+    tx, tw = ensure_tensor(x), ensure_tensor(weight)
+    tb = ensure_tensor(bias) if bias is not None else None
+    stride = _pair(stride)
+    padding = _pair(padding)
+
+    if tx.ndim != 4:
+        raise ShapeError(f"conv2d input must be (N, C, H, W), got {tx.shape}")
+    if tw.ndim != 4:
+        raise ShapeError(f"conv2d weight must be (F, C, kh, kw), got {tw.shape}")
+    n, c, h, w = tx.shape
+    f, wc, kh, kw = tw.shape
+    if wc != c:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {c} channels, weight expects {wc}"
+        )
+    if tb is not None and tb.shape != (f,):
+        raise ShapeError(f"conv2d bias must have shape ({f},), got {tb.shape}")
+
+    cols, (oh, ow) = im2col(tx.data, (kh, kw), stride, padding)
+    wmat = tw.data.reshape(f, c * kh * kw)
+    out = cols @ wmat.T  # (N*OH*OW, F)
+    if tb is not None:
+        out += tb.data
+    out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+    parents = (tx, tw) if tb is None else (tx, tw, tb)
+
+    def backward(grad: np.ndarray):
+        # grad: (N, F, OH, OW) -> (N*OH*OW, F)
+        gmat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, f)
+        grad_w = (gmat.T @ cols).reshape(f, c, kh, kw) if tw.requires_grad else None
+        grad_x = None
+        if tx.requires_grad:
+            gcols = gmat @ wmat  # (N*OH*OW, C*kh*kw)
+            grad_x = col2im(gcols, (n, c, h, w), (kh, kw), stride, padding)
+        if tb is None:
+            return grad_x, grad_w
+        grad_b = gmat.sum(axis=0) if tb.requires_grad else None
+        return grad_x, grad_w, grad_b
+
+    return Tensor.from_op(out, parents, backward, "conv2d")
+
+
+@register_op("conv_transpose2d")
+def conv_transpose2d(
+    x: Any,
+    weight: Any,
+    bias: Any | None = None,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
+    """Transposed 2-D convolution (adjoint of :func:`conv2d`).
+
+    ``weight`` has shape ``(C_in, C_out, kh, kw)`` (PyTorch convention).
+    The output spatial size is ``(H - 1) * stride - 2 * padding + k``.
+    """
+    tx, tw = ensure_tensor(x), ensure_tensor(weight)
+    tb = ensure_tensor(bias) if bias is not None else None
+    stride = _pair(stride)
+    padding = _pair(padding)
+
+    if tx.ndim != 4:
+        raise ShapeError(f"conv_transpose2d input must be (N, C, H, W), got {tx.shape}")
+    n, c, h, w = tx.shape
+    wc, f, kh, kw = tw.shape
+    if wc != c:
+        raise ShapeError(
+            f"conv_transpose2d channel mismatch: input {c}, weight expects {wc}"
+        )
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h - 1) * sh - 2 * ph + kh
+    ow = (w - 1) * sw - 2 * pw + kw
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(f"conv_transpose2d output size ({oh}, {ow}) <= 0")
+    if tb is not None and tb.shape != (f,):
+        raise ShapeError(f"conv_transpose2d bias must have shape ({f},), got {tb.shape}")
+
+    # Forward of the transpose-conv == input-gradient of a conv whose
+    # input has shape (n, f, oh, ow): scatter rows of x @ W into the
+    # output image with col2im.
+    wmat = tw.data.reshape(c, f * kh * kw)
+    xmat = tx.data.transpose(0, 2, 3, 1).reshape(n * h * w, c)
+    cols = xmat @ wmat  # (N*H*W, F*kh*kw)
+    out = col2im(cols, (n, f, oh, ow), (kh, kw), stride, padding)
+    if tb is not None:
+        out = out + tb.data[None, :, None, None]
+
+    parents = (tx, tw) if tb is None else (tx, tw, tb)
+
+    def backward(grad: np.ndarray):
+        # Adjoint of col2im is im2col of the gradient image.
+        gcols, _ = im2col(grad, (kh, kw), stride, padding)  # (N*H*W, F*kh*kw)
+        grad_x = None
+        if tx.requires_grad:
+            gx = gcols @ wmat.T  # (N*H*W, C)
+            grad_x = gx.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+        grad_w = (xmat.T @ gcols).reshape(c, f, kh, kw) if tw.requires_grad else None
+        if tb is None:
+            return grad_x, grad_w
+        grad_b = grad.sum(axis=(0, 2, 3)) if tb.requires_grad else None
+        return grad_x, grad_w, grad_b
+
+    return Tensor.from_op(out, parents, backward, "conv_transpose2d")

@@ -1,0 +1,62 @@
+"""Matrix multiplication with batched-operand support."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .autograd import unbroadcast
+from .tensor import Tensor, ensure_tensor, register_op
+
+
+def _swap_last(a: np.ndarray) -> np.ndarray:
+    """Transpose the last two axes (1-d arrays are returned unchanged)."""
+    if a.ndim < 2:
+        return a
+    return np.swapaxes(a, -1, -2)
+
+
+@register_op("matmul")
+def matmul(a: Any, b: Any) -> Tensor:
+    """``a @ b`` following NumPy matmul semantics, including batching and
+    1-d vector promotion."""
+    ta, tb = ensure_tensor(a), ensure_tensor(b)
+    out = ta.data @ tb.data
+
+    a_vec = ta.ndim == 1
+    b_vec = tb.ndim == 1
+
+    def backward(grad: np.ndarray):
+        g = grad
+        # Undo the vector-promotion conventions of matmul: promote the
+        # gradient back to matrix form, differentiate, then squeeze.
+        ad, bd = ta.data, tb.data
+        if a_vec and b_vec:
+            # inner product: grad is scalar
+            return (g * bd, g * ad)
+        if a_vec:
+            # (k,) @ (..., k, n) -> (..., n); treat a as (1, k)
+            g2 = np.expand_dims(g, -2)
+            ga = (g2 @ _swap_last(bd)).reshape(bd.shape[:-2] + (1, ad.shape[0]))
+            ga = ga.sum(axis=tuple(range(ga.ndim - 2))) if ga.ndim > 2 else ga
+            gb = _swap_last(np.expand_dims(ad, -1) @ np.expand_dims(g, -2))
+            gb = _swap_last(gb)
+            return (
+                unbroadcast(ga.reshape(-1, ad.shape[0]).sum(axis=0), ta.shape),
+                unbroadcast(gb, tb.shape),
+            )
+        if b_vec:
+            # (..., m, k) @ (k,) -> (..., m); treat b as (k, 1)
+            g2 = np.expand_dims(g, -1)
+            ga = g2 @ np.expand_dims(bd, 0)
+            gb = _swap_last(ad) @ g2
+            gb = gb.reshape(gb.shape[:-1])
+            if gb.ndim > 1:
+                gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
+            return (unbroadcast(ga, ta.shape), unbroadcast(gb, tb.shape))
+        ga = g @ _swap_last(bd)
+        gb = _swap_last(ad) @ g
+        return (unbroadcast(ga, ta.shape), unbroadcast(gb, tb.shape))
+
+    return Tensor.from_op(out, (ta, tb), backward, "matmul")

@@ -1,0 +1,90 @@
+"""Reduction operations (sum, mean, max, min) with axis/keepdims support."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor, register_op
+
+Axis = int | tuple[int, ...] | None
+
+
+def _normalize_axes(axis: Axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_reduced(grad: np.ndarray, shape: tuple[int, ...], axes: tuple[int, ...], keepdims: bool) -> np.ndarray:
+    """Reinsert reduced axes (as size-1) so ``grad`` broadcasts to ``shape``."""
+    if not keepdims:
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return grad
+
+
+@register_op("sum")
+def tensor_sum(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all axes by default)."""
+    ta = ensure_tensor(a)
+    axes = _normalize_axes(axis, ta.ndim)
+    out = ta.data.sum(axis=axes or None, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = _expand_reduced(grad, ta.shape, axes, keepdims)
+        return (np.broadcast_to(g, ta.shape).copy(),)
+
+    return Tensor.from_op(np.asarray(out), (ta,), backward, "sum")
+
+
+@register_op("mean")
+def tensor_mean(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis``."""
+    ta = ensure_tensor(a)
+    axes = _normalize_axes(axis, ta.ndim)
+    count = 1
+    for ax in axes:
+        count *= ta.shape[ax]
+    out = ta.data.mean(axis=axes or None, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = _expand_reduced(grad, ta.shape, axes, keepdims)
+        return (np.broadcast_to(g, ta.shape) / count,)
+
+    return Tensor.from_op(np.asarray(out), (ta,), backward, "mean")
+
+
+def _extremum(a: Any, axis: Axis, keepdims: bool, kind: str) -> Tensor:
+    ta = ensure_tensor(a)
+    axes = _normalize_axes(axis, ta.ndim)
+    reducer = np.max if kind == "max" else np.min
+    out = reducer(ta.data, axis=axes or None, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = _expand_reduced(grad, ta.shape, axes, keepdims)
+        out_full = _expand_reduced(
+            np.asarray(out) if keepdims else np.asarray(out), ta.shape, axes, keepdims
+        )
+        mask = ta.data == np.broadcast_to(out_full, ta.shape)
+        # Split gradient evenly among ties, matching the convention of
+        # most frameworks and keeping the op's adjoint well-defined.
+        counts = mask.sum(axis=axes or None, keepdims=True)
+        return (np.broadcast_to(g, ta.shape) * mask / counts,)
+
+    return Tensor.from_op(np.asarray(out), (ta,), backward, kind)
+
+
+@register_op("max")
+def tensor_max(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Maximum over ``axis``; gradient shared equally among ties."""
+    return _extremum(a, axis, keepdims, "max")
+
+
+@register_op("min")
+def tensor_min(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Minimum over ``axis``; gradient shared equally among ties."""
+    return _extremum(a, axis, keepdims, "min")

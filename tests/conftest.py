@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, seeded generator per test."""
+    return np.random.default_rng(1234)
+
+
+def numeric_gradient(fn, arrays: list[np.ndarray], eps: float = 1e-6) -> list[np.ndarray]:
+    """Central finite-difference gradient of ``sum(fn(*arrays))``."""
+    grads = []
+    for target_index, target in enumerate(arrays):
+        grad = np.zeros_like(target)
+        flat = target.reshape(-1)
+        gflat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*[Tensor(a) for a in arrays]).sum().item())
+            flat[i] = original - eps
+            minus = float(fn(*[Tensor(a) for a in arrays]).sum().item())
+            flat[i] = original
+            gflat[i] = (plus - minus) / (2.0 * eps)
+        grads.append(grad)
+    return grads
+
+
+def assert_gradcheck(fn, *arrays: np.ndarray, eps: float = 1e-6, tol: float = 1e-5) -> None:
+    """Assert the autodiff gradient of ``sum(fn(...))`` matches finite
+    differences for every input."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.sum().backward()
+    numeric = numeric_gradient(fn, list(arrays), eps=eps)
+    for tensor, expected in zip(tensors, numeric):
+        assert tensor.grad is not None, "gradient was not populated"
+        scale = np.max(np.abs(expected)) + 1.0
+        error = np.max(np.abs(tensor.grad - expected)) / scale
+        assert error < tol, f"gradcheck failed: max rel error {error:.3e}"

@@ -1,0 +1,68 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNNConfig,
+    PaddingStrategy,
+    ParallelPredictor,
+    ParallelTrainer,
+    TrainingConfig,
+    load_parallel_models,
+    save_parallel_models,
+)
+from repro.data import SnapshotDataset, synthetic_advection_snapshots
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def trained_result():
+    dataset = SnapshotDataset(synthetic_advection_snapshots(grid_size=12, num_snapshots=6, seed=0))
+    trainer = ParallelTrainer(
+        CNNConfig(channels=(4, 6, 4), kernel_size=3, strategy=PaddingStrategy.NEIGHBOR_FIRST),
+        TrainingConfig(epochs=1, batch_size=4, lr=0.01, loss="mse"),
+        num_ranks=4,
+    )
+    return trainer.train(dataset, execution="serial")
+
+
+class TestRoundtrip:
+    def test_models_identical_after_reload(self, tmp_path, trained_result):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result)
+        models, decomposition, config = load_parallel_models(path)
+        assert len(models) == 4
+        assert decomposition.pgrid == trained_result.decomposition.pgrid
+        assert config.strategy is PaddingStrategy.NEIGHBOR_FIRST
+        for model, rank_result in zip(models, trained_result.rank_results):
+            for name, value in model.state_dict().items():
+                assert np.array_equal(value, rank_result.state_dict[name])
+
+    def test_reloaded_models_predict_identically(self, tmp_path, trained_result, rng):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result)
+        models, decomposition, _ = load_parallel_models(path)
+
+        field = rng.standard_normal((4, 12, 12))
+        original = ParallelPredictor(
+            trained_result.build_models(), trained_result.decomposition
+        ).rollout(field, 2)
+        reloaded = ParallelPredictor(models, decomposition).rollout(field, 2)
+        assert np.allclose(original.trajectory, reloaded.trajectory)
+
+    def test_config_fields_preserved(self, tmp_path, trained_result):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result)
+        _, _, config = load_parallel_models(path)
+        assert config.channels == (4, 6, 4)
+        assert config.kernel_size == 3
+        assert config.negative_slope == trained_result.cnn_config.negative_slope
+
+
+class TestValidation:
+    def test_non_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_parallel_models(path)

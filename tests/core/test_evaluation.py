@@ -1,0 +1,73 @@
+"""Parallel-evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNNConfig,
+    PaddingStrategy,
+    ParallelTrainer,
+    TrainingConfig,
+    evaluate_parallel,
+)
+from repro.data import SnapshotDataset, synthetic_advection_snapshots
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def trained():
+    snaps = synthetic_advection_snapshots(grid_size=16, num_snapshots=10, seed=0)
+    dataset = SnapshotDataset(snaps)
+    train, validation = dataset.split(7)
+    trainer = ParallelTrainer(
+        CNNConfig(channels=(4, 6, 4), kernel_size=3, strategy=PaddingStrategy.NEIGHBOR_FIRST),
+        TrainingConfig(epochs=3, batch_size=4, lr=0.01, loss="mse", seed=0),
+        num_ranks=4,
+    )
+    return trainer.train(train, execution="serial"), validation
+
+
+class TestEvaluateParallel:
+    def test_global_matches_serial_reference(self, trained):
+        """The allreduce-aggregated metric equals the serial one."""
+        result, validation = trained
+        evaluation = evaluate_parallel(result, validation)
+
+        # Serial reference: predict every rank block, accumulate.
+        from repro.core import build_rank_dataset
+        from repro.core.trainer import predict
+
+        models = result.build_models()
+        sse = sst = count = 0.0
+        for rank, model in enumerate(models):
+            data = build_rank_dataset(
+                validation, result.decomposition, rank,
+                halo=result.cnn_config.input_halo,
+            )
+            prediction = predict(model, data.inputs)
+            diff = prediction - data.targets
+            sse += float(np.sum(diff**2))
+            sst += float(np.sum(data.targets**2))
+            count += diff.size
+        assert np.isclose(evaluation.global_relative_l2, np.sqrt(sse / sst))
+        assert np.isclose(evaluation.global_rmse, np.sqrt(sse / count))
+
+    def test_per_rank_errors_populated(self, trained):
+        result, validation = trained
+        evaluation = evaluate_parallel(result, validation)
+        assert len(evaluation.per_rank_relative_l2) == 4
+        assert all(np.isfinite(e) for e in evaluation.per_rank_relative_l2)
+        assert 0 <= evaluation.worst_rank() < 4
+
+    def test_sample_count(self, trained):
+        result, validation = trained
+        evaluation = evaluate_parallel(result, validation)
+        assert evaluation.num_samples == validation.num_samples
+
+    def test_field_shape_mismatch_raises(self, trained):
+        result, _ = trained
+        wrong = SnapshotDataset(
+            synthetic_advection_snapshots(grid_size=12, num_snapshots=4, seed=1)
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_parallel(result, wrong)

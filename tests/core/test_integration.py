@@ -1,0 +1,110 @@
+"""Cross-module integration tests: the full paper pipeline at small
+scale, plus structural invariants that span several subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNNConfig,
+    PaddingStrategy,
+    ParallelPredictor,
+    ParallelTrainer,
+    SubdomainCNN,
+    TrainingConfig,
+    load_parallel_models,
+    relative_l2,
+    save_parallel_models,
+)
+from repro.data import SnapshotDataset, StandardNormalizer, generate_paper_dataset
+from repro.domain import BlockDecomposition
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        produced = generate_paper_dataset(grid_size=32, num_snapshots=40, num_train=30)
+        normalizer = StandardNormalizer().fit(produced.train.snapshots)
+        train = SnapshotDataset(normalizer.transform(produced.train.snapshots))
+        validation = SnapshotDataset(normalizer.transform(produced.validation.snapshots))
+        trainer = ParallelTrainer(
+            CNNConfig(strategy=PaddingStrategy.NEIGHBOR_FIRST),
+            TrainingConfig(epochs=6, batch_size=8, lr=0.002, loss="mse", seed=0),
+            num_ranks=4,
+            seed=0,
+        )
+        result = trainer.train(train, execution="threads")
+        return produced, normalizer, train, validation, result
+
+    def test_training_learned_something(self, pipeline):
+        _, _, _, _, result = pipeline
+        for rank_result in result.rank_results:
+            losses = rank_result.history.epoch_losses
+            assert losses[-1] < losses[0]
+
+    def test_prediction_beats_zero_baseline(self, pipeline):
+        produced, normalizer, _, validation, result = pipeline
+        predictor = ParallelPredictor(result.build_models(), result.decomposition)
+        model_input, target_n = validation[0]
+        prediction = predictor.rollout(model_input, 1).trajectory[1]
+        pred_phys = normalizer.inverse_transform(prediction)
+        target_phys = normalizer.inverse_transform(target_n)
+        assert relative_l2(pred_phys, target_phys) < 1.0
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, pipeline, tmp_path):
+        _, _, _, validation, result = pipeline
+        path = tmp_path / "pipeline.npz"
+        save_parallel_models(path, result)
+        models, decomposition, _ = load_parallel_models(path)
+        field = validation.snapshots[0]
+        a = ParallelPredictor(result.build_models(), result.decomposition).rollout(field, 2)
+        b = ParallelPredictor(models, decomposition).rollout(field, 2)
+        assert np.allclose(a.trajectory, b.trajectory)
+
+    def test_solver_data_statistics_plausible(self, pipeline):
+        produced, _, _, _, _ = pipeline
+        snaps = produced.train.snapshots
+        # Pressure bounded by the initial amplitude (0.5 bar) with a
+        # margin for the pressure-release reflection overshoot.
+        assert np.abs(snaps[:, 0]).max() <= 0.75
+        # Fluid initially at rest: first-snapshot velocities vanish.
+        assert np.abs(snaps[0, 2:]).max() == 0.0
+
+
+class TestProcessGridInvariance:
+    def test_neighbor_all_prediction_independent_of_pgrid(self, rng):
+        """With identical weights and full halos, the global prediction
+        must not depend on HOW the domain is decomposed — (1,4), (2,2)
+        and (4,1) rank grids all restrict the same global operator."""
+        config = CNNConfig(
+            channels=(4, 6, 4), kernel_size=3, strategy=PaddingStrategy.NEIGHBOR_ALL
+        )
+        reference = SubdomainCNN(config, rng=np.random.default_rng(0))
+        field = rng.standard_normal((4, 12, 12))
+
+        outputs = []
+        for pgrid in [(1, 4), (2, 2), (4, 1)]:
+            decomp = BlockDecomposition((12, 12), pgrid)
+            models = []
+            for _ in range(4):
+                model = SubdomainCNN(config, rng=np.random.default_rng(1))
+                model.load_state_dict(reference.state_dict())
+                models.append(model)
+            result = ParallelPredictor(models, decomp).rollout(field, 1)
+            outputs.append(result.trajectory[1])
+        assert np.allclose(outputs[0], outputs[1], atol=1e-12)
+        assert np.allclose(outputs[1], outputs[2], atol=1e-12)
+
+    def test_rank_data_partition_reconstructs_global_targets(self, rng):
+        """The union of per-rank targets is exactly the global field —
+        no sample is dropped or duplicated by the decomposition."""
+        from repro.core import build_rank_dataset
+
+        snaps = rng.standard_normal((6, 4, 16, 16))
+        dataset = SnapshotDataset(snaps)
+        decomp = BlockDecomposition.from_num_ranks((16, 16), 4)
+        pieces = [
+            build_rank_dataset(dataset, decomp, rank, halo=2).targets
+            for rank in range(4)
+        ]
+        reassembled = decomp.assemble(pieces)
+        assert np.allclose(reassembled, snaps[1:])

@@ -1,0 +1,83 @@
+"""Metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import mae, mape, max_error, per_channel, relative_l2, rmse, summarize
+from repro.exceptions import ShapeError
+
+
+class TestScalarMetrics:
+    def test_rmse(self):
+        assert np.isclose(rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])), np.sqrt(5.0))
+
+    def test_mae(self):
+        assert np.isclose(mae(np.array([1.0, -3.0]), np.array([0.0, 0.0])), 2.0)
+
+    def test_max_error(self):
+        assert max_error(np.array([1.0, -3.0]), np.array([0.5, 0.0])) == 3.0
+
+    def test_mape_eq7(self):
+        assert np.isclose(mape(np.array([1.1, 2.0]), np.array([1.0, 2.0])), 5.0)
+
+    def test_relative_l2_zero_for_exact(self, rng):
+        x = rng.standard_normal((4, 4))
+        assert relative_l2(x, x) == 0.0
+
+    def test_relative_l2_one_for_zero_prediction(self, rng):
+        x = rng.standard_normal((4, 4))
+        assert np.isclose(relative_l2(np.zeros_like(x), x), 1.0)
+
+    def test_relative_l2_scale_free(self, rng):
+        x = rng.standard_normal((4, 4))
+        y = rng.standard_normal((4, 4))
+        assert np.isclose(relative_l2(x, y), relative_l2(10.0 * x, 10.0 * y))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            rmse(np.zeros(3), np.zeros(4))
+
+
+class TestPerChannel:
+    def test_uses_paper_channel_names(self, rng):
+        pred = rng.standard_normal((4, 5, 5))
+        target = rng.standard_normal((4, 5, 5))
+        result = per_channel(rmse, pred, target)
+        assert list(result) == ["p", "rho", "u", "v"]
+
+    def test_values_match_direct_computation(self, rng):
+        pred = rng.standard_normal((4, 5, 5))
+        target = rng.standard_normal((4, 5, 5))
+        result = per_channel(rmse, pred, target)
+        assert np.isclose(result["rho"], rmse(pred[1], target[1]))
+
+    def test_generic_names_for_other_channel_counts(self, rng):
+        pred = rng.standard_normal((2, 5, 5))
+        target = rng.standard_normal((2, 5, 5))
+        assert list(per_channel(rmse, pred, target)) == ["ch0", "ch1"]
+
+    def test_batched_leading_axis(self, rng):
+        pred = rng.standard_normal((7, 4, 5, 5))
+        target = rng.standard_normal((7, 4, 5, 5))
+        result = per_channel(rmse, pred, target)
+        assert len(result) == 4
+
+    def test_too_few_dims_raise(self, rng):
+        with pytest.raises(ShapeError):
+            per_channel(rmse, rng.standard_normal((5, 5)), rng.standard_normal((5, 5)))
+
+
+class TestSummarize:
+    def test_contains_all_keys(self, rng):
+        pred = rng.standard_normal((4, 6, 6))
+        target = rng.standard_normal((4, 6, 6))
+        summary = summarize(pred, target)
+        assert set(summary) == {
+            "rmse",
+            "mae",
+            "relative_l2",
+            "max_error",
+            "per_channel_relative_l2",
+            "per_channel_rmse",
+        }
+        assert set(summary["per_channel_rmse"]) == {"p", "rho", "u", "v"}

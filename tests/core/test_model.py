@@ -1,0 +1,126 @@
+"""SubdomainCNN tests — including the Table-I architecture contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_CHANNELS,
+    CNNConfig,
+    PaddingStrategy,
+    SubdomainCNN,
+    build_paper_cnn,
+)
+from repro.exceptions import ConfigurationError
+from repro.nn import Conv2d, ConvTranspose2d, LeakyReLU
+from repro.tensor import Tensor
+
+
+class TestTable1Architecture:
+    """Verify the constructed network against Table I of the paper."""
+
+    def test_channel_progression(self, rng):
+        model = build_paper_cnn(rng=rng)
+        convs = [m for m in model.layers if isinstance(m, Conv2d)]
+        assert [(c.in_channels, c.out_channels) for c in convs] == [
+            (4, 6),
+            (6, 16),
+            (16, 6),
+            (6, 4),
+        ]
+
+    def test_kernel_sizes_5x5(self, rng):
+        model = build_paper_cnn(rng=rng)
+        for conv in (m for m in model.layers if isinstance(m, Conv2d)):
+            assert conv.kernel_size == 5
+            assert conv.weight.shape[-2:] == (5, 5)
+
+    def test_four_layers(self, rng):
+        model = build_paper_cnn(rng=rng)
+        assert sum(isinstance(m, Conv2d) for m in model.layers) == 4
+
+    def test_leaky_relu_between_layers_with_paper_epsilon(self, rng):
+        model = build_paper_cnn(rng=rng)
+        relus = [m for m in model.layers if isinstance(m, LeakyReLU)]
+        assert len(relus) == 3  # between layers, none after the head
+        assert all(r.negative_slope == 0.01 for r in relus)
+
+    def test_four_channels_in_and_out(self, rng):
+        assert PAPER_CHANNELS == (4, 6, 16, 6, 4)
+        model = build_paper_cnn(PaddingStrategy.ZERO, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 4, 16, 16))))
+        assert out.shape[1] == 4
+
+
+class TestShapeContracts:
+    @pytest.mark.parametrize(
+        "strategy, in_extra, out_deficit",
+        [
+            (PaddingStrategy.ZERO, 0, 0),
+            (PaddingStrategy.NEIGHBOR_FIRST, 4, 0),
+            (PaddingStrategy.NEIGHBOR_ALL, 16, 0),
+            (PaddingStrategy.INNER_CROP, 0, 16),
+            (PaddingStrategy.TRANSPOSE, 0, 0),
+        ],
+    )
+    def test_output_size_per_strategy(self, rng, strategy, in_extra, out_deficit):
+        model = build_paper_cnn(strategy, rng=rng)
+        h = w = 20
+        x = Tensor(rng.standard_normal((2, 4, h + in_extra, w + in_extra)))
+        out = model(x)
+        assert out.shape == (2, 4, h - out_deficit, w - out_deficit)
+
+    def test_halo_matches_strategy(self, rng):
+        assert build_paper_cnn(PaddingStrategy.NEIGHBOR_FIRST, rng=rng).input_halo == 2
+        assert build_paper_cnn(PaddingStrategy.NEIGHBOR_ALL, rng=rng).input_halo == 8
+        assert build_paper_cnn(PaddingStrategy.ZERO, rng=rng).input_halo == 0
+
+    def test_expected_output_shape_helper(self, rng):
+        model = build_paper_cnn(PaddingStrategy.INNER_CROP, rng=rng)
+        assert model.expected_output_shape((40, 40)) == (24, 24)
+
+    def test_transpose_strategy_has_deconv_layer(self, rng):
+        model = build_paper_cnn(PaddingStrategy.TRANSPOSE, rng=rng)
+        assert any(isinstance(m, ConvTranspose2d) for m in model.layers)
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = SubdomainCNN(CNNConfig(), rng=np.random.default_rng(7))
+        b = SubdomainCNN(CNNConfig(), rng=np.random.default_rng(7))
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self):
+        a = SubdomainCNN(CNNConfig(), rng=np.random.default_rng(1))
+        b = SubdomainCNN(CNNConfig(), rng=np.random.default_rng(2))
+        assert not np.array_equal(
+            a.layers[0].weight.data, b.layers[0].weight.data
+        )
+
+    def test_state_dict_roundtrip(self, rng):
+        a = SubdomainCNN(CNNConfig(), rng=rng)
+        b = SubdomainCNN(CNNConfig(), rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 4, 12, 12)))
+        assert np.allclose(a(x).numpy(), b(x).numpy())
+
+
+class TestConfigValidation:
+    def test_even_kernel_raises(self):
+        with pytest.raises(ConfigurationError):
+            CNNConfig(kernel_size=4)
+
+    def test_too_few_channels_raise(self):
+        with pytest.raises(ConfigurationError):
+            CNNConfig(channels=(4,))
+
+    def test_custom_channels(self, rng):
+        model = SubdomainCNN(CNNConfig(channels=(4, 8, 4), kernel_size=3), rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 10 + 2, 10 + 2)))
+        assert model(x).shape == (1, 4, 10, 10)
+
+    def test_build_paper_cnn_overrides(self, rng):
+        model = build_paper_cnn("zero", rng=rng, negative_slope=0.2)
+        relus = [m for m in model.layers if isinstance(m, LeakyReLU)]
+        assert all(r.negative_slope == 0.2 for r in relus)

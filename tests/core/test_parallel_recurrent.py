@@ -1,0 +1,90 @@
+"""Parallel ConvLSTM surrogate tests (scheme generality check)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig, train_parallel_recurrent
+from repro.data import SnapshotDataset, synthetic_advection_snapshots
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+@pytest.fixture
+def dataset():
+    return SnapshotDataset(
+        synthetic_advection_snapshots(grid_size=12, num_snapshots=10, seed=0)
+    )
+
+
+def fast_config(epochs=2):
+    return TrainingConfig(epochs=epochs, batch_size=4, lr=0.01, loss="mse", seed=0)
+
+
+class TestTraining:
+    def test_one_surrogate_per_rank(self, dataset):
+        result = train_parallel_recurrent(
+            dataset, num_ranks=4, window=2, hidden_channels=4, kernel_size=3,
+            training_config=fast_config(),
+        )
+        assert len(result.rank_results) == 4
+        assert result.max_train_time > 0
+
+    def test_threads_equals_serial(self, dataset):
+        """Communication-free: execution mode cannot change weights."""
+        kwargs = dict(
+            num_ranks=2, window=2, hidden_channels=4, kernel_size=3,
+            training_config=fast_config(), seed=0,
+        )
+        threaded = train_parallel_recurrent(dataset, execution="threads", **kwargs)
+        serial = train_parallel_recurrent(dataset, execution="serial", **kwargs)
+        for a, b in zip(threaded.rank_results, serial.rank_results):
+            for name in a.state_dict:
+                assert np.array_equal(a.state_dict[name], b.state_dict[name])
+
+    def test_loss_decreases(self, dataset):
+        result = train_parallel_recurrent(
+            dataset, num_ranks=2, window=2, hidden_channels=6, kernel_size=3,
+            training_config=fast_config(epochs=8),
+        )
+        for rank_result in result.rank_results:
+            losses = rank_result.history.epoch_losses
+            assert losses[-1] < losses[0]
+
+    def test_invalid_execution_raises(self, dataset):
+        with pytest.raises(ConfigurationError):
+            train_parallel_recurrent(
+                dataset, num_ranks=2, training_config=fast_config(), execution="mpi"
+            )
+
+    def test_invalid_rank_count_raises(self, dataset):
+        with pytest.raises(ConfigurationError):
+            train_parallel_recurrent(dataset, num_ranks=0)
+
+
+class TestRollout:
+    def test_global_rollout_shape(self, dataset):
+        result = train_parallel_recurrent(
+            dataset, num_ranks=4, window=2, hidden_channels=4, kernel_size=3,
+            training_config=fast_config(),
+        )
+        window = dataset.snapshots[:2]
+        rollout = result.rollout(window, num_steps=3)
+        assert rollout.shape == (3, 4, 12, 12)
+        assert np.all(np.isfinite(rollout))
+
+    def test_wrong_window_length_raises(self, dataset):
+        result = train_parallel_recurrent(
+            dataset, num_ranks=2, window=3, hidden_channels=4, kernel_size=3,
+            training_config=fast_config(),
+        )
+        with pytest.raises(ShapeError):
+            result.rollout(dataset.snapshots[:2], num_steps=1)
+
+    def test_build_models_roundtrip(self, dataset):
+        result = train_parallel_recurrent(
+            dataset, num_ranks=2, window=2, hidden_channels=4, kernel_size=3,
+            training_config=fast_config(),
+        )
+        models = result.build_models()
+        for model, rank_result in zip(models, result.rank_results):
+            for name, value in model.state_dict().items():
+                assert np.array_equal(value, rank_result.state_dict[name])

@@ -1,0 +1,90 @@
+"""Recurrent-surrogate (future-work extension) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RecurrentSurrogate,
+    TrainingConfig,
+    WindowDataset,
+    train_recurrent,
+)
+from repro.data import SnapshotDataset, synthetic_advection_snapshots
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def snaps():
+    return synthetic_advection_snapshots(grid_size=10, num_snapshots=12, seed=0)
+
+
+class TestWindowDataset:
+    def test_sample_count(self, snaps):
+        ds = WindowDataset(snaps, window=3)
+        assert ds.num_samples == 9
+
+    def test_window_contents(self, snaps):
+        ds = WindowDataset(snaps, window=3)
+        window, target = ds[2]
+        assert np.allclose(window, snaps[2:5])
+        assert np.allclose(target, snaps[5])
+
+    def test_from_dataset(self, snaps):
+        ds = WindowDataset.from_dataset(SnapshotDataset(snaps), window=2)
+        assert ds.num_samples == 10
+
+    def test_batches_aligned(self, snaps):
+        ds = WindowDataset(snaps, window=2)
+        for windows, targets in ds.batches(4, shuffle=False, rng=None):
+            assert windows.shape[1:] == (2, 4, 10, 10)
+            assert targets.shape[1:] == (4, 10, 10)
+            # Advection data: target is the window's last frame shifted.
+            assert np.allclose(np.roll(windows[:, -1], 1, axis=-1), targets)
+
+    def test_too_short_raises(self, snaps):
+        with pytest.raises(DatasetError):
+            WindowDataset(snaps[:3], window=3)
+
+    def test_bad_window_raises(self, snaps):
+        with pytest.raises(ConfigurationError):
+            WindowDataset(snaps, window=0)
+
+    def test_index_out_of_range(self, snaps):
+        ds = WindowDataset(snaps, window=3)
+        with pytest.raises(IndexError):
+            ds[9]
+
+
+class TestRecurrentSurrogate:
+    def test_forward_shape(self, rng):
+        model = RecurrentSurrogate(channels=4, hidden_channels=6, kernel_size=3, rng=rng)
+        window = Tensor(rng.standard_normal((2, 3, 4, 8, 8)))
+        assert model(window).shape == (2, 4, 8, 8)
+
+    def test_training_reduces_loss(self, snaps):
+        model = RecurrentSurrogate(channels=4, hidden_channels=8, kernel_size=3,
+                                   rng=np.random.default_rng(0))
+        data = WindowDataset(snaps, window=2)
+        history = train_recurrent(
+            model, data, TrainingConfig(epochs=10, batch_size=5, lr=0.01, loss="mse")
+        )
+        assert history.epoch_losses[-1] < 0.5 * history.epoch_losses[0]
+
+    def test_rollout_shape_and_state_persistence(self, snaps, rng):
+        model = RecurrentSurrogate(channels=4, hidden_channels=6, kernel_size=3, rng=rng)
+        window = snaps[:3]
+        rollout = model.rollout(window, num_steps=4)
+        assert rollout.shape == (4, 4, 10, 10)
+        assert np.all(np.isfinite(rollout))
+
+    def test_rollout_zero_steps_raises(self, snaps, rng):
+        model = RecurrentSurrogate(channels=4, hidden_channels=6, kernel_size=3, rng=rng)
+        with pytest.raises(ConfigurationError):
+            model.rollout(snaps[:3], num_steps=0)
+
+    def test_parameters_registered(self, rng):
+        model = RecurrentSurrogate(channels=4, hidden_channels=6, kernel_size=3, rng=rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert any(name.startswith("cell.") for name in names)
+        assert any(name.startswith("head.") for name in names)

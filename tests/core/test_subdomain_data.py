@@ -1,0 +1,87 @@
+"""Per-rank training-data assembly tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_rank_dataset
+from repro.data import SnapshotDataset
+from repro.domain import BlockDecomposition
+from repro.exceptions import DatasetError
+
+
+def make_dataset(t=6, c=4, n=8):
+    snaps = np.arange(t * c * n * n, dtype=float).reshape(t, c, n, n)
+    return SnapshotDataset(snaps)
+
+
+class TestBuildRankDataset:
+    def test_inputs_carry_halo_targets_do_not(self):
+        ds = make_dataset()
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        rank_data = build_rank_dataset(ds, decomp, rank=0, halo=2)
+        assert rank_data.inputs.shape == (5, 4, 8, 8)
+        assert rank_data.targets.shape == (5, 4, 4, 4)
+
+    def test_pairs_offset_by_one_step(self):
+        ds = make_dataset()
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        rank_data = build_rank_dataset(ds, decomp, rank=3, halo=0)
+        sub = decomp.subdomain(3)
+        assert np.allclose(rank_data.inputs[0], ds.snapshots[0][:, sub.y_slice, sub.x_slice])
+        assert np.allclose(rank_data.targets[0], ds.snapshots[1][:, sub.y_slice, sub.x_slice])
+
+    def test_crop_shrinks_targets(self):
+        ds = make_dataset(n=12)
+        decomp = BlockDecomposition((12, 12), (2, 2))
+        rank_data = build_rank_dataset(ds, decomp, rank=0, halo=0, crop=2)
+        assert rank_data.targets.shape == (5, 4, 2, 2)
+        assert rank_data.inputs.shape == (5, 4, 6, 6)
+
+    def test_crop_too_large_raises(self):
+        ds = make_dataset(n=8)
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        with pytest.raises(DatasetError):
+            build_rank_dataset(ds, decomp, rank=0, halo=0, crop=2)
+
+    def test_halo_content_matches_decomposition_extract(self, rng):
+        snaps = rng.standard_normal((5, 4, 10, 10))
+        ds = SnapshotDataset(snaps)
+        decomp = BlockDecomposition((10, 10), (2, 2))
+        rank_data = build_rank_dataset(ds, decomp, rank=1, halo=1, fill="edge")
+        expected = decomp.extract(snaps[:-1], 1, halo=1, fill="edge")
+        assert np.allclose(rank_data.inputs, expected)
+
+    def test_arrays_are_owned_copies(self):
+        ds = make_dataset()
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        rank_data = build_rank_dataset(ds, decomp, rank=0, halo=0)
+        rank_data.inputs[0, 0, 0, 0] = -1.0
+        assert ds.snapshots[0, 0, 0, 0] != -1.0
+
+
+class TestRankDatasetBatches:
+    def test_batches_cover_all(self):
+        ds = make_dataset(t=9)
+        decomp = BlockDecomposition((8, 8), (1, 1))
+        rank_data = build_rank_dataset(ds, decomp, rank=0, halo=0)
+        total = sum(x.shape[0] for x, _ in rank_data.batches(3, False, None))
+        assert total == rank_data.num_samples == 8
+
+    def test_shuffle_requires_rng(self):
+        ds = make_dataset()
+        decomp = BlockDecomposition((8, 8), (1, 1))
+        rank_data = build_rank_dataset(ds, decomp, rank=0, halo=0)
+        with pytest.raises(DatasetError):
+            list(rank_data.batches(2, True, None))
+
+    def test_mismatched_sample_count_raises(self):
+        from repro.core import RankDataset
+
+        with pytest.raises(DatasetError):
+            RankDataset(
+                rank=0,
+                inputs=np.zeros((3, 4, 4, 4)),
+                targets=np.zeros((2, 4, 4, 4)),
+                halo=0,
+                crop=0,
+            )

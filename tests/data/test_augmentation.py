@@ -1,0 +1,131 @@
+"""D4 augmentation tests, anchored by solver equivariance."""
+
+import numpy as np
+import pytest
+
+from repro.data import SnapshotDataset, augment_dataset, augment_trajectory
+from repro.data.augmentation import (
+    compose,
+    d4_transforms,
+    flip_x,
+    flip_y,
+    identity,
+    rotate90,
+)
+from repro.exceptions import DatasetError, ShapeError
+from repro.solver import (
+    EulerState,
+    LinearizedEuler,
+    Simulation,
+    UniformGrid2D,
+    gaussian_pulse,
+)
+
+
+def sample_state(rng, n=8):
+    return rng.standard_normal((4, n, n))
+
+
+class TestGroupStructure:
+    def test_eight_distinct_elements(self, rng):
+        """The 8 D4 transforms act differently on a generic state."""
+        state = sample_state(rng)
+        images = [T(state) for T in d4_transforms()]
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert not np.allclose(images[i], images[j]), (i, j)
+
+    def test_flips_are_involutions(self, rng):
+        state = sample_state(rng)
+        assert np.allclose(flip_x(flip_x(state)), state)
+        assert np.allclose(flip_y(flip_y(state)), state)
+
+    def test_rotation_order_four(self, rng):
+        state = sample_state(rng)
+        r4 = compose(rotate90, rotate90, rotate90, rotate90)
+        assert np.allclose(r4(state), state)
+
+    def test_identity_copies(self, rng):
+        state = sample_state(rng)
+        out = identity(state)
+        assert np.array_equal(out, state)
+        assert out is not state
+
+    def test_scalar_channels_untouched_by_sign_rules(self, rng):
+        state = sample_state(rng)
+        flipped = flip_x(state)
+        # p, rho are scalars: pure mirror, no negation.
+        assert np.allclose(flipped[0], np.flip(state[0], axis=-1))
+        assert np.allclose(flipped[1], np.flip(state[1], axis=-1))
+        # u flips sign, v does not (for an x-mirror).
+        assert np.allclose(flipped[2], -np.flip(state[2], axis=-1))
+        assert np.allclose(flipped[3], np.flip(state[3], axis=-1))
+
+
+class TestSolverEquivariance:
+    """The decisive correctness check: evolving a transformed state
+    equals transforming the evolved state (reflecting walls preserve
+    all D4 symmetries)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        grid = UniformGrid2D.square(25)
+        sim = Simulation(
+            grid, LinearizedEuler(dissipation=0.0), boundary="reflecting", cfl=0.4
+        )
+        initial = gaussian_pulse(
+            grid, amplitude=1.0, half_width=0.2, center=(0.3, 0.1), isentropic=True
+        )
+        X, _ = grid.meshgrid()
+        initial.u[...] = 0.1 * np.sin(np.pi * X)
+        return sim, initial.to_array()
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_each_element_commutes_with_evolution(self, setup, index):
+        sim, arr0 = setup
+        transform = d4_transforms()[index]
+
+        def evolve(arr):
+            return sim.advance(EulerState.from_array(arr), 4).to_array()
+
+        forward = evolve(transform(arr0))
+        swapped = transform(evolve(arr0))
+        scale = np.abs(swapped).max()
+        assert np.allclose(forward, swapped, atol=1e-12 * (1.0 + scale))
+
+
+class TestDatasetAugmentation:
+    def test_eightfold_size(self, rng):
+        snaps = rng.standard_normal((5, 4, 6, 6))
+        augmented = augment_dataset(SnapshotDataset(snaps))
+        assert augmented.snapshots.shape == (40, 4, 6, 6)
+
+    def test_original_trajectory_first(self, rng):
+        snaps = rng.standard_normal((3, 4, 6, 6))
+        augmented = augment_dataset(SnapshotDataset(snaps))
+        assert np.allclose(augmented.snapshots[:3], snaps)
+
+    def test_pairs_within_transformed_trajectory_consistent(self, rng):
+        """For each transform T: pair i of the T-trajectory is
+        (T(x_i), T(x_{i+1})) — the transformed dynamics."""
+        snaps = rng.standard_normal((4, 4, 6, 6))
+        trajectories = augment_trajectory(snaps)
+        for transform, trajectory in zip(d4_transforms(), trajectories):
+            assert np.allclose(trajectory, transform(snaps))
+
+    def test_subset_of_transforms(self, rng):
+        snaps = rng.standard_normal((3, 4, 5, 7))  # rectangular: flips only
+        augmented = augment_dataset(SnapshotDataset(snaps), transforms=[identity, flip_x])
+        assert augmented.snapshots.shape[0] == 6
+
+    def test_rotation_requires_square(self, rng):
+        with pytest.raises(ShapeError):
+            rotate90(rng.standard_normal((4, 5, 7)))
+
+    def test_wrong_channel_count_raises(self, rng):
+        with pytest.raises(ShapeError):
+            flip_x(rng.standard_normal((3, 6, 6)))
+
+    def test_empty_transforms_raise(self, rng):
+        with pytest.raises(DatasetError):
+            augment_trajectory(rng.standard_normal((3, 4, 6, 6)), transforms=[])

@@ -1,0 +1,148 @@
+"""SnapshotDataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import SnapshotDataset
+from repro.exceptions import DatasetError
+
+
+def make_snaps(t=10, c=4, h=6, w=8):
+    # Encode the time index in the values so pairs are checkable.
+    return np.arange(t, dtype=float)[:, None, None, None] * np.ones((t, c, h, w))
+
+
+class TestBasics:
+    def test_sample_count(self):
+        ds = SnapshotDataset(make_snaps(10))
+        assert ds.num_samples == 9
+        assert len(ds) == 9
+
+    def test_pairs_are_consecutive(self):
+        ds = SnapshotDataset(make_snaps(5))
+        x, y = ds[2]
+        assert np.all(x == 2.0)
+        assert np.all(y == 3.0)
+
+    def test_negative_index(self):
+        ds = SnapshotDataset(make_snaps(5))
+        x, y = ds[-1]
+        assert np.all(x == 3.0)
+        assert np.all(y == 4.0)
+
+    def test_out_of_range_raises(self):
+        ds = SnapshotDataset(make_snaps(5))
+        with pytest.raises(IndexError):
+            ds[4]
+
+    def test_inputs_targets_aligned(self):
+        ds = SnapshotDataset(make_snaps(6))
+        assert np.allclose(ds.inputs() + 1.0, ds.targets())
+
+    def test_metadata_properties(self):
+        ds = SnapshotDataset(make_snaps(5, c=4, h=6, w=8))
+        assert ds.num_channels == 4
+        assert ds.field_shape == (6, 8)
+
+
+class TestValidation:
+    def test_wrong_rank_raises(self):
+        with pytest.raises(DatasetError):
+            SnapshotDataset(np.zeros((5, 4, 6)))
+
+    def test_too_few_snapshots_raise(self):
+        with pytest.raises(DatasetError):
+            SnapshotDataset(np.zeros((1, 4, 6, 6)))
+
+    def test_non_finite_raises(self):
+        snaps = make_snaps(4)
+        snaps[2, 0, 0, 0] = np.nan
+        with pytest.raises(DatasetError):
+            SnapshotDataset(snaps)
+
+
+class TestSplit:
+    def test_split_sizes_match_paper_semantics(self):
+        """1500 snapshots, 1000 train -> 999 train pairs + 500 val pairs,
+        with no pair crossing the split and none lost."""
+        ds = SnapshotDataset(make_snaps(15))
+        train, val = ds.split(10)
+        assert train.num_samples == 9
+        assert val.num_samples == 5
+        assert train.num_samples + val.num_samples == ds.num_samples
+
+    def test_validation_starts_at_boundary(self):
+        ds = SnapshotDataset(make_snaps(10))
+        train, val = ds.split(6)
+        x, y = val[0]
+        assert np.all(x == 5.0)  # last train snapshot seeds validation
+        assert np.all(y == 6.0)
+
+    def test_invalid_split_raises(self):
+        ds = SnapshotDataset(make_snaps(5))
+        with pytest.raises(DatasetError):
+            ds.split(1)
+        with pytest.raises(DatasetError):
+            ds.split(5)
+
+
+class TestRestrict:
+    def test_restrict_shape_and_values(self):
+        snaps = np.arange(5 * 4 * 6 * 8, dtype=float).reshape(5, 4, 6, 8)
+        ds = SnapshotDataset(snaps)
+        sub = ds.restrict(slice(1, 4), slice(2, 7))
+        assert sub.field_shape == (3, 5)
+        assert np.allclose(sub.snapshots, snaps[:, :, 1:4, 2:7])
+
+    def test_restrict_copies(self):
+        ds = SnapshotDataset(make_snaps(4))
+        sub = ds.restrict(slice(0, 3), slice(0, 3))
+        sub.snapshots[0, 0, 0, 0] = 99.0
+        assert ds.snapshots[0, 0, 0, 0] == 0.0
+
+
+class TestBatches:
+    def test_covers_all_samples_once(self):
+        ds = SnapshotDataset(make_snaps(11))
+        seen = []
+        for x, _ in ds.batches(batch_size=4):
+            seen.extend(x[:, 0, 0, 0].tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_last_short_batch_kept(self):
+        ds = SnapshotDataset(make_snaps(11))
+        sizes = [x.shape[0] for x, _ in ds.batches(4)]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        ds = SnapshotDataset(make_snaps(11))
+        sizes = [x.shape[0] for x, _ in ds.batches(4, drop_last=True)]
+        assert sizes == [4, 4]
+
+    def test_shuffle_reproducible_and_complete(self):
+        ds = SnapshotDataset(make_snaps(9))
+        order1 = [
+            x[0, 0, 0, 0]
+            for x, _ in ds.batches(1, shuffle=True, rng=np.random.default_rng(3))
+        ]
+        order2 = [
+            x[0, 0, 0, 0]
+            for x, _ in ds.batches(1, shuffle=True, rng=np.random.default_rng(3))
+        ]
+        assert order1 == order2
+        assert sorted(order1) == list(range(8))
+
+    def test_shuffle_pairs_stay_aligned(self):
+        ds = SnapshotDataset(make_snaps(9))
+        for x, y in ds.batches(3, shuffle=True, rng=np.random.default_rng(0)):
+            assert np.allclose(x + 1.0, y)
+
+    def test_shuffle_without_rng_raises(self):
+        ds = SnapshotDataset(make_snaps(5))
+        with pytest.raises(DatasetError):
+            list(ds.batches(2, shuffle=True))
+
+    def test_bad_batch_size_raises(self):
+        ds = SnapshotDataset(make_snaps(5))
+        with pytest.raises(DatasetError):
+            list(ds.batches(0))

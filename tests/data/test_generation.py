@@ -1,0 +1,84 @@
+"""Dataset-generation tests (scaled-down paper pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_multi_pulse_dataset,
+    generate_paper_dataset,
+    synthetic_advection_snapshots,
+)
+from repro.exceptions import DatasetError
+
+
+class TestPaperDataset:
+    def test_shapes_and_split(self):
+        data = generate_paper_dataset(grid_size=24, num_snapshots=30, num_train=20)
+        assert data.train.snapshots.shape == (20, 4, 24, 24)
+        assert data.validation.snapshots.shape == (11, 4, 24, 24)
+        assert data.train.num_samples == 19
+        assert data.validation.num_samples == 10
+
+    def test_default_config_is_paper(self):
+        """Defaults must be the paper's numbers (without running them)."""
+        import inspect
+
+        signature = inspect.signature(generate_paper_dataset)
+        assert signature.parameters["grid_size"].default == 256
+        assert signature.parameters["num_snapshots"].default == 1500
+        assert signature.parameters["num_train"].default == 1000
+
+    def test_initial_snapshot_is_pulse(self):
+        data = generate_paper_dataset(grid_size=25, num_snapshots=5, num_train=3)
+        p0 = data.train.snapshots[0, 0]
+        assert np.isclose(p0[12, 12], 0.5, atol=0.01)  # centre amplitude
+        # Fluid initially at rest.
+        assert np.allclose(data.train.snapshots[0, 2], 0.0)
+        assert np.allclose(data.train.snapshots[0, 3], 0.0)
+
+    def test_dynamics_present(self):
+        data = generate_paper_dataset(grid_size=24, num_snapshots=10, num_train=6)
+        assert not np.allclose(data.train.snapshots[0], data.train.snapshots[-1])
+
+    def test_full_snapshots_reassembles(self):
+        data = generate_paper_dataset(grid_size=24, num_snapshots=12, num_train=8)
+        assert data.full_snapshots.shape[0] == 12
+
+    def test_invalid_split_raises(self):
+        with pytest.raises(DatasetError):
+            generate_paper_dataset(grid_size=24, num_snapshots=10, num_train=10)
+
+    def test_deterministic(self):
+        a = generate_paper_dataset(grid_size=24, num_snapshots=6, num_train=4)
+        b = generate_paper_dataset(grid_size=24, num_snapshots=6, num_train=4)
+        assert np.array_equal(a.train.snapshots, b.train.snapshots)
+
+
+class TestMultiPulse:
+    def test_shapes(self):
+        data = generate_multi_pulse_dataset(
+            grid_size=24, num_snapshots=8, num_train=5, num_pulses=2, seed=1
+        )
+        assert data.train.snapshots.shape == (5, 4, 24, 24)
+
+    def test_seed_controls_content(self):
+        a = generate_multi_pulse_dataset(grid_size=24, num_snapshots=4, num_train=3, seed=1)
+        b = generate_multi_pulse_dataset(grid_size=24, num_snapshots=4, num_train=3, seed=2)
+        assert not np.allclose(a.train.snapshots[0], b.train.snapshots[0])
+
+    def test_zero_pulses_raise(self):
+        with pytest.raises(DatasetError):
+            generate_multi_pulse_dataset(grid_size=24, num_snapshots=4, num_train=3, num_pulses=0)
+
+
+class TestSyntheticAdvection:
+    def test_exact_shift_dynamics(self):
+        snaps = synthetic_advection_snapshots(grid_size=16, num_snapshots=5, seed=0)
+        assert np.allclose(np.roll(snaps[0], 1, axis=-1), snaps[1])
+        assert np.allclose(np.roll(snaps[2], 1, axis=-1), snaps[3])
+
+    def test_shape_and_determinism(self):
+        a = synthetic_advection_snapshots(grid_size=8, num_snapshots=3, num_channels=2, seed=5)
+        b = synthetic_advection_snapshots(grid_size=8, num_snapshots=3, num_channels=2, seed=5)
+        assert a.shape == (3, 2, 8, 8)
+        assert np.array_equal(a, b)

@@ -1,0 +1,66 @@
+"""Dataset persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SnapshotDataset,
+    load_dataset,
+    load_snapshots,
+    save_dataset,
+    save_snapshots,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSnapshotsIO:
+    def test_roundtrip(self, tmp_path, rng):
+        snaps = rng.standard_normal((5, 4, 6, 6))
+        path = tmp_path / "snaps.npz"
+        save_snapshots(path, snaps)
+        loaded, metadata = load_snapshots(path)
+        assert np.array_equal(loaded, snaps)
+        assert metadata == {}
+
+    def test_metadata_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "snaps.npz"
+        save_snapshots(
+            path,
+            rng.standard_normal((3, 4, 5, 5)),
+            dt=0.01,
+            grid_size=5,
+            scheme="rk4",
+        )
+        _, metadata = load_snapshots(path)
+        assert metadata["dt"] == 0.01
+        assert metadata["grid_size"] == 5
+        assert metadata["scheme"] == "rk4"
+
+    def test_wrong_rank_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            save_snapshots(tmp_path / "bad.npz", np.zeros((4, 5, 5)))
+
+    def test_non_archive_raises(self, tmp_path, rng):
+        path = tmp_path / "other.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_snapshots(path)
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path, rng):
+        ds = SnapshotDataset(rng.standard_normal((6, 4, 5, 5)))
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, ds, source="test")
+        loaded, metadata = load_dataset(path)
+        assert np.array_equal(loaded.snapshots, ds.snapshots)
+        assert loaded.num_samples == ds.num_samples
+        assert metadata["source"] == "test"
+
+    def test_compressed_smaller_than_raw(self, tmp_path):
+        """Compressed storage should beat raw for smooth fields."""
+        smooth = np.zeros((20, 4, 32, 32))
+        ds = SnapshotDataset(smooth + 1.0)
+        path = tmp_path / "smooth.npz"
+        save_dataset(path, ds)
+        assert path.stat().st_size < smooth.nbytes / 10

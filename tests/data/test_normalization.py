@@ -1,0 +1,143 @@
+"""Normalizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import (
+    IdentityNormalizer,
+    MinMaxNormalizer,
+    StandardNormalizer,
+    get_normalizer,
+)
+from repro.exceptions import ConfigurationError, DatasetError
+
+
+def channel_scaled_snaps(rng, t=6, c=4, h=5, w=5):
+    """Channels with wildly different scales, like the physical fields."""
+    scales = np.array([1e4, 1e-1, 1e2, 1e2]).reshape(1, 4, 1, 1)
+    return rng.standard_normal((t, c, h, w)) * scales
+
+
+class TestStandard:
+    def test_standardizes_each_channel(self, rng):
+        snaps = channel_scaled_snaps(rng)
+        normalized = StandardNormalizer().fit_transform(snaps)
+        for ch in range(4):
+            assert abs(normalized[:, ch].mean()) < 1e-10
+            assert np.isclose(normalized[:, ch].std(), 1.0)
+
+    def test_roundtrip(self, rng):
+        snaps = channel_scaled_snaps(rng)
+        norm = StandardNormalizer().fit(snaps)
+        assert np.allclose(norm.inverse_transform(norm.transform(snaps)), snaps)
+
+    def test_fit_on_train_applied_to_val(self, rng):
+        train = channel_scaled_snaps(rng)
+        val = channel_scaled_snaps(rng) + 1.0
+        norm = StandardNormalizer().fit(train)
+        out = norm.transform(val)
+        back = norm.inverse_transform(out)
+        assert np.allclose(back, val)
+
+    def test_use_before_fit_raises(self, rng):
+        with pytest.raises(DatasetError):
+            StandardNormalizer().transform(channel_scaled_snaps(rng))
+
+    def test_constant_channel_does_not_divide_by_zero(self):
+        snaps = np.zeros((3, 2, 4, 4))
+        snaps[:, 1] = 5.0
+        out = StandardNormalizer().fit_transform(snaps)
+        assert np.all(np.isfinite(out))
+
+    def test_works_on_single_sample(self, rng):
+        snaps = channel_scaled_snaps(rng)
+        norm = StandardNormalizer().fit(snaps)
+        single = snaps[0]
+        assert norm.transform(single).shape == single.shape
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(DatasetError):
+            StandardNormalizer().fit(np.zeros((4, 4)))
+
+
+class TestMinMax:
+    def test_range(self, rng):
+        snaps = channel_scaled_snaps(rng)
+        out = MinMaxNormalizer(-1.0, 1.0).fit_transform(snaps)
+        assert out.min() >= -1.0 - 1e-12
+        assert out.max() <= 1.0 + 1e-12
+        # Extremes are attained per channel.
+        for ch in range(4):
+            assert np.isclose(out[:, ch].min(), -1.0)
+            assert np.isclose(out[:, ch].max(), 1.0)
+
+    def test_roundtrip(self, rng):
+        snaps = channel_scaled_snaps(rng)
+        norm = MinMaxNormalizer().fit(snaps)
+        assert np.allclose(norm.inverse_transform(norm.transform(snaps)), snaps)
+
+    def test_custom_range(self, rng):
+        out = MinMaxNormalizer(0.0, 10.0).fit_transform(channel_scaled_snaps(rng))
+        assert out.min() >= -1e-9 and out.max() <= 10.0 + 1e-9
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            MinMaxNormalizer(1.0, 1.0)
+
+
+class TestIdentity:
+    def test_passthrough(self, rng):
+        snaps = channel_scaled_snaps(rng)
+        norm = IdentityNormalizer().fit(snaps)
+        assert norm.transform(snaps) is snaps
+        assert norm.inverse_transform(snaps) is snaps
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(DatasetError):
+            IdentityNormalizer().transform(channel_scaled_snaps(rng))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_normalizer("standard"), StandardNormalizer)
+        assert isinstance(get_normalizer("minmax", low=0.0, high=1.0), MinMaxNormalizer)
+        assert isinstance(get_normalizer("identity"), IdentityNormalizer)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_normalizer("robust")
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(2, 5), st.integers(1, 4), st.integers(2, 5), st.integers(2, 5)
+        ),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_standard_roundtrip_property(snaps):
+    norm = StandardNormalizer().fit(snaps)
+    back = norm.inverse_transform(norm.transform(snaps))
+    assert np.allclose(back, snaps, atol=1e-6 * (1 + np.abs(snaps).max()))
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(2, 5), st.integers(1, 4), st.integers(2, 5), st.integers(2, 5)
+        ),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_minmax_roundtrip_property(snaps):
+    norm = MinMaxNormalizer().fit(snaps)
+    back = norm.inverse_transform(norm.transform(snaps))
+    assert np.allclose(back, snaps, atol=1e-6 * (1 + np.abs(snaps).max()))

@@ -1,0 +1,168 @@
+"""Block-decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.domain import BlockDecomposition, split_extent
+from repro.exceptions import DecompositionError
+
+
+class TestSplitExtent:
+    def test_even_split(self):
+        assert split_extent(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_to_leading_parts(self):
+        assert split_extent(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n in range(1, 40):
+            for parts in range(1, n + 1):
+                sizes = [hi - lo for lo, hi in split_extent(n, parts)]
+                assert max(sizes) - min(sizes) <= 1
+                assert sum(sizes) == n
+
+    def test_contiguous_coverage(self):
+        ranges = split_extent(17, 5)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 17
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_invalid_raises(self):
+        with pytest.raises(DecompositionError):
+            split_extent(3, 0)
+        with pytest.raises(DecompositionError):
+            split_extent(2, 3)
+
+
+class TestBlockDecomposition:
+    def test_subdomains_cover_domain_disjointly(self):
+        decomp = BlockDecomposition((10, 12), (2, 3))
+        cover = np.zeros((10, 12), dtype=int)
+        for sub in decomp.subdomains():
+            cover[sub.y_slice, sub.x_slice] += 1
+        assert np.all(cover == 1)
+
+    def test_rank_coords_roundtrip(self):
+        decomp = BlockDecomposition((8, 8), (2, 4))
+        for rank in range(8):
+            assert decomp.rank_of(decomp.coords_of(rank)) == rank
+
+    def test_row_major_rank_order(self):
+        decomp = BlockDecomposition((4, 4), (2, 2))
+        assert decomp.coords_of(0) == (0, 0)
+        assert decomp.coords_of(1) == (0, 1)
+        assert decomp.coords_of(2) == (1, 0)
+
+    def test_from_num_ranks_balanced(self):
+        decomp = BlockDecomposition.from_num_ranks((64, 64), 8)
+        assert decomp.num_subdomains == 8
+        assert decomp.load_balance() == 1.0
+
+    def test_paper_configuration(self):
+        """256x256 into 64 ranks: each block is exactly 32x32."""
+        decomp = BlockDecomposition.from_num_ranks((256, 256), 64)
+        assert decomp.pgrid == (8, 8)
+        for sub in decomp.subdomains():
+            assert sub.shape == (32, 32)
+
+    def test_neighbours(self):
+        decomp = BlockDecomposition((6, 6), (2, 3))
+        # Rank 1 is at (0, 1): left=0, right=2, up=None, down=4.
+        assert decomp.neighbour(1, 1, -1) == 0
+        assert decomp.neighbour(1, 1, +1) == 2
+        assert decomp.neighbour(1, 0, -1) is None
+        assert decomp.neighbour(1, 0, +1) == 4
+
+    def test_neighbour_validation(self):
+        decomp = BlockDecomposition((6, 6), (2, 2))
+        with pytest.raises(DecompositionError):
+            decomp.neighbour(0, 2, 1)
+        with pytest.raises(DecompositionError):
+            decomp.neighbour(0, 0, 0)
+
+    def test_load_balance_uneven(self):
+        decomp = BlockDecomposition((7, 7), (2, 2))
+        assert decomp.load_balance() > 1.0
+
+    def test_invalid_pgrid_raises(self):
+        with pytest.raises(DecompositionError):
+            BlockDecomposition((8, 8), (0, 2))
+
+    def test_more_ranks_than_rows_raises(self):
+        with pytest.raises(DecompositionError):
+            BlockDecomposition((2, 8), (3, 1))
+
+
+class TestExtract:
+    def test_no_halo_is_plain_block(self, rng):
+        field = rng.standard_normal((4, 10, 12))
+        decomp = BlockDecomposition((10, 12), (2, 2))
+        sub = decomp.subdomain(3)
+        block = decomp.extract(field, 3)
+        assert np.allclose(block, field[:, sub.y_slice, sub.x_slice])
+
+    def test_interior_halo_comes_from_neighbours(self, rng):
+        field = rng.standard_normal((1, 8, 8))
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        block = decomp.extract(field, 0, halo=2)
+        # Rank 0 owns rows 0-3, cols 0-3; with halo 2 the block becomes
+        # 8x8: zero-padded above/left of the domain, neighbour data
+        # below/right.
+        assert block.shape == (1, 8, 8)
+        assert np.allclose(block[:, 2:, 2:], field[:, :6, :6])
+        assert np.all(block[:, :2, :] == 0.0)
+        assert np.all(block[:, :, :2] == 0.0)
+
+    def test_zero_fill_at_physical_boundary(self, rng):
+        field = rng.standard_normal((1, 8, 8))
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        block = decomp.extract(field, 0, halo=1, fill="zero")
+        assert np.all(block[:, 0, :] == 0.0)  # above the domain
+        assert np.all(block[:, :, 0] == 0.0)  # left of the domain
+
+    def test_edge_fill_replicates_wall(self, rng):
+        field = rng.standard_normal((1, 8, 8))
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        block = decomp.extract(field, 0, halo=1, fill="edge")
+        assert np.allclose(block[0, 0, 1:], field[0, 0, :5])
+
+    def test_leading_time_axis_supported(self, rng):
+        field = rng.standard_normal((7, 4, 8, 8))
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        block = decomp.extract(field, 1, halo=1)
+        assert block.shape == (7, 4, 6, 6)
+
+    def test_unknown_fill_raises(self, rng):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        with pytest.raises(DecompositionError):
+            decomp.extract(rng.standard_normal((1, 8, 8)), 0, halo=1, fill="wrap")
+
+    def test_shape_mismatch_raises(self, rng):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        with pytest.raises(DecompositionError):
+            decomp.extract(rng.standard_normal((1, 9, 9)), 0)
+
+    def test_negative_halo_raises(self, rng):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        with pytest.raises(DecompositionError):
+            decomp.extract(rng.standard_normal((1, 8, 8)), 0, halo=-1)
+
+
+class TestAssemble:
+    def test_roundtrip(self, rng):
+        field = rng.standard_normal((4, 9, 11))
+        decomp = BlockDecomposition((9, 11), (3, 2))
+        pieces = [decomp.extract(field, r) for r in range(decomp.num_subdomains)]
+        assert np.allclose(decomp.assemble(pieces), field)
+
+    def test_wrong_piece_count_raises(self, rng):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        with pytest.raises(DecompositionError):
+            decomp.assemble([np.zeros((1, 4, 4))] * 3)
+
+    def test_wrong_piece_shape_raises(self):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+        pieces = [np.zeros((1, 4, 4))] * 3 + [np.zeros((1, 5, 5))]
+        with pytest.raises(DecompositionError):
+            decomp.assemble(pieces)

@@ -1,0 +1,150 @@
+"""Halo-exchange tests: the parallel exchange must agree bit-for-bit
+with direct extraction from the global field."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.domain import BlockDecomposition, HaloExchanger, gather_blocks, scatter_blocks
+from repro.exceptions import DecompositionError
+
+
+@pytest.mark.parametrize("num_ranks", [1, 2, 4, 6, 9])
+@pytest.mark.parametrize("halo", [1, 2])
+@pytest.mark.parametrize("fill", ["zero", "edge"])
+def test_exchange_matches_direct_extraction(rng, num_ranks, halo, fill):
+    field = rng.standard_normal((3, 12, 18))
+    decomp = BlockDecomposition.from_num_ranks((12, 18), num_ranks)
+
+    def program(comm):
+        local = decomp.extract(field, comm.rank)
+        exchanger = HaloExchanger(comm, decomp, halo=halo, fill=fill)
+        extended = exchanger.exchange(local)
+        expected = decomp.extract(field, comm.rank, halo=halo, fill=fill)
+        assert extended.shape == expected.shape
+        assert np.allclose(extended, expected)
+        return True
+
+    assert all(mpi.run_parallel(program, num_ranks))
+
+
+def test_corner_data_transported(rng):
+    """Diagonal-neighbour data must arrive via the two-phase exchange."""
+    field = rng.standard_normal((1, 8, 8))
+    decomp = BlockDecomposition((8, 8), (2, 2))
+
+    def program(comm):
+        local = decomp.extract(field, comm.rank)
+        extended = HaloExchanger(comm, decomp, halo=2).exchange(local)
+        if comm.rank == 0:
+            # Bottom-right halo corner of rank 0 = top-left of rank 3.
+            assert np.allclose(extended[:, -2:, -2:], field[:, 4:6, 4:6])
+        return True
+
+    assert all(mpi.run_parallel(program, 4))
+
+
+def test_messages_per_exchange_counts():
+    decomp = BlockDecomposition((12, 12), (3, 3))
+
+    def program(comm):
+        HaloExchanger(comm, decomp, halo=1)
+        return HaloExchanger(comm, decomp, halo=1).messages_per_exchange
+
+    counts = mpi.run_parallel(program, 9)
+    # 2 messages per existing axis neighbour.
+    assert counts == [2, 3, 2, 3, 4, 3, 2, 3, 2]
+
+
+def test_repeated_exchanges_reuse_plan(rng):
+    field = rng.standard_normal((2, 8, 8))
+    decomp = BlockDecomposition((8, 8), (2, 2))
+
+    def program(comm):
+        exchanger = HaloExchanger(comm, decomp, halo=1)
+        local = decomp.extract(field, comm.rank)
+        for _ in range(5):
+            extended = exchanger.exchange(local)
+        expected = decomp.extract(field, comm.rank, halo=1)
+        return np.allclose(extended, expected)
+
+    assert all(mpi.run_parallel(program, 4))
+
+
+class TestValidation:
+    def test_halo_too_large_raises(self):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+
+        def program(comm):
+            with pytest.raises(DecompositionError):
+                HaloExchanger(comm, decomp, halo=5)
+            return True
+
+        assert all(mpi.run_parallel(program, 4))
+
+    def test_size_mismatch_raises(self):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+
+        def program(comm):
+            with pytest.raises(DecompositionError):
+                HaloExchanger(comm, decomp, halo=1)
+            return True
+
+        assert all(mpi.run_parallel(program, 2))
+
+    def test_zero_halo_raises(self):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+
+        def program(comm):
+            with pytest.raises(DecompositionError):
+                HaloExchanger(comm, decomp, halo=0)
+            return True
+
+        assert all(mpi.run_parallel(program, 4))
+
+    def test_wrong_local_shape_raises(self, rng):
+        decomp = BlockDecomposition((8, 8), (2, 2))
+
+        def program(comm):
+            exchanger = HaloExchanger(comm, decomp, halo=1)
+            with pytest.raises(DecompositionError):
+                exchanger.exchange(rng.standard_normal((1, 3, 3)))
+            return True
+
+        assert all(mpi.run_parallel(program, 4))
+
+
+class TestGatherScatter:
+    def test_gather_assembles_at_root(self, rng):
+        field = rng.standard_normal((2, 10, 10))
+        decomp = BlockDecomposition.from_num_ranks((10, 10), 4)
+
+        def program(comm):
+            local = decomp.extract(field, comm.rank)
+            return gather_blocks(comm, decomp, local)
+
+        results = mpi.run_parallel(program, 4)
+        assert np.allclose(results[0], field)
+        assert all(r is None for r in results[1:])
+
+    def test_scatter_distributes_blocks(self, rng):
+        field = rng.standard_normal((2, 10, 10))
+        decomp = BlockDecomposition.from_num_ranks((10, 10), 4)
+
+        def program(comm):
+            local = scatter_blocks(comm, decomp, field if comm.rank == 0 else None)
+            expected = decomp.extract(field, comm.rank)
+            return np.allclose(local, expected)
+
+        assert all(mpi.run_parallel(program, 4))
+
+    def test_scatter_gather_roundtrip(self, rng):
+        field = rng.standard_normal((1, 12, 12))
+        decomp = BlockDecomposition.from_num_ranks((12, 12), 6)
+
+        def program(comm):
+            local = scatter_blocks(comm, decomp, field if comm.rank == 0 else None)
+            return gather_blocks(comm, decomp, local)
+
+        results = mpi.run_parallel(program, 6)
+        assert np.allclose(results[0], field)

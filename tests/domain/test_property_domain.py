@@ -1,0 +1,73 @@
+"""Property-based decomposition invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain import BlockDecomposition, split_extent
+
+
+@given(st.integers(1, 200), st.data())
+@settings(max_examples=100, deadline=None)
+def test_split_extent_partition_properties(n, data):
+    parts = data.draw(st.integers(1, n))
+    ranges = split_extent(n, parts)
+    sizes = [hi - lo for lo, hi in ranges]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    assert ranges[0][0] == 0 and ranges[-1][1] == n
+    # Contiguity.
+    for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+        assert hi == lo
+
+
+@given(
+    st.integers(4, 20),
+    st.integers(4, 20),
+    st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_extract_assemble_roundtrip(height, width, num_ranks):
+    from repro.mpi import dims_create
+
+    num_ranks = min(num_ranks, height * width)
+    pgrid = dims_create(num_ranks, 2)
+    if pgrid[0] > height or pgrid[1] > width:
+        return
+    decomp = BlockDecomposition((height, width), pgrid)
+    rng = np.random.default_rng(height * 100 + width)
+    field = rng.standard_normal((2, height, width))
+    pieces = [decomp.extract(field, r) for r in range(decomp.num_subdomains)]
+    assert np.allclose(decomp.assemble(pieces), field)
+
+
+@given(
+    st.integers(6, 16),
+    st.integers(1, 4),
+    st.integers(1, 2),
+)
+@settings(max_examples=60, deadline=None)
+def test_halo_extract_shape_invariant(size, num_ranks, halo):
+    decomp = BlockDecomposition.from_num_ranks((size, size), num_ranks)
+    rng = np.random.default_rng(size)
+    field = rng.standard_normal((1, size, size))
+    for rank in range(decomp.num_subdomains):
+        sub = decomp.subdomain(rank)
+        block = decomp.extract(field, rank, halo=halo)
+        assert block.shape == (1, sub.shape[0] + 2 * halo, sub.shape[1] + 2 * halo)
+        # The interior of the halo block is exactly the plain block.
+        inner = block[:, halo:-halo, halo:-halo]
+        assert np.allclose(inner, decomp.extract(field, rank))
+
+
+@given(st.integers(2, 5), st.integers(2, 5))
+@settings(max_examples=40, deadline=None)
+def test_neighbour_symmetry(py, px):
+    """If B is A's +x neighbour then A is B's -x neighbour, etc."""
+    decomp = BlockDecomposition((py * 3, px * 3), (py, px))
+    for rank in range(decomp.num_subdomains):
+        for axis in (0, 1):
+            for direction in (-1, 1):
+                other = decomp.neighbour(rank, axis, direction)
+                if other is not None:
+                    assert decomp.neighbour(other, axis, -direction) == rank

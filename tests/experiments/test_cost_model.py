@@ -1,0 +1,82 @@
+"""Scaling cost-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import ScalingModel, fit_scaling_model
+from repro.experiments.cost_model import analyse_fig4
+
+
+class TestFit:
+    def test_recovers_exact_synthetic_parameters(self):
+        model_true = ScalingModel(fixed_time=0.05, point_time=1e-6, num_points=65536)
+        ranks = [1, 2, 4, 8, 16]
+        times = [model_true.predict(p) for p in ranks]
+        fitted = fit_scaling_model(ranks, times, 65536)
+        assert np.isclose(fitted.fixed_time, 0.05, rtol=1e-8)
+        assert np.isclose(fitted.point_time, 1e-6, rtol=1e-8)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        model_true = ScalingModel(0.1, 2e-6, 65536)
+        ranks = [1, 2, 4, 8, 16, 32, 64]
+        times = [model_true.predict(p) * (1 + 0.02 * rng.standard_normal()) for p in ranks]
+        fitted = fit_scaling_model(ranks, times, 65536)
+        assert np.isclose(fitted.point_time, 2e-6, rtol=0.15)
+
+    def test_negative_intercept_clamped(self):
+        # Superlinear measurements imply a negative intercept; the model
+        # clamps to the physical regime.
+        fitted = fit_scaling_model([1, 2, 4], [1.0, 0.4, 0.15], 1000)
+        assert fitted.fixed_time >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_scaling_model([1], [1.0], 100)
+        with pytest.raises(ConfigurationError):
+            fit_scaling_model([1, 0], [1.0, 1.0], 100)
+        with pytest.raises(ConfigurationError):
+            fit_scaling_model([1, 2], [1.0, -1.0], 100)
+
+
+class TestPrediction:
+    def test_ideal_scaling_without_overhead(self):
+        model = ScalingModel(0.0, 1e-6, 10000)
+        assert np.isclose(model.speedup(8), 8.0)
+        assert np.isclose(model.parallel_fraction(), 1.0)
+
+    def test_amdahl_limit_with_overhead(self):
+        model = ScalingModel(fixed_time=1.0, point_time=1e-4, num_points=10000)
+        # serial 1s + parallel 1s: asymptotic speedup -> 2.
+        assert model.speedup(10_000) < 2.0
+        assert np.isclose(model.parallel_fraction(), 0.5)
+
+    def test_saturation_ranks_monotone_in_overhead(self):
+        light = ScalingModel(0.001, 1e-5, 65536)
+        heavy = ScalingModel(0.5, 1e-5, 65536)
+        assert light.saturation_ranks() > heavy.saturation_ranks()
+
+    def test_predict_validates(self):
+        model = ScalingModel(0.1, 1e-6, 100)
+        with pytest.raises(ConfigurationError):
+            model.predict(0)
+        with pytest.raises(ConfigurationError):
+            model.saturation_ranks(efficiency_floor=0.0)
+
+
+class TestAnalyseFig4:
+    def test_report_from_real_run(self):
+        from repro.experiments import DataConfig, Fig4Config, default_training_config, run_fig4
+
+        result = run_fig4(
+            Fig4Config(
+                data=DataConfig(grid_size=24, num_snapshots=8, num_train=6),
+                training=default_training_config(epochs=1),
+                rank_counts=(1, 2, 4),
+            )
+        )
+        report = analyse_fig4(result, extrapolate_to=(64, 128))
+        assert "parallel fraction" in report
+        assert "Extrapolation" in report
+        assert "128" in report

@@ -1,0 +1,83 @@
+"""Reporting-utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_heatmap, format_scaling_plot, format_table, side_by_side
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (3, 4.0)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5" in out and "4" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(0.000123456,), (123456.789,), (0.0,)])
+        assert "1.235e-04" in out
+        assert "1.235e+05" in out or "123456" in out
+        assert "0" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_alignment(self):
+        out = format_table(["name", "v"], [("a", 1.0), ("longer", 2.0)])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestAsciiHeatmap:
+    def test_shape(self, rng):
+        out = ascii_heatmap(rng.standard_normal((30, 50)), width=20, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_small_field_not_upsampled(self, rng):
+        out = ascii_heatmap(rng.standard_normal((5, 5)), width=20, height=10)
+        assert len(out.splitlines()) == 5
+
+    def test_constant_field_uniform(self):
+        out = ascii_heatmap(np.zeros((8, 8)))
+        chars = set(out.replace("\n", ""))
+        assert len(chars) == 1
+
+    def test_symmetric_scale_centres_zero(self):
+        field = np.zeros((4, 4))
+        field[0, 0] = 1.0
+        field[3, 3] = -1.0
+        out = ascii_heatmap(field, width=4, height=4)
+        lines = out.splitlines()
+        assert lines[0][0] != lines[3][3]
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((3, 3, 3)))
+
+
+class TestSideBySide:
+    def test_joins_horizontally(self):
+        out = side_by_side("ab\ncd", "XY\nZW", gap=2)
+        lines = out.splitlines()
+        assert lines[0] == "ab  XY"
+        assert lines[1] == "cd  ZW"
+
+    def test_labels(self):
+        out = side_by_side("a", "b", labels=("left", "right"))
+        assert out.splitlines()[0].startswith("left")
+
+    def test_uneven_heights(self):
+        out = side_by_side("a\nb\nc", "x")
+        assert len(out.splitlines()) == 3
+
+
+class TestScalingPlot:
+    def test_bars_scale_with_values(self):
+        out = format_scaling_plot([1, 2], [10.0, 5.0], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[2].count("#") == 10

@@ -1,0 +1,127 @@
+"""Cartesian topology tests."""
+
+import pytest
+
+from repro import mpi
+from repro.exceptions import CommunicatorError
+from repro.mpi import CartComm, SelfCommunicator, dims_create
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 8, 12, 16, 30, 64, 97])
+    def test_product_equals_size(self, size):
+        dims = dims_create(size, 2)
+        assert dims[0] * dims[1] == size
+
+    def test_balanced_squares(self):
+        assert dims_create(64, 2) == (8, 8)
+        assert dims_create(16, 2) == (4, 4)
+
+    def test_rectangles(self):
+        assert dims_create(12, 2) == (4, 3)
+        assert dims_create(2, 2) == (2, 1)
+
+    def test_three_dims(self):
+        dims = dims_create(24, 3)
+        assert len(dims) == 3
+        assert dims[0] * dims[1] * dims[2] == 24
+        assert dims == tuple(sorted(dims, reverse=True))
+
+    def test_prime_size(self):
+        assert dims_create(7, 2) == (7, 1)
+
+    def test_invalid_raises(self):
+        with pytest.raises(CommunicatorError):
+            dims_create(0, 2)
+        with pytest.raises(CommunicatorError):
+            dims_create(4, 0)
+
+
+def make_cart(dims, periods=None):
+    """A size-1-compatible helper: uses SelfCommunicator when possible,
+    otherwise builds coordinate math through a parallel run."""
+    comm = SelfCommunicator()
+    total = 1
+    for d in dims:
+        total *= d
+    if total == 1:
+        return CartComm(comm, dims, periods)
+    raise AssertionError("use run_parallel for multi-rank carts")
+
+
+class TestCoordinateMath:
+    def test_roundtrip_all_ranks(self):
+        def program(comm):
+            cart = CartComm(comm, (2, 3))
+            assert cart.rank_of(cart.coords_of(comm.rank)) == comm.rank
+            return cart.coords
+
+        coords = mpi.run_parallel(program, 6)
+        assert coords == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_dims_mismatch_raises(self):
+        def program(comm):
+            with pytest.raises(CommunicatorError):
+                CartComm(comm, (2, 2))  # needs 4 ranks, world has 2
+            return True
+
+        assert all(mpi.run_parallel(program, 2))
+
+    def test_shift_non_periodic(self):
+        def program(comm):
+            cart = CartComm(comm, (1, 3))
+            lo, hi = cart.shift(axis=1)
+            return (lo, hi)
+
+        shifts = mpi.run_parallel(program, 3)
+        assert shifts == [(None, 1), (0, 2), (1, None)]
+
+    def test_shift_periodic_wraps(self):
+        def program(comm):
+            cart = CartComm(comm, (1, 3), periods=(False, True))
+            return cart.shift(axis=1)
+
+        shifts = mpi.run_parallel(program, 3)
+        assert shifts == [(2, 1), (0, 2), (1, 0)]
+
+    def test_neighbours_interior_vs_corner(self):
+        def program(comm):
+            cart = CartComm(comm, (3, 3))
+            return len(cart.neighbours())
+
+        counts = mpi.run_parallel(program, 9)
+        # Corner ranks have 2 neighbours, edges 3, centre 4.
+        assert counts == [2, 3, 2, 3, 4, 3, 2, 3, 2]
+
+    def test_out_of_range_coordinate_raises(self):
+        cart = make_cart((1, 1))
+        with pytest.raises(CommunicatorError):
+            cart.rank_of((0, 5))
+        with pytest.raises(CommunicatorError):
+            cart.coords_of(9)
+
+    def test_bad_axis_raises(self):
+        cart = make_cart((1, 1))
+        with pytest.raises(CommunicatorError):
+            cart.shift(axis=5)
+
+
+class TestCartCommunication:
+    def test_messaging_through_cart(self):
+        """CartComm delegates pt2pt and collectives to its parent."""
+
+        def program(comm):
+            cart = CartComm(comm, dims_create(comm.size, 2))
+            _, right = cart.shift(axis=1)
+            left, _ = cart.shift(axis=1)
+            if right is not None:
+                cart.send(cart.coords, dest=right, tag=1)
+            received = None
+            if left is not None:
+                received = cart.recv(source=left, tag=1)
+            total = cart.allreduce(1)
+            assert total == comm.size
+            return received
+
+        results = mpi.run_parallel(program, 6)
+        assert any(r is not None for r in results)

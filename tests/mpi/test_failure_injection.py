@@ -1,0 +1,146 @@
+"""Failure-injection tests for the message-passing runtime.
+
+The launcher must behave sanely when ranks die, hang, or flood the
+router — the properties a long-running training job relies on.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.exceptions import CommunicatorError, DeadlockError
+from repro.mpi.router import MessageRouter
+
+
+class TestAbortSemantics:
+    def test_abort_wakes_blocked_receivers(self):
+        """A rank crash must not leave peers blocked forever."""
+        start = time.monotonic()
+
+        def program(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            # Would block for the full watchdog window without abort.
+            comm.recv(source=0, tag=1, timeout=30.0)
+
+        with pytest.raises(RuntimeError, match="early death"):
+            mpi.run_parallel(program, 2)
+        assert time.monotonic() - start < 10.0
+
+    def test_abort_poisons_future_receives(self):
+        router = MessageRouter(2)
+        router.abort(ValueError("poisoned"))
+        with pytest.raises(DeadlockError):
+            router.collect(0, mpi.ANY_SOURCE, mpi.ANY_TAG, timeout=1.0)
+        with pytest.raises(DeadlockError):
+            router.try_collect(0, mpi.ANY_SOURCE, mpi.ANY_TAG)
+
+    def test_multiple_rank_failures_report_first_by_rank(self):
+        def program(comm):
+            raise ValueError(f"rank {comm.rank}")
+
+        with pytest.raises(ValueError, match="rank 0"):
+            mpi.run_parallel(program, 3)
+
+    def test_exception_in_one_of_many_does_not_hang_collectives(self):
+        def program(comm):
+            if comm.rank == 2:
+                raise KeyError("lost rank")
+            comm.barrier()
+
+        with pytest.raises(KeyError):
+            mpi.run_parallel(program, 4)
+
+
+class TestTimeouts:
+    def test_region_timeout_aborts_hung_world(self):
+        release = threading.Event()
+
+        def program(comm):
+            # Hang without ever posting a receive.
+            release.wait(20.0)
+
+        start = time.monotonic()
+        try:
+            mpi.run_parallel(program, 2, timeout=0.5, deadlock_timeout=None)
+        except CommunicatorError:
+            pass
+        finally:
+            release.set()
+        # The launcher must come back promptly, not after 20s.
+        assert time.monotonic() - start < 15.0
+
+    def test_watchdog_disabled_with_none(self):
+        """deadlock_timeout=None means block indefinitely: verify the
+        message does eventually arrive in a slow-sender scenario."""
+
+        def program(comm):
+            if comm.rank == 0:
+                time.sleep(0.3)
+                comm.send("late", dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=1)
+
+        results = mpi.run_parallel(program, 2, deadlock_timeout=None)
+        assert results[1] == "late"
+
+
+class TestStress:
+    def test_many_small_messages_all_delivered(self):
+        count = 300
+
+        def program(comm):
+            peer = 1 - comm.rank
+            for i in range(count):
+                comm.send((comm.rank, i), dest=peer, tag=i % 7)
+            received = []
+            for _ in range(count):
+                received.append(comm.recv(source=peer))
+            return sorted(m[1] for m in received)
+
+        results = mpi.run_parallel(program, 2)
+        assert results[0] == sorted(range(count))
+        assert results[1] == sorted(range(count))
+
+    def test_large_array_payloads(self):
+        payload = np.arange(200_000, dtype=np.float64)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1, tag=1)
+                return None
+            received = comm.recv(source=0, tag=1)
+            return float(received.sum())
+
+        results = mpi.run_parallel(program, 2)
+        assert results[1] == float(payload.sum())
+
+    def test_pending_count_drains_to_zero(self):
+        router = MessageRouter(2)
+        router.post(0, 1, 5, "x")
+        router.post(0, 1, 5, "y")
+        assert router.pending_count() == 2
+        assert router.pending_count(1) == 2
+        assert router.pending_count(0) == 0
+        router.collect(1, 0, 5, timeout=1.0)
+        router.collect(1, 0, 5, timeout=1.0)
+        assert router.pending_count() == 0
+
+    def test_repeated_worlds_do_not_leak_state(self):
+        """Fresh run_parallel calls must not see old messages."""
+
+        def sender(comm):
+            comm.send("stale", dest=(comm.rank + 1) % comm.size, tag=3)
+            # Deliberately do NOT receive.
+            return True
+
+        assert all(mpi.run_parallel(sender, 2))
+
+        def receiver(comm):
+            found = comm.irecv(source=mpi.ANY_SOURCE, tag=3).test()
+            return found[0]
+
+        assert mpi.run_parallel(receiver, 2) == [False, False]

@@ -1,0 +1,122 @@
+"""Launcher (run_parallel) tests."""
+
+import threading
+
+import pytest
+
+from repro import mpi
+from repro.exceptions import CommunicatorError, DeadlockError
+from repro.mpi import SelfCommunicator
+
+
+class TestSPMD:
+    def test_results_in_rank_order(self):
+        results = mpi.run_parallel(lambda comm: comm.rank * 2, 5)
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_world_size_visible(self):
+        assert mpi.run_parallel(lambda comm: comm.size, 3) == [3, 3, 3]
+
+    def test_get_rank_get_size_aliases(self):
+        def program(comm):
+            return comm.Get_rank(), comm.Get_size()
+
+        assert mpi.run_parallel(program, 2) == [(0, 2), (1, 2)]
+
+    def test_ranks_run_concurrently(self):
+        """Blocking receives must not serialize independent ranks."""
+        barrier = threading.Barrier(3, timeout=10.0)
+
+        def program(comm):
+            barrier.wait()  # passes only if all three threads are live
+            return True
+
+        assert all(mpi.run_parallel(program, 3))
+
+
+class TestMPMD:
+    def test_one_callable_per_rank(self):
+        fns = [lambda comm, i=i: f"rank{i}" for i in range(3)]
+        assert mpi.run_parallel(fns, 3) == ["rank0", "rank1", "rank2"]
+
+    def test_wrong_count_raises(self):
+        with pytest.raises(CommunicatorError):
+            mpi.run_parallel([lambda c: None], 2)
+
+
+class TestErrorPropagation:
+    def test_rank_exception_reraised(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            mpi.run_parallel(program, 3)
+
+    def test_original_error_preferred_over_induced_deadlock(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=1)  # dies with induced DeadlockError
+            raise RuntimeError("root cause")
+
+        with pytest.raises(RuntimeError, match="root cause"):
+            mpi.run_parallel(program, 2)
+
+    def test_pure_deadlock_raises_deadlock_error(self):
+        def program(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=0)
+
+        with pytest.raises(DeadlockError):
+            mpi.run_parallel(program, 2, deadlock_timeout=0.2)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(CommunicatorError):
+            mpi.run_parallel(lambda c: None, 0)
+
+
+class TestIsolationToggle:
+    def test_isolation_can_be_disabled(self):
+        """With isolation off, large read-only payloads pass by reference."""
+        import numpy as np
+
+        big = np.ones(10)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(big, dest=1, tag=1)
+                return None
+            received = comm.recv(source=0, tag=1)
+            return received is big
+
+        assert mpi.run_parallel(program, 2, isolate_messages=False)[1]
+
+
+class TestSelfCommunicator:
+    def test_identity(self):
+        comm = SelfCommunicator()
+        assert comm.rank == 0
+        assert comm.size == 1
+
+    def test_collectives_degenerate(self):
+        comm = SelfCommunicator()
+        assert comm.allreduce(5) == 5
+        assert comm.bcast("x") == "x"
+        assert comm.gather(7) == [7]
+        assert comm.scatter([9]) == 9
+        assert comm.allgather(1) == [1]
+        assert comm.alltoall(["self"]) == ["self"]
+        comm.barrier()  # must not block
+
+    def test_self_messaging(self):
+        comm = SelfCommunicator()
+        comm.send("loop", dest=0, tag=2)
+        assert comm.recv(source=0, tag=2) == "loop"
+
+    def test_irecv_on_self(self):
+        comm = SelfCommunicator()
+        request = comm.irecv(source=0, tag=3)
+        done, _ = request.test()
+        assert not done
+        comm.send(1, dest=0, tag=3)
+        assert request.wait() == 1

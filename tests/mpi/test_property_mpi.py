@@ -1,0 +1,75 @@
+"""Property-based tests on topology math and reductions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.mpi import dims_create
+from repro.mpi.cartesian import CartComm
+from repro.mpi.world import SelfCommunicator
+
+
+@given(st.integers(1, 512), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_dims_create_product_and_order(size, ndims):
+    dims = dims_create(size, ndims)
+    product = 1
+    for d in dims:
+        product *= d
+    assert product == size
+    assert len(dims) == ndims
+    assert all(d >= 1 for d in dims)
+    assert dims == tuple(sorted(dims, reverse=True))
+
+
+@given(st.integers(1, 256))
+@settings(max_examples=60, deadline=None)
+def test_dims_create_2d_near_square(size):
+    """The 2-D factorization is the most balanced one possible."""
+    py, px = dims_create(size, 2)
+    best = min(
+        (max(a, size // a) - min(a, size // a))
+        for a in range(1, size + 1)
+        if size % a == 0
+    )
+    assert (py - px) == best
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.data())
+@settings(max_examples=60, deadline=None)
+def test_cart_rank_coords_bijection(py, px, data):
+    # Build topology math on a self communicator for the (1,1) case;
+    # for larger grids only exercise the pure coordinate functions.
+    class FakeComm(SelfCommunicator):
+        @property
+        def size(self):
+            return py * px
+
+    cart = CartComm(FakeComm(), (py, px))
+    rank = data.draw(st.integers(0, py * px - 1))
+    assert cart.rank_of(cart.coords_of(rank)) == rank
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_allreduce_sum_matches_python_sum(values):
+    size = len(values)
+
+    def program(comm):
+        return comm.allreduce(values[comm.rank], op=mpi.SUM)
+
+    results = mpi.run_parallel(program, size)
+    assert results == [sum(values)] * size
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_allreduce_max_matches_python_max(values):
+    size = len(values)
+
+    def program(comm):
+        return comm.allreduce(values[comm.rank], op=mpi.MAX)
+
+    results = mpi.run_parallel(program, size)
+    assert all(np.isclose(r, max(values)) for r in results)

@@ -1,0 +1,73 @@
+"""Non-blocking operation (Request) tests."""
+
+import numpy as np
+
+from repro import mpi
+
+
+class TestIsend:
+    def test_isend_completes_immediately(self):
+        def program(comm):
+            if comm.rank == 0:
+                request = comm.isend("hello", dest=1, tag=1)
+                assert request.completed
+                assert request.wait() is None
+                return None
+            return comm.recv(source=0, tag=1)
+
+        assert mpi.run_parallel(program, 2)[1] == "hello"
+
+
+class TestIrecv:
+    def test_wait_returns_payload(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(3.0), dest=1, tag=4)
+                return None
+            request = comm.irecv(source=0, tag=4)
+            payload = request.wait()
+            assert request.status.source == 0
+            assert request.status.tag == 4
+            return payload
+
+        assert np.allclose(mpi.run_parallel(program, 2)[1], np.arange(3.0))
+
+    def test_test_polls_without_blocking(self):
+        def program(comm):
+            if comm.rank == 1:
+                request = comm.irecv(source=0, tag=9)
+                done, _ = request.test()  # nothing sent yet: must not block
+                comm.send("ready", dest=0, tag=8)
+                payload = request.wait()
+                return payload
+            comm.recv(source=1, tag=8)
+            comm.send("late", dest=1, tag=9)
+            return None
+
+        assert mpi.run_parallel(program, 2)[1] == "late"
+
+    def test_wait_after_successful_test_returns_same(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(123, dest=1, tag=2)
+                comm.barrier()
+                return None
+            comm.barrier()  # ensure the message has arrived
+            request = comm.irecv(source=0, tag=2)
+            done, value = request.test()
+            assert done and value == 123
+            assert request.wait() == 123
+            return True
+
+        assert mpi.run_parallel(program, 2)[1]
+
+    def test_multiple_outstanding_irecvs(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(4):
+                    comm.send(i, dest=1, tag=i)
+                return None
+            requests = [comm.irecv(source=0, tag=i) for i in range(4)]
+            return mpi.wait_all(requests)
+
+        assert mpi.run_parallel(program, 2)[1] == [0, 1, 2, 3]

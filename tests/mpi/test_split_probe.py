@@ -1,0 +1,118 @@
+"""Communicator splitting and probing tests."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.exceptions import CommunicatorError
+
+
+class TestIprobe:
+    def test_false_before_true_after(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("m", dest=1, tag=7)
+                comm.barrier()
+                return None
+            assert not comm.iprobe(source=0, tag=3)
+            comm.barrier()  # message definitely delivered now
+            assert comm.iprobe(source=0, tag=7)
+            assert comm.iprobe()  # wildcard
+            # Probing must not consume the message.
+            assert comm.recv(source=0, tag=7) == "m"
+            assert not comm.iprobe()
+            return True
+
+        assert mpi.run_parallel(program, 2)[1]
+
+    def test_self_communicator_probe(self):
+        comm = mpi.SelfCommunicator()
+        assert not comm.iprobe()
+        comm.send(1, dest=0, tag=2)
+        assert comm.iprobe(source=0, tag=2)
+        comm.recv()
+        assert not comm.iprobe()
+
+    def test_validates_peer(self):
+        comm = mpi.SelfCommunicator()
+        with pytest.raises(CommunicatorError):
+            comm.iprobe(source=5)
+
+
+class TestSplit:
+    def test_even_odd_groups(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.allgather(comm.rank))
+
+        results = mpi.run_parallel(program, 6)
+        evens = [0, 2, 4]
+        odds = [1, 3, 5]
+        for world_rank, (sub_rank, sub_size, members) in enumerate(results):
+            assert sub_size == 3
+            expected = evens if world_rank % 2 == 0 else odds
+            assert members == expected
+            assert expected[sub_rank] == world_rank
+
+    def test_key_reorders_group(self):
+        def program(comm):
+            # Reverse order within the single group.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        results = mpi.run_parallel(program, 4)
+        assert results == [3, 2, 1, 0]
+
+    def test_negative_color_opts_out(self):
+        def program(comm):
+            color = 0 if comm.rank < 2 else -1
+            sub = comm.split(color)
+            if comm.rank < 2:
+                assert sub is not None
+                return sub.size
+            assert sub is None
+            return None
+
+        results = mpi.run_parallel(program, 4)
+        assert results == [2, 2, None, None]
+
+    def test_subgroup_pt2pt_uses_group_ranks(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank // 2)  # pairs (0,1), (2,3)
+            peer = 1 - sub.rank
+            sub.send(comm.rank, dest=peer, tag=1)
+            partner_world_rank = sub.recv(source=peer, tag=1)
+            # Partner is the other member of my pair.
+            assert partner_world_rank // 2 == comm.rank // 2
+            assert partner_world_rank != comm.rank
+            return True
+
+        assert all(mpi.run_parallel(program, 4))
+
+    def test_concurrent_subgroup_collectives(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return sub.allreduce(np.array([comm.rank]), op=mpi.SUM)[0]
+
+        results = mpi.run_parallel(program, 4)
+        assert results == [2, 4, 2, 4]
+
+    def test_nested_split(self):
+        def program(comm):
+            half = comm.split(color=comm.rank // 4)
+            quarter = half.split(color=half.rank // 2)
+            return (half.size, quarter.size, quarter.allgather(comm.rank))
+
+        results = mpi.run_parallel(program, 8)
+        for world_rank, (half_size, quarter_size, members) in enumerate(results):
+            assert half_size == 4
+            assert quarter_size == 2
+            assert world_rank in members
+
+    def test_translate(self):
+        def program(comm):
+            sub = comm.split(color=0)
+            return [sub.translate(i) for i in range(sub.size)]
+
+        results = mpi.run_parallel(program, 3)
+        assert all(r == [0, 1, 2] for r in results)

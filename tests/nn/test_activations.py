@@ -1,0 +1,50 @@
+"""Activation-module tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Identity, LeakyReLU, ReLU, Sigmoid, Tanh, get_activation
+from repro.tensor import Tensor
+
+
+class TestModules:
+    def test_relu(self):
+        assert np.allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_leaky_relu_paper_epsilon(self):
+        layer = LeakyReLU()  # default 0.01 = the paper's epsilon
+        assert layer.negative_slope == 0.01
+        assert np.allclose(layer(Tensor([-1.0])).data, [-0.01])
+
+    def test_leaky_relu_negative_slope_validation(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(-0.5)
+
+    def test_sigmoid_midpoint(self):
+        assert np.isclose(Sigmoid()(Tensor([0.0])).item(), 0.5)
+
+    def test_tanh_odd(self, rng):
+        x = rng.standard_normal(5)
+        layer = Tanh()
+        assert np.allclose(layer(Tensor(x)).data, -layer(Tensor(-x)).data)
+
+    def test_identity(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert np.array_equal(Identity()(Tensor(x)).data, x)
+
+    def test_activations_have_no_parameters(self):
+        for layer in (ReLU(), LeakyReLU(), Sigmoid(), Tanh(), Identity()):
+            assert layer.parameters() == []
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        layer = get_activation("leaky_relu", negative_slope=0.2)
+        assert isinstance(layer, LeakyReLU)
+        assert layer.negative_slope == 0.2
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_activation("swish")

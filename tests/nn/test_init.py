@@ -1,0 +1,78 @@
+"""Initializer tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    compute_fans,
+    get_initializer,
+    glorot_normal,
+    glorot_uniform,
+    he_normal,
+    he_uniform,
+    leaky_relu_gain,
+)
+
+
+class TestFans:
+    def test_linear_fans(self):
+        assert compute_fans((8, 4)) == (4, 8)
+
+    def test_conv_fans_include_receptive_field(self):
+        # (out, in, kh, kw): fan_in = in * kh * kw
+        assert compute_fans((6, 4, 5, 5)) == (4 * 25, 6 * 25)
+
+    def test_too_few_dims_raises(self):
+        with pytest.raises(ConfigurationError):
+            compute_fans((5,))
+
+
+class TestGlorot:
+    def test_uniform_bounds(self, rng):
+        shape = (16, 8)
+        limit = math.sqrt(6.0 / (8 + 16))
+        w = glorot_uniform(shape, rng)
+        assert w.shape == shape
+        assert np.all(np.abs(w) <= limit)
+
+    def test_normal_std(self, rng):
+        w = glorot_normal((200, 100), rng)
+        expected = math.sqrt(2.0 / 300)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_deterministic_with_seed(self):
+        a = glorot_uniform((4, 4), np.random.default_rng(3))
+        b = glorot_uniform((4, 4), np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestHe:
+    def test_gain(self):
+        assert np.isclose(leaky_relu_gain(0.0), math.sqrt(2.0))
+        assert leaky_relu_gain(0.01) < leaky_relu_gain(0.0)
+
+    def test_uniform_bounds(self, rng):
+        w = he_uniform((16, 8), rng, negative_slope=0.0)
+        limit = math.sqrt(2.0) * math.sqrt(3.0 / 8)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_normal_std(self, rng):
+        w = he_normal((300, 100), rng)
+        expected = math.sqrt(2.0 / 100)
+        assert abs(w.std() - expected) / expected < 0.1
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["glorot_uniform", "glorot_normal", "he_uniform", "he_normal"]
+    )
+    def test_lookup(self, name, rng):
+        w = get_initializer(name)((4, 4), rng)
+        assert w.shape == (4, 4)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_initializer("orthogonal")

@@ -1,0 +1,40 @@
+"""Linear-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Linear
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_affine_map(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_batched_leading_dims(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((5, 4, 3))
+        assert layer(Tensor(x)).shape == (5, 4, 2)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        x = rng.standard_normal((1, 3))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data.T)
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.standard_normal((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert layer.weight.grad.shape == (2, 3)
+
+    def test_bad_features_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            Linear(2, 0, rng=rng)

@@ -1,0 +1,102 @@
+"""Loss-function tests, including the paper's Eq. (7) MAPE."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import HuberLoss, MAELoss, MAPELoss, MSELoss, get_loss
+from repro.tensor import Tensor
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()(Tensor([1.0, 3.0]), Tensor([0.0, 0.0]))
+        assert np.isclose(loss.item(), (1.0 + 9.0) / 2.0)
+
+    def test_zero_at_match(self, rng):
+        x = rng.standard_normal((4, 4))
+        assert MSELoss()(Tensor(x), Tensor(x)).item() == 0.0
+
+    def test_gradient(self):
+        pred = Tensor([2.0], requires_grad=True)
+        MSELoss()(pred, Tensor([0.0])).backward()
+        assert np.allclose(pred.grad, [4.0])
+
+
+class TestMAE:
+    def test_value(self):
+        loss = MAELoss()(Tensor([1.0, -3.0]), Tensor([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.0)
+
+
+class TestMAPE:
+    def test_eq7_value(self):
+        # Eq. (7): (100/m) * sum |(pred - target)/target|
+        pred = Tensor([1.1, 2.0])
+        target = Tensor([1.0, 2.0])
+        assert np.isclose(MAPELoss()(pred, target).item(), 5.0)
+
+    def test_scale_invariance(self):
+        """MAPE is invariant to rescaling both pred and target — the
+        property the paper cites for data spanning magnitudes."""
+        pred = Tensor([1.1, 0.011])
+        target = Tensor([1.0, 0.01])
+        per_pair = MAPELoss()(pred, target).item()
+        assert np.isclose(per_pair, 10.0)  # both pairs are 10% off
+
+    def test_epsilon_guards_zero_targets(self):
+        loss = MAPELoss(epsilon=1.0)(Tensor([0.5]), Tensor([0.0]))
+        assert np.isfinite(loss.item())
+        assert np.isclose(loss.item(), 50.0)
+
+    def test_denominator_not_differentiated(self):
+        """Eq. (7) differentiates only the numerator."""
+        target = Tensor([2.0], requires_grad=True)
+        pred = Tensor([3.0], requires_grad=True)
+        MAPELoss()(pred, target).backward()
+        assert np.allclose(pred.grad, [50.0])  # 100 * sign/|target|
+        # target's grad comes only from the numerator's -1 term
+        assert np.allclose(target.grad, [-50.0])
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ConfigurationError):
+            MAPELoss(epsilon=0.0)
+
+
+class TestHuber:
+    def test_quadratic_region(self):
+        loss = HuberLoss(delta=1.0)(Tensor([0.5]), Tensor([0.0]))
+        assert np.isclose(loss.item(), 0.125)
+
+    def test_linear_region(self):
+        loss = HuberLoss(delta=1.0)(Tensor([3.0]), Tensor([0.0]))
+        assert np.isclose(loss.item(), 3.0 - 0.5)
+
+    def test_continuity_at_delta(self):
+        lo = HuberLoss(delta=1.0)(Tensor([0.999999]), Tensor([0.0])).item()
+        hi = HuberLoss(delta=1.0)(Tensor([1.000001]), Tensor([0.0])).item()
+        assert abs(lo - hi) < 1e-5
+
+    def test_bad_delta_raises(self):
+        with pytest.raises(ConfigurationError):
+            HuberLoss(delta=-1.0)
+
+
+class TestRegistry:
+    def test_get_loss(self):
+        assert isinstance(get_loss("mse"), MSELoss)
+        assert isinstance(get_loss("mape", epsilon=0.1), MAPELoss)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_loss("nll")
+
+    @pytest.mark.parametrize("name", ["mse", "mae", "mape", "huber"])
+    def test_all_losses_scalar_and_differentiable(self, rng, name):
+        pred = Tensor(rng.standard_normal((2, 3)) + 2.0, requires_grad=True)
+        target = Tensor(rng.standard_normal((2, 3)) + 2.0)
+        loss = get_loss(name)(pred, target)
+        assert loss.size == 1
+        loss.backward()
+        assert pred.grad is not None
+        assert pred.grad.shape == pred.shape

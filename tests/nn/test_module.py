@@ -1,0 +1,127 @@
+"""Module base-class behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import Conv2d, LeakyReLU, Linear, Module, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.scale = Parameter(np.array([2.0]))
+        self.inner = Linear(3, 2, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.inner(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["scale", "inner.weight", "inner.bias"]
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 1 + 3 * 2 + 2
+
+    def test_modules_iteration(self):
+        net = TinyNet()
+        found = list(net.modules())
+        assert net in found
+        assert net.inner in found
+
+    def test_children(self):
+        net = TinyNet()
+        assert list(net.children()) == [net.inner]
+
+    def test_unimplemented_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), LeakyReLU())
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestGradients:
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = TinyNet()
+        b = TinyNet()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"][0] = 99.0
+        assert net.scale.data[0] == 2.0
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(ShapeError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(ShapeError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ShapeError, match="shape"):
+            net.load_state_dict(state)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        net = Sequential(LeakyReLU(0.0), LeakyReLU(0.0))
+        out = net(Tensor([-1.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_len_iter_getitem(self):
+        l1, l2 = LeakyReLU(), LeakyReLU()
+        net = Sequential(l1, l2)
+        assert len(net) == 2
+        assert list(net) == [l1, l2]
+        assert net[0] is l1
+
+    def test_append(self):
+        net = Sequential(LeakyReLU())
+        net.append(Linear(2, 2, rng=np.random.default_rng(0)))
+        assert len(net) == 2
+        assert len(net.parameters()) == 2
+
+    def test_parameters_from_layers(self):
+        net = Sequential(
+            Conv2d(1, 2, kernel_size=3, rng=np.random.default_rng(0)),
+            LeakyReLU(),
+            Conv2d(2, 1, kernel_size=3, rng=np.random.default_rng(1)),
+        )
+        # weight+bias per conv layer
+        assert len(net.parameters()) == 4

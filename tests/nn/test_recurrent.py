@@ -1,0 +1,86 @@
+"""ConvLSTM tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import ConvLSTM, ConvLSTMCell
+from repro.tensor import Tensor
+
+
+class TestConvLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = ConvLSTMCell(4, 8, kernel_size=3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 10, 10)))
+        hidden, cell_state = cell(x)
+        assert hidden.shape == (2, 8, 10, 10)
+        assert cell_state.shape == (2, 8, 10, 10)
+
+    def test_state_threads_through_steps(self, rng):
+        cell = ConvLSTMCell(2, 4, kernel_size=3, rng=rng)
+        x1 = Tensor(rng.standard_normal((1, 2, 6, 6)))
+        x2 = Tensor(rng.standard_normal((1, 2, 6, 6)))
+        state1 = cell(x1)
+        hidden2, _ = cell(x2, state1)
+        # Same input with fresh state must give a different hidden.
+        hidden_fresh, _ = cell(x2)
+        assert not np.allclose(hidden2.numpy(), hidden_fresh.numpy())
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = ConvLSTMCell(2, 4, kernel_size=3, rng=rng)
+        x = Tensor(10.0 * rng.standard_normal((1, 2, 6, 6)))
+        hidden, _ = cell(x)
+        assert np.all(np.abs(hidden.numpy()) <= 1.0)
+
+    def test_forget_bias_initialized_open(self, rng):
+        cell = ConvLSTMCell(2, 4, kernel_size=3, rng=rng, forget_bias=1.0)
+        assert np.allclose(cell.bias.data[4:8], 1.0)
+        assert np.allclose(cell.bias.data[:4], 0.0)
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = ConvLSTMCell(2, 3, kernel_size=3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)))
+        state = cell(x)
+        state = cell(x, state)
+        state[0].sum().backward()
+        assert cell.weight.grad is not None
+        assert np.any(cell.weight.grad != 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            ConvLSTMCell(0, 4, rng=rng)
+        with pytest.raises(ConfigurationError):
+            ConvLSTMCell(2, 4, kernel_size=4, rng=rng)
+        cell = ConvLSTMCell(2, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ShapeError):
+            cell(Tensor(rng.standard_normal((2, 5, 5))))
+        with pytest.raises(ShapeError):
+            cell(Tensor(rng.standard_normal((1, 3, 5, 5))))
+
+
+class TestConvLSTM:
+    def test_last_hidden_shape(self, rng):
+        layer = ConvLSTM(4, 6, kernel_size=3, rng=rng)
+        seq = Tensor(rng.standard_normal((2, 5, 4, 8, 8)))
+        out = layer(seq)
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_return_sequence(self, rng):
+        layer = ConvLSTM(4, 6, kernel_size=3, rng=rng)
+        seq = Tensor(rng.standard_normal((1, 3, 4, 8, 8)))
+        hiddens = layer(seq, return_sequence=True)
+        assert len(hiddens) == 3
+        assert all(h.shape == (1, 6, 8, 8) for h in hiddens)
+
+    def test_order_matters(self, rng):
+        """A recurrent model must distinguish temporal orderings."""
+        layer = ConvLSTM(2, 4, kernel_size=3, rng=rng)
+        seq = rng.standard_normal((1, 4, 2, 6, 6))
+        forward = layer(Tensor(seq)).numpy()
+        backward = layer(Tensor(seq[:, ::-1].copy())).numpy()
+        assert not np.allclose(forward, backward)
+
+    def test_wrong_rank_raises(self, rng):
+        layer = ConvLSTM(2, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer(Tensor(rng.standard_normal((1, 2, 6, 6))))

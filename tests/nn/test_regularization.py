@@ -1,0 +1,107 @@
+"""BatchNorm2d / Dropout tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import BatchNorm2d, Dropout
+from repro.tensor import Tensor
+
+
+class TestBatchNorm2d:
+    def test_normalizes_batch_statistics(self, rng):
+        layer = BatchNorm2d(3, affine=False)
+        x = Tensor(rng.standard_normal((8, 3, 6, 6)) * 5.0 + 2.0)
+        out = layer(x).numpy()
+        for ch in range(3):
+            assert abs(out[:, ch].mean()) < 1e-10
+            assert abs(out[:, ch].std() - 1.0) < 1e-3
+
+    def test_affine_parameters_trainable(self, rng):
+        layer = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 5, 5)))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_eval_uses_running_statistics(self, rng):
+        layer = BatchNorm2d(2, affine=False, momentum=1.0)
+        x = Tensor(rng.standard_normal((16, 2, 5, 5)) * 3.0 + 1.0)
+        layer(x)  # one training pass fixes running stats (momentum=1)
+        layer.eval()
+        # A different batch normalized with the stored stats: the first
+        # batch itself should come out ~standardized.
+        out = layer(x).numpy()
+        for ch in range(2):
+            assert abs(out[:, ch].mean()) < 0.1
+            assert abs(out[:, ch].std() - 1.0) < 0.1
+
+    def test_running_stats_updated_incrementally(self, rng):
+        layer = BatchNorm2d(1, momentum=0.1)
+        before = layer.running_mean.copy()
+        layer(Tensor(rng.standard_normal((4, 1, 4, 4)) + 10.0))
+        assert not np.allclose(layer.running_mean, before)
+        assert layer.running_mean[0] > 0.5  # moved towards ~10 * 0.1
+
+    def test_gradient_flows_to_input(self, rng):
+        layer = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)), requires_grad=True)
+        (layer(x) ** 2).sum().backward()
+        assert x.grad is not None
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            BatchNorm2d(0)
+        with pytest.raises(ConfigurationError):
+            BatchNorm2d(2, eps=0.0)
+        with pytest.raises(ConfigurationError):
+            BatchNorm2d(2, momentum=0.0)
+        layer = BatchNorm2d(2)
+        with pytest.raises(ShapeError):
+            layer(Tensor(rng.standard_normal((4, 3, 5, 5))))
+        with pytest.raises(ShapeError):
+            layer(Tensor(rng.standard_normal((4, 5, 5))))
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.array_equal(layer(x).numpy(), x.numpy())
+
+    def test_zero_probability_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.array_equal(layer(x).numpy(), x.numpy())
+
+    def test_drops_and_rescales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).numpy()
+        dropped = np.mean(out == 0.0)
+        assert 0.4 < dropped < 0.6
+        # Inverted dropout: surviving activations scaled by 1/keep.
+        assert np.allclose(out[out != 0.0], 2.0)
+        # Expected value preserved.
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_gradient_masked_consistently(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((50, 50)), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        # Gradient is zero exactly where the activation was dropped.
+        assert np.array_equal(x.grad == 0.0, out.numpy() == 0.0)
+
+    def test_reproducible_with_seeded_rng(self):
+        x = Tensor(np.ones((10, 10)))
+        a = Dropout(0.3, rng=np.random.default_rng(7))(x).numpy()
+        b = Dropout(0.3, rng=np.random.default_rng(7))(x).numpy()
+        assert np.array_equal(a, b)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+        with pytest.raises(ConfigurationError):
+            Dropout(-0.1)

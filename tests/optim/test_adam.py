@@ -1,0 +1,104 @@
+"""Adam tests against the paper's Eqs. (3)-(6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Parameter
+from repro.optim import Adam
+
+
+def manual_adam_steps(w0, grads, lr=0.01, rho1=0.9, rho2=0.999, eps=1e-8):
+    """Literal transcription of Eqs. (3)-(6)."""
+    w = np.array(w0, dtype=float)
+    m = np.zeros_like(w)
+    v = np.zeros_like(w)
+    for t, g in enumerate(grads, start=1):
+        g = np.asarray(g, dtype=float)
+        m = rho1 * m + (1 - rho1) * g
+        v = rho2 * v + (1 - rho2) * g * g
+        m_hat = m / (1 - rho1**t)
+        v_hat = v / (1 - rho2**t)
+        w = w - lr * m_hat / np.sqrt(v_hat + eps)  # eps inside sqrt, as Eq. (6)
+    return w
+
+
+class TestUpdateRule:
+    def test_matches_manual_equations(self):
+        grads = [np.array([1.0, -2.0]), np.array([0.5, 0.5]), np.array([-1.0, 3.0])]
+        p = Parameter(np.array([0.3, -0.7]))
+        opt = Adam([p], lr=0.01)
+        for g in grads:
+            p.grad = g.copy()
+            opt.step()
+        expected = manual_adam_steps([0.3, -0.7], grads)
+        assert np.allclose(p.data, expected, atol=1e-12)
+
+    def test_first_step_size_is_about_lr(self):
+        """Bias correction makes the first step ~ lr regardless of the
+        gradient's magnitude."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale])
+            opt.step()
+            # eps inside the sqrt shaves a little off the tiny-gradient
+            # case; 1% tolerance covers it.
+            assert np.isclose(abs(p.data[0]), 0.01, rtol=1e-2)
+
+    def test_defaults_follow_paper(self):
+        opt = Adam([Parameter(np.zeros(1))])
+        assert opt.lr == 0.01  # eta from the paper (Kingma & Ba quote)
+        assert opt.eps == 1e-8
+        assert (opt.rho1, opt.rho2) == (0.9, 0.999)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0  # decay pulls towards zero
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(400):
+            p.grad = 2.0 * p.data  # d/dw w^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+
+class TestState:
+    def test_state_dict_roundtrip_continues_identically(self):
+        grads = [np.array([1.0]), np.array([-1.0]), np.array([0.5]), np.array([2.0])]
+        p1 = Parameter(np.array([0.0]))
+        opt1 = Adam([p1], lr=0.01)
+        for g in grads[:2]:
+            p1.grad = g.copy()
+            opt1.step()
+        saved_state = opt1.state_dict()
+        saved_param = p1.data.copy()
+
+        p2 = Parameter(saved_param.copy())
+        opt2 = Adam([p2], lr=0.999)
+        opt2.load_state_dict(saved_state)
+        for g in grads[2:]:
+            p1.grad = g.copy()
+            opt1.step()
+            p2.grad = g.copy()
+            opt2.step()
+        assert np.allclose(p1.data, p2.data, atol=1e-14)
+
+
+class TestValidation:
+    def test_bad_betas_raise(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_bad_eps_raises(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], eps=0.0)
+
+    def test_bad_weight_decay_raises(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], weight_decay=-1.0)

@@ -1,0 +1,107 @@
+"""LR schedules and gradient utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    ConstantLR,
+    CosineAnnealingLR,
+    ExponentialLR,
+    StepLR,
+    clip_grad_norm,
+    get_optimizer,
+    global_grad_norm,
+)
+
+
+def opt_with_param():
+    p = Parameter(np.zeros(3))
+    return SGD([p], lr=1.0), p
+
+
+class TestSchedules:
+    def test_constant(self):
+        opt, _ = opt_with_param()
+        schedule = ConstantLR(opt)
+        for _ in range(5):
+            assert schedule.step() == 1.0
+
+    def test_step_lr(self):
+        opt, _ = opt_with_param()
+        schedule = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [schedule.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential(self):
+        opt, _ = opt_with_param()
+        schedule = ExponentialLR(opt, gamma=0.5)
+        assert np.allclose([schedule.step(), schedule.step()], [0.5, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt, _ = opt_with_param()
+        schedule = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+        mid = [schedule.step() for _ in range(10)]
+        assert np.isclose(mid[-1], 0.1)
+        assert mid[0] < 1.0
+        # Monotone decreasing over the annealing window.
+        assert all(a >= b for a, b in zip(mid, mid[1:]))
+
+    def test_schedule_updates_optimizer(self):
+        opt, p = opt_with_param()
+        schedule = StepLR(opt, step_size=1, gamma=0.5)
+        schedule.step()
+        p.grad = np.array([1.0, 0.0, 0.0])
+        opt.step()
+        assert np.allclose(p.data, [-0.5, 0.0, 0.0])
+
+    def test_validation(self):
+        opt, _ = opt_with_param()
+        with pytest.raises(ConfigurationError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialLR(opt, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealingLR(opt, total_epochs=0)
+
+
+class TestGradUtils:
+    def test_global_norm(self):
+        p1, p2 = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        p1.grad = np.array([3.0, 0.0])
+        p2.grad = np.array([0.0, 4.0])
+        assert np.isclose(global_grad_norm([p1, p2]), 5.0)
+
+    def test_none_grads_count_zero(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad = np.array([2.0])
+        assert np.isclose(global_grad_norm([p1, p2]), 2.0)
+
+    def test_clip_scales_down(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(pre, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0, rtol=1e-6)
+
+    def test_clip_noop_when_small(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clip_bad_max_raises(self):
+        with pytest.raises(ConfigurationError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestRegistry:
+    def test_get_optimizer(self):
+        p = Parameter(np.zeros(1))
+        assert isinstance(get_optimizer("sgd", [p], lr=0.1), SGD)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_optimizer("rmsprop", [Parameter(np.zeros(1))])

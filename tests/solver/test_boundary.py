@@ -1,0 +1,86 @@
+"""Boundary-condition tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.solver import (
+    EulerState,
+    apply_outflow,
+    apply_periodic,
+    apply_reflecting,
+    get_boundary_condition,
+)
+
+
+def random_state(rng, shape=(6, 7)):
+    state = EulerState.zeros(shape)
+    state.p[...] = rng.standard_normal(shape)
+    state.rho[...] = rng.standard_normal(shape)
+    state.u[...] = rng.standard_normal(shape)
+    state.v[...] = rng.standard_normal(shape)
+    return state
+
+
+class TestOutflow:
+    def test_pressure_zero_on_all_walls(self, rng):
+        """Paper Sec. IV-A: p' = 0 at all four boundaries."""
+        state = apply_outflow(random_state(rng))
+        assert np.all(state.p[0, :] == 0.0)
+        assert np.all(state.p[-1, :] == 0.0)
+        assert np.all(state.p[:, 0] == 0.0)
+        assert np.all(state.p[:, -1] == 0.0)
+
+    def test_neumann_for_other_fields(self, rng):
+        """Homogeneous Neumann: wall value equals first interior line."""
+        state = apply_outflow(random_state(rng))
+        for field in (state.rho, state.u, state.v):
+            assert np.allclose(field[0, :], field[1, :])
+            assert np.allclose(field[-1, :], field[-2, :])
+            assert np.allclose(field[:, 0], field[:, 1])
+            assert np.allclose(field[:, -1], field[:, -2])
+
+    def test_interior_untouched(self, rng):
+        state = random_state(rng)
+        interior_before = state.p[1:-1, 1:-1].copy()
+        apply_outflow(state)
+        assert np.allclose(state.p[1:-1, 1:-1], interior_before)
+
+    def test_in_place(self, rng):
+        state = random_state(rng)
+        assert apply_outflow(state) is state
+
+
+class TestReflecting:
+    def test_normal_velocity_zero(self, rng):
+        state = apply_reflecting(random_state(rng))
+        assert np.all(state.u[:, 0] == 0.0)
+        assert np.all(state.u[:, -1] == 0.0)
+        assert np.all(state.v[0, :] == 0.0)
+        assert np.all(state.v[-1, :] == 0.0)
+
+    def test_pressure_neumann(self, rng):
+        state = apply_reflecting(random_state(rng))
+        assert np.allclose(state.p[:, 0], state.p[:, 1])
+        assert np.allclose(state.p[0, :], state.p[1, :])
+
+
+class TestPeriodic:
+    def test_edges_wrap(self, rng):
+        state = apply_periodic(random_state(rng))
+        for field in (state.p, state.rho, state.u, state.v):
+            assert np.allclose(field[0, :], field[-2, :])
+            assert np.allclose(field[-1, :], field[1, :])
+            assert np.allclose(field[:, 0], field[:, -2])
+            assert np.allclose(field[:, -1], field[:, 1])
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_boundary_condition("outflow") is apply_outflow
+        assert get_boundary_condition("periodic") is apply_periodic
+        assert get_boundary_condition("reflecting") is apply_reflecting
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_boundary_condition("absorbing")

@@ -1,0 +1,58 @@
+"""Grid tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver import UniformGrid2D
+
+
+class TestConstruction:
+    def test_square_factory(self):
+        grid = UniformGrid2D.square(128)
+        assert grid.shape == (128, 128)
+        assert grid.x_min == -1.0 and grid.x_max == 1.0
+
+    def test_spacing(self):
+        grid = UniformGrid2D(nx=11, ny=21, x_min=0.0, x_max=1.0, y_min=0.0, y_max=4.0)
+        assert np.isclose(grid.dx, 0.1)
+        assert np.isclose(grid.dy, 0.2)
+
+    def test_num_points(self):
+        assert UniformGrid2D(4, 5).num_points == 20
+
+    def test_too_small_raises(self):
+        with pytest.raises(SolverError):
+            UniformGrid2D(2, 10)
+
+    def test_degenerate_extent_raises(self):
+        with pytest.raises(SolverError):
+            UniformGrid2D(4, 4, x_min=1.0, x_max=1.0)
+
+
+class TestCoordinates:
+    def test_axis_arrays(self):
+        grid = UniformGrid2D.square(5)
+        assert np.allclose(grid.x, [-1.0, -0.5, 0.0, 0.5, 1.0])
+        assert np.allclose(grid.y, grid.x)
+
+    def test_meshgrid_shapes_and_orientation(self):
+        grid = UniformGrid2D(nx=4, ny=3)
+        X, Y = grid.meshgrid()
+        assert X.shape == (3, 4)
+        # X varies along the last axis, Y along the first ([y, x] layout).
+        assert np.allclose(X[0], X[1])
+        assert np.allclose(Y[:, 0], Y[:, 1])
+
+    def test_subgrid_extent(self):
+        grid = UniformGrid2D.square(9)
+        sub = grid.subgrid(slice(0, 5), slice(4, 9))
+        assert sub.shape == (5, 5)
+        assert np.isclose(sub.x_min, grid.x[4])
+        assert np.isclose(sub.x_max, grid.x[8])
+        assert np.isclose(sub.dx, grid.dx)
+
+    def test_subgrid_too_small_raises(self):
+        grid = UniformGrid2D.square(9)
+        with pytest.raises(SolverError):
+            grid.subgrid(slice(0, 2), slice(0, 9))

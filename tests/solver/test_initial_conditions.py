@@ -1,0 +1,100 @@
+"""Initial-condition tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver import (
+    Background,
+    UniformGrid2D,
+    gaussian_pulse,
+    multiple_pulses,
+    paper_initial_condition,
+    plane_wave,
+)
+
+
+class TestGaussianPulse:
+    def test_peak_at_center_with_amplitude(self):
+        grid = UniformGrid2D.square(65)
+        state = gaussian_pulse(grid, amplitude=0.5, half_width=0.3, center=(0.0, 0.0))
+        cy, cx = 32, 32
+        assert np.isclose(state.p[cy, cx], 0.5)
+        assert state.p.max() == state.p[cy, cx]
+
+    def test_half_width_at_half_maximum(self):
+        """p at distance half_width from the centre is amplitude/2."""
+        grid = UniformGrid2D.square(201)
+        state = gaussian_pulse(grid, amplitude=1.0, half_width=0.3)
+        # x = 0.3 is at index 130 on [-1, 1] with 201 points.
+        index = np.argmin(np.abs(grid.x - 0.3))
+        assert np.isclose(state.p[100, index], 0.5, atol=0.01)
+
+    def test_default_amplitude_scales_with_background(self):
+        grid = UniformGrid2D.square(33)
+        bar = gaussian_pulse(grid, background=Background())
+        si = gaussian_pulse(grid, background=Background.si_air())
+        assert np.isclose(bar.p.max(), 0.5)
+        assert np.isclose(si.p.max(), 0.5e5)
+
+    def test_paper_ic_fluid_at_rest_no_density(self):
+        """Sec. IV-A: fluid at rest, density perturbation zero."""
+        grid = UniformGrid2D.square(33)
+        state = paper_initial_condition(grid)
+        assert np.all(state.u == 0.0)
+        assert np.all(state.v == 0.0)
+        assert np.all(state.rho == 0.0)
+        assert np.isclose(state.p.max(), 0.5)
+
+    def test_isentropic_density_relation(self):
+        grid = UniformGrid2D.square(33)
+        bg = Background()
+        state = gaussian_pulse(grid, background=bg, isentropic=True)
+        assert np.allclose(state.rho, state.p / bg.sound_speed**2)
+
+    def test_off_center_pulse(self):
+        grid = UniformGrid2D.square(65)
+        state = gaussian_pulse(grid, center=(0.5, -0.25))
+        iy, ix = np.unravel_index(np.argmax(state.p), state.p.shape)
+        assert np.isclose(grid.x[ix], 0.5, atol=grid.dx)
+        assert np.isclose(grid.y[iy], -0.25, atol=grid.dy)
+
+    def test_validation(self):
+        grid = UniformGrid2D.square(17)
+        with pytest.raises(SolverError):
+            gaussian_pulse(grid, amplitude=0.0)
+        with pytest.raises(SolverError):
+            gaussian_pulse(grid, half_width=0.0)
+
+
+class TestPlaneWave:
+    def test_acoustic_relations(self):
+        grid = UniformGrid2D.square(65)
+        bg = Background()
+        state = plane_wave(grid, amplitude=2.0, wavenumber=(1, 0), background=bg)
+        c = bg.sound_speed
+        assert np.allclose(state.rho, state.p / c**2)
+        assert np.allclose(state.u, state.p / (bg.rho_c * c))
+        assert np.allclose(state.v, 0.0)
+
+    def test_diagonal_wave_velocity_direction(self):
+        grid = UniformGrid2D.square(65)
+        state = plane_wave(grid, wavenumber=(1, 1))
+        assert np.allclose(state.u, state.v)
+
+    def test_zero_wavenumber_raises(self):
+        with pytest.raises(SolverError):
+            plane_wave(UniformGrid2D.square(17), wavenumber=(0, 0))
+
+
+class TestMultiplePulses:
+    def test_superposition(self):
+        grid = UniformGrid2D.square(65)
+        both = multiple_pulses(grid, [(-0.5, 0.0), (0.5, 0.0)], amplitude=1.0)
+        left = gaussian_pulse(grid, 1.0, center=(-0.5, 0.0), isentropic=False)
+        right = gaussian_pulse(grid, 1.0, center=(0.5, 0.0), isentropic=False)
+        assert np.allclose(both.p, left.p + right.p)
+
+    def test_empty_centers_raise(self):
+        with pytest.raises(SolverError):
+            multiple_pulses(UniformGrid2D.square(17), [])

@@ -1,0 +1,85 @@
+"""Time-integrator order-of-accuracy tests.
+
+The integrators operate on EulerState; to test temporal order we embed
+the scalar ODE q' = lambda*q in the pressure field (RHS ignores space).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.solver import EulerState, euler_step, get_integrator, heun_step, rk4_step
+
+LAMBDA = -1.3
+
+
+def scalar_rhs(state: EulerState) -> EulerState:
+    return EulerState(
+        LAMBDA * state.p, LAMBDA * state.rho, LAMBDA * state.u, LAMBDA * state.v
+    )
+
+
+def integrate(step, dt, steps):
+    state = EulerState.zeros((3, 3))
+    state.p[...] = 1.0
+    for _ in range(steps):
+        state = step(state, scalar_rhs, dt)
+    return state.p[0, 0]
+
+
+def observed_order(step):
+    errors = []
+    for steps in (16, 32):
+        dt = 1.0 / steps
+        exact = np.exp(LAMBDA)
+        errors.append(abs(integrate(step, dt, steps) - exact))
+    return np.log2(errors[0] / errors[1])
+
+
+class TestOrders:
+    def test_euler_first_order(self):
+        assert 0.8 < observed_order(euler_step) < 1.3
+
+    def test_heun_second_order(self):
+        assert 1.8 < observed_order(heun_step) < 2.3
+
+    def test_rk4_fourth_order(self):
+        assert 3.7 < observed_order(rk4_step) < 4.5
+
+    def test_rk4_much_more_accurate_than_euler(self):
+        exact = np.exp(LAMBDA)
+        err_euler = abs(integrate(euler_step, 1.0 / 32, 32) - exact)
+        err_rk4 = abs(integrate(rk4_step, 1.0 / 32, 32) - exact)
+        assert err_rk4 < err_euler / 100.0
+
+
+class TestAllFields:
+    def test_all_channels_advanced(self, rng):
+        state = EulerState.zeros((3, 3))
+        state.p[...] = 1.0
+        state.rho[...] = 2.0
+        state.u[...] = -1.0
+        state.v[...] = 0.5
+        out = rk4_step(state, scalar_rhs, 0.1)
+        factor = out.p[0, 0] / 1.0
+        assert np.isclose(out.rho[0, 0] / 2.0, factor)
+        assert np.isclose(out.u[0, 0] / -1.0, factor)
+        assert np.isclose(out.v[0, 0] / 0.5, factor)
+
+    def test_step_does_not_mutate_input(self):
+        state = EulerState.zeros((3, 3))
+        state.p[...] = 1.0
+        rk4_step(state, scalar_rhs, 0.1)
+        assert np.allclose(state.p, 1.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_integrator("rk4") is rk4_step
+        assert get_integrator("heun") is heun_step
+        assert get_integrator("rk2") is heun_step
+        assert get_integrator("euler") is euler_step
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_integrator("leapfrog")

@@ -1,0 +1,176 @@
+"""Tests for the reverse-mode engine itself."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AutogradError
+from repro.tensor import Tensor, no_grad, enable_grad, grad_enabled
+from repro.tensor.autograd import topological_order, unbroadcast
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_seeds_ones(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+
+    def test_explicit_seed(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2.0
+        out.backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [2.0, 20.0])
+
+    def test_backward_without_grad_raises(self):
+        with pytest.raises(AutogradError):
+            Tensor([1.0]).backward()
+
+    def test_non_scalar_without_seed_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(AutogradError, match="scalar"):
+            (a * 2.0).backward()
+
+    def test_seed_shape_mismatch_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(AutogradError, match="shape"):
+            (a * 2.0).backward(np.zeros(3))
+
+    def test_diamond_graph_accumulates(self):
+        # y = a*a + a*a: both branches contribute.
+        a = Tensor([3.0], requires_grad=True)
+        b = a * a
+        c = a * a
+        (b + c).sum().backward()
+        assert np.allclose(a.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        a = Tensor([2.0], requires_grad=True)
+        shared = a * 3.0
+        out = shared * shared  # d/da (9 a^2) = 18 a
+        out.sum().backward()
+        assert np.allclose(a.grad, [36.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-op chain would overflow a recursive implementation.
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(5000):
+            x = x + 0.0
+        x.sum().backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_aliased_parent_gradients_not_corrupted(self):
+        # Regression: `add` hands the SAME gradient array to both
+        # parents; accumulating into one must not corrupt the other.
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0], requires_grad=True)
+        out = (x * y) + (x / y) - y + x  # dx = y + 1/y + 1 = 3
+        out.sum().backward()
+        assert np.allclose(x.grad, [3.0])
+        assert np.allclose(y.grad, [1.0 - 1.0 - 1.0])
+
+    def test_seed_array_not_mutated(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a + a
+        seed = np.array([1.0, 1.0])
+        out.backward(seed)
+        assert np.allclose(seed, [1.0, 1.0])
+        assert np.allclose(a.grad, [2.0, 2.0])
+
+    def test_constant_branch_gets_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        const = Tensor([5.0])
+        (a * const).sum().backward()
+        assert const.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_detaches(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert out.is_leaf()
+
+    def test_no_grad_nesting_restores(self):
+        assert grad_enabled()
+        with no_grad():
+            assert not grad_enabled()
+            with no_grad():
+                assert not grad_enabled()
+            assert not grad_enabled()
+        assert grad_enabled()
+
+    def test_enable_grad_inside_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                out = a * 2.0
+        assert out.requires_grad
+
+    def test_no_grad_is_thread_local(self):
+        import threading
+
+        seen = {}
+
+        def worker():
+            seen["inner"] = grad_enabled()
+
+        with no_grad():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The other thread's default mode is unaffected by ours.
+        assert seen["inner"] is True
+
+
+class TestTopologicalOrder:
+    def test_root_is_last(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = (a * 2.0) + 1.0
+        order = topological_order(out)
+        assert order[-1] is out
+
+    def test_parents_before_children(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        c = b + 1.0
+        order = topological_order(c)
+        assert order.index(b) < order.index(c)
+        assert order.index(a) < order.index(b)
+
+    def test_each_node_once(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * a
+        out = b * b
+        order = topological_order(out)
+        assert len(order) == len({id(n) for n in order})
+
+
+class TestUnbroadcast:
+    def test_identity_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sum_over_added_axes(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        assert out.shape == (2, 3)
+        assert np.all(out == 4.0)
+
+    def test_sum_over_size_one_axes(self):
+        g = np.ones((2, 5))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.all(out == 5.0)
+
+    def test_combined(self):
+        g = np.ones((7, 2, 5))
+        out = unbroadcast(g, (1, 5))
+        assert out.shape == (1, 5)
+        assert np.all(out == 14.0)
+
+    def test_scalar_target(self):
+        g = np.ones((3, 3))
+        out = unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 9.0

@@ -1,0 +1,138 @@
+"""Forward values and gradients of the elementwise ops."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor
+
+from ..conftest import assert_gradcheck
+
+
+class TestForwardValues:
+    def test_add_sub_mul_div(self):
+        a = Tensor([6.0, 8.0])
+        b = Tensor([2.0, 4.0])
+        assert np.allclose((a + b).data, [8.0, 12.0])
+        assert np.allclose((a - b).data, [4.0, 4.0])
+        assert np.allclose((a * b).data, [12.0, 32.0])
+        assert np.allclose((a / b).data, [3.0, 2.0])
+
+    def test_broadcasting(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose((a * b).data, np.tile([1.0, 2.0, 3.0], (2, 1)))
+
+    def test_neg_pow(self):
+        a = Tensor([2.0, -3.0])
+        assert np.allclose((-a).data, [-2.0, 3.0])
+        assert np.allclose((a ** 2).data, [4.0, 9.0])
+
+    def test_exp_log_roundtrip(self):
+        a = Tensor([0.5, 1.5])
+        assert np.allclose(T.log(T.exp(a)).data, a.data)
+
+    def test_abs_sign_convention(self):
+        assert np.allclose(T.absolute(Tensor([-2.0, 0.0, 3.0])).data, [2.0, 0.0, 3.0])
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([3.0, 2.0])
+        assert np.allclose(T.maximum(a, b).data, [3.0, 5.0])
+        assert np.allclose(T.minimum(a, b).data, [1.0, 2.0])
+
+    def test_clip(self):
+        a = Tensor([-5.0, 0.5, 5.0])
+        assert np.allclose(T.clip(a, -1.0, 1.0).data, [-1.0, 0.5, 1.0])
+        assert np.allclose(T.clip(a, None, 1.0).data, [-5.0, 0.5, 1.0])
+        assert np.allclose(T.clip(a, -1.0, None).data, [-1.0, 0.5, 5.0])
+
+    def test_where(self):
+        out = T.where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+
+class TestActivationsForward:
+    def test_relu_eq1(self):
+        # Eq. (1): max(0, x).
+        a = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(T.relu(a).data, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu_eq2(self):
+        # Eq. (2): x for x>=0, eps*x otherwise.
+        a = Tensor([-2.0, 0.0, 3.0])
+        assert np.allclose(T.leaky_relu(a, 0.01).data, [-0.02, 0.0, 3.0])
+
+    def test_leaky_relu_custom_slope(self):
+        a = Tensor([-10.0])
+        assert np.allclose(T.leaky_relu(a, 0.2).data, [-2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        out = T.sigmoid(Tensor(x)).data
+        assert np.all((out >= 0) & (out <= 1))
+        assert np.allclose(out + out[::-1], 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = T.sigmoid(Tensor([-1000.0, 1000.0])).data
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_tanh(self):
+        assert np.allclose(T.tanh(Tensor([0.0])).data, [0.0])
+
+
+class TestGradients:
+    def test_arithmetic_grad(self, rng):
+        # Keep denominators well away from zero for finite differences.
+        a = rng.uniform(2.0, 4.0, (3, 4))
+        b = rng.uniform(2.0, 4.0, (3, 4))
+        assert_gradcheck(lambda x, y: x * y + x / y - y + x, a, b)
+
+    def test_broadcast_grad(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((3,))
+        assert_gradcheck(lambda x, y: x * y + y, a, b)
+
+    def test_pow_grad(self, rng):
+        a = np.abs(rng.standard_normal((3, 3))) + 0.5
+        assert_gradcheck(lambda x: x ** 3, a)
+        assert_gradcheck(lambda x: x ** 0.5, a)
+
+    def test_exp_log_grad(self, rng):
+        a = np.abs(rng.standard_normal((4,))) + 0.5
+        assert_gradcheck(lambda x: T.exp(x) + T.log(x), a)
+
+    def test_abs_grad_away_from_zero(self, rng):
+        a = rng.standard_normal((5,))
+        a[np.abs(a) < 0.1] = 0.5
+        assert_gradcheck(lambda x: T.absolute(x), a)
+
+    def test_extrema_grads(self, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        assert_gradcheck(lambda x, y: T.maximum(x, y) + T.minimum(x, y), a, b)
+
+    def test_clip_grad_zero_outside(self):
+        a = Tensor([-5.0, 0.5, 5.0], requires_grad=True)
+        T.clip(a, -1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_activation_grads(self, rng):
+        a = rng.standard_normal((6, 6))
+        a[np.abs(a) < 0.05] = 0.3  # avoid kinks for FD comparison
+        assert_gradcheck(lambda x: T.relu(x), a)
+        assert_gradcheck(lambda x: T.leaky_relu(x, 0.01), a)
+        assert_gradcheck(lambda x: T.sigmoid(x), a)
+        assert_gradcheck(lambda x: T.tanh(x), a)
+
+    def test_where_grad_routes_by_mask(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        T.where(np.array([True, False]), a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_leaky_relu_grad_at_negative(self):
+        a = Tensor([-2.0], requires_grad=True)
+        T.leaky_relu(a, 0.01).sum().backward()
+        assert np.allclose(a.grad, [0.01])

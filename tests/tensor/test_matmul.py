@@ -1,0 +1,78 @@
+"""Matmul forward/backward across shape regimes."""
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+from ..conftest import assert_gradcheck
+
+
+class TestForward:
+    def test_matrix_matrix(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_batched(self, rng):
+        a = rng.standard_normal((6, 3, 4))
+        b = rng.standard_normal((6, 4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_broadcast_batch(self, rng):
+        a = rng.standard_normal((6, 3, 4))
+        b = rng.standard_normal((4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_vector_matrix(self, rng):
+        a = rng.standard_normal(3)
+        b = rng.standard_normal((3, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matrix_vector(self, rng):
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal(3)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_vector_vector(self, rng):
+        a = rng.standard_normal(5)
+        b = rng.standard_normal(5)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestGradients:
+    def test_matrix_matrix_grad(self, rng):
+        assert_gradcheck(
+            lambda x, y: x @ y, rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        )
+
+    def test_batched_grad(self, rng):
+        assert_gradcheck(
+            lambda x, y: x @ y,
+            rng.standard_normal((2, 3, 4)),
+            rng.standard_normal((2, 4, 2)),
+        )
+
+    def test_broadcast_batch_grad(self, rng):
+        assert_gradcheck(
+            lambda x, y: x @ y,
+            rng.standard_normal((2, 3, 4)),
+            rng.standard_normal((4, 2)),
+        )
+
+    def test_matrix_vector_grad(self, rng):
+        assert_gradcheck(
+            lambda x, y: x @ y, rng.standard_normal((4, 3)), rng.standard_normal(3)
+        )
+
+    def test_vector_vector_grad(self, rng):
+        assert_gradcheck(
+            lambda x, y: x @ y, rng.standard_normal(5), rng.standard_normal(5)
+        )
+
+    def test_chained_matmul_grad(self, rng):
+        assert_gradcheck(
+            lambda x, y, z: (x @ y) @ z,
+            rng.standard_normal((2, 3)),
+            rng.standard_normal((3, 3)),
+            rng.standard_normal((3, 2)),
+        )

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) on autodiff invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import tensor as T
+from repro.tensor import Tensor
+from repro.tensor.autograd import unbroadcast
+from repro.tensor.im2col import col2im, im2col
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_add_grad_is_ones(data):
+    a = Tensor(data, requires_grad=True)
+    (a + 1.0).sum().backward()
+    assert np.allclose(a.grad, np.ones_like(data))
+
+
+@given(finite_arrays, st.floats(0.1, 3.0))
+@settings(max_examples=50, deadline=None)
+def test_scalar_mul_grad(data, k):
+    a = Tensor(data, requires_grad=True)
+    (a * k).sum().backward()
+    assert np.allclose(a.grad, np.full_like(data, k))
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_sum_then_backward_matches_mean_scaled(data):
+    a = Tensor(data, requires_grad=True)
+    a.mean().backward()
+    assert np.allclose(a.grad, np.full_like(data, 1.0 / data.size))
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_relu_plus_negrelu_is_identity(data):
+    a = Tensor(data)
+    reconstructed = T.relu(a).data - T.relu(-a).data
+    assert np.allclose(reconstructed, data)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_leaky_relu_bounds(data):
+    out = T.leaky_relu(Tensor(data), 0.01).data
+    assert np.all(out <= np.maximum(data, 0.0) + 1e-12)
+    assert np.all(out >= np.minimum(data, 0.01 * data) - 1e-12)
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=2, max_dims=4, min_side=1, max_side=4),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_unbroadcast_preserves_total_sum(grad):
+    """Summing over broadcast axes must conserve the total gradient mass."""
+    target_shape = tuple(1 for _ in range(grad.ndim - 1)) + (grad.shape[-1],)
+    out = unbroadcast(grad, target_shape)
+    assert out.shape == target_shape
+    assert np.isclose(out.sum(), grad.sum())
+
+
+@given(
+    st.integers(1, 2),
+    st.integers(1, 3),
+    st.integers(4, 8),
+    st.integers(4, 8),
+    st.integers(1, 3),
+    st.integers(1, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_im2col_col2im_adjoint(n, c, h, w, k, s):
+    """The adjoint identity holds for arbitrary geometry."""
+    if (h - k) < 0 or (w - k) < 0:
+        return
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((n, c, h, w))
+    cols, _ = im2col(x, (k, k), (s, s))
+    y = rng.standard_normal(cols.shape)
+    back = col2im(y, x.shape, (k, k), (s, s))
+    assert np.isclose(np.sum(cols * y), np.sum(x * back), rtol=1e-9)
+
+
+@given(finite_arrays, finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_maximum_commutes_with_swap(a, b):
+    if a.shape != b.shape:
+        return
+    m1 = T.maximum(Tensor(a), Tensor(b)).data
+    m2 = T.maximum(Tensor(b), Tensor(a)).data
+    assert np.allclose(m1, m2)

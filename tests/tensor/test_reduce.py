@@ -1,0 +1,72 @@
+"""Reduction op tests."""
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor import Tensor
+
+from ..conftest import assert_gradcheck
+
+
+class TestForward:
+    def test_sum_all(self):
+        assert T.tensor_sum(Tensor(np.arange(6.0))).item() == 15.0
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)))
+        assert T.tensor_sum(a, axis=1).shape == (2,)
+        assert T.tensor_sum(a, axis=1, keepdims=True).shape == (2, 1)
+
+    def test_sum_negative_axis(self):
+        a = Tensor(np.ones((2, 3)))
+        assert np.allclose(T.tensor_sum(a, axis=-1).data, [3.0, 3.0])
+
+    def test_sum_multiple_axes(self):
+        a = Tensor(np.ones((2, 3, 4)))
+        assert T.tensor_sum(a, axis=(0, 2)).shape == (3,)
+
+    def test_mean(self):
+        a = Tensor(np.array([[1.0, 3.0], [5.0, 7.0]]))
+        assert T.tensor_mean(a).item() == 4.0
+        assert np.allclose(T.tensor_mean(a, axis=0).data, [3.0, 5.0])
+
+    def test_max_min(self):
+        a = Tensor(np.array([[1.0, 9.0], [5.0, 7.0]]))
+        assert T.tensor_max(a).item() == 9.0
+        assert T.tensor_min(a).item() == 1.0
+        assert np.allclose(T.tensor_max(a, axis=0).data, [5.0, 9.0])
+
+
+class TestGradients:
+    def test_sum_grad(self, rng):
+        assert_gradcheck(lambda x: T.tensor_sum(x, axis=1) * 2.0, rng.standard_normal((3, 4)))
+
+    def test_mean_grad(self, rng):
+        assert_gradcheck(
+            lambda x: T.tensor_mean(x, axis=0, keepdims=True) * x,
+            rng.standard_normal((3, 4)),
+        )
+
+    def test_max_grad_unique(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        T.tensor_max(a).backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.array([5.0, 5.0, 3.0]), requires_grad=True)
+        T.tensor_max(a).backward()
+        assert np.allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_min_grad_axis(self):
+        a = Tensor(np.array([[2.0, 1.0], [0.0, 9.0]]), requires_grad=True)
+        T.tensor_min(a, axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_grad_numeric(self, rng):
+        a = rng.standard_normal((4, 5))  # distinct values a.s.
+        assert_gradcheck(lambda x: T.tensor_max(x, axis=1), a)
+
+    def test_mean_all_grad_value(self):
+        a = Tensor(np.zeros((2, 5)), requires_grad=True)
+        T.tensor_mean(a).backward()
+        assert np.allclose(a.grad, np.full((2, 5), 0.1))

@@ -1,0 +1,154 @@
+"""CLI integration tests (in-process, via ``repro.cli.main``)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("generate", "train", "evaluate", "scaling", "table1"):
+            if command == "generate":
+                args = parser.parse_args([command, "out.npz"])
+            elif command in ("train", "evaluate"):
+                args = parser.parse_args([command, "ckpt.npz"])
+            else:
+                args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestTable1Command:
+    def test_prints_architecture(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "16" in out
+
+
+class TestGenerateCommand:
+    def test_writes_dataset(self, tmp_path, capsys):
+        path = tmp_path / "data.npz"
+        code = main(
+            ["generate", str(path), "--grid-size", "24", "--snapshots", "6"]
+        )
+        assert code == 0
+        from repro.data import load_snapshots
+
+        snaps, meta = load_snapshots(path)
+        assert snaps.shape == (6, 4, 24, 24)
+        assert meta["grid_size"] == 24
+        assert "wrote 6 snapshots" in capsys.readouterr().out
+
+
+class TestTrainEvaluateRoundtrip:
+    def test_train_then_evaluate(self, tmp_path, capsys):
+        data_path = tmp_path / "data.npz"
+        ckpt_path = tmp_path / "model.npz"
+        assert main(["generate", str(data_path), "--grid-size", "24", "--snapshots", "10"]) == 0
+        assert (
+            main(
+                [
+                    "train",
+                    str(ckpt_path),
+                    "--dataset",
+                    str(data_path),
+                    "--ranks",
+                    "2",
+                    "--epochs",
+                    "1",
+                    "--execution",
+                    "serial",
+                ]
+            )
+            == 0
+        )
+        assert ckpt_path.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "evaluate",
+                    str(ckpt_path),
+                    "--dataset",
+                    str(data_path),
+                    "--steps",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "relative L2" in out
+        assert "halo messages" in out
+
+    def test_train_with_augmentation(self, tmp_path, capsys):
+        ckpt_path = tmp_path / "model_aug.npz"
+        code = main(
+            [
+                "train",
+                str(ckpt_path),
+                "--grid-size",
+                "24",
+                "--snapshots",
+                "6",
+                "--ranks",
+                "2",
+                "--epochs",
+                "1",
+                "--execution",
+                "serial",
+                "--augment",
+            ]
+        )
+        assert code == 0
+        assert "D4 augmentation" in capsys.readouterr().out
+        assert ckpt_path.exists()
+
+    def test_train_generates_data_when_no_dataset(self, tmp_path, capsys):
+        ckpt_path = tmp_path / "model.npz"
+        code = main(
+            [
+                "train",
+                str(ckpt_path),
+                "--grid-size",
+                "24",
+                "--snapshots",
+                "8",
+                "--ranks",
+                "2",
+                "--epochs",
+                "1",
+                "--execution",
+                "serial",
+            ]
+        )
+        assert code == 0
+        assert ckpt_path.exists()
+
+
+class TestScalingCommand:
+    def test_prints_table(self, capsys):
+        code = main(
+            [
+                "scaling",
+                "--grid-size",
+                "24",
+                "--snapshots",
+                "8",
+                "--epochs",
+                "1",
+                "--ranks",
+                "1",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "speedup" in out

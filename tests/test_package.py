@@ -1,0 +1,45 @@
+"""Package-level sanity tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+SUBPACKAGES = [
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.mpi",
+    "repro.solver",
+    "repro.data",
+    "repro.domain",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_exception_hierarchy():
+    from repro import exceptions
+
+    assert issubclass(exceptions.AutogradError, exceptions.ReproError)
+    assert issubclass(exceptions.DeadlockError, exceptions.CommunicatorError)
+    assert issubclass(exceptions.ShapeError, ValueError)
+    assert issubclass(exceptions.ConfigurationError, ValueError)
