@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint check test all
+
+lint:
+	bash scripts/check.sh
+
+check:
+	$(PYTHON) -m repro.cli check --sanitize
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+all: lint check test

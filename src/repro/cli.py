@@ -7,7 +7,11 @@ Subcommands cover the full workflow:
   generate one on the fly) and checkpoint the models,
 - ``repro evaluate``  — single/multi-step accuracy of a checkpoint,
 - ``repro scaling``   — the Fig.-4 strong-scaling study,
-- ``repro table1``    — print the architecture table.
+- ``repro table1``    — print the architecture table,
+- ``repro lint``      — repo-specific static analysis (REP00x rules
+  plus optional ruff/mypy baseline passes),
+- ``repro check``     — runtime verification: gradcheck every
+  registered op, optionally smoke-test the sanitizers.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -83,6 +87,39 @@ def _add_scaling(subparsers) -> None:
     )
 
 
+def _add_lint(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint", help="run the repo-specific static-analysis rules (REP00x)"
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to lint (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: the full catalogue)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the ruff/mypy baseline passes (they auto-skip when the "
+        "tools are not installed)",
+    )
+
+
+def _add_check(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "check",
+        help="runtime verification: gradcheck every registered op",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also smoke-test the float/shape/MPI sanitizers on a live "
+        "forward pass and halo exchange",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -94,6 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(subparsers)
     _add_scaling(subparsers)
     subparsers.add_parser("table1", help="print the Table-I architecture")
+    _add_lint(subparsers)
+    _add_check(subparsers)
     return parser
 
 
@@ -227,12 +266,82 @@ def _cmd_table1(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_paths
+    from .exceptions import AnalysisError
+
+    rules = None
+    if args.rules:
+        rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    try:
+        report = lint_paths(args.paths, rules=rules, baseline=not args.no_baseline)
+    except AnalysisError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _sanitizer_smoke(seed: int) -> list[str]:
+    """Exercise each sanitizer on a real forward pass / halo exchange."""
+    from . import mpi
+    from .analysis import FloatSanitizer, MpiSanitizer, ShapeContract
+    from .domain.decomposition import BlockDecomposition
+    from .domain.halo import HaloExchanger
+    from .nn import Conv2d, Sequential, Tanh
+    from .tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    lines = []
+
+    with FloatSanitizer(), ShapeContract():
+        net = Sequential(Conv2d(4, 8, 3, padding=1, rng=rng), Tanh())
+        net(Tensor(rng.standard_normal((2, 4, 8, 8))))
+    lines.append("float/shape sanitizers: forward pass clean")
+
+    with MpiSanitizer(strict=True) as sanitizer:
+        decomposition = BlockDecomposition((8, 8), (2, 2))
+
+        def program(comm: mpi.Communicator):
+            local = rng.standard_normal((4, 4, 4))
+            return HaloExchanger(comm, decomposition, halo=1).exchange(local).shape
+
+        mpi.run_parallel(program, 4)
+    lines.append(
+        "mpi sanitizer: halo exchange clean "
+        f"({sum(a.messages_posted for a in sanitizer.report.audits)} messages audited)"
+    )
+    return lines
+
+
+def _cmd_check(args) -> int:
+    from .analysis import check_all_ops, ops_by_module
+
+    rng = np.random.default_rng(args.seed)
+    report = check_all_ops(rng)
+    print(report.format())
+    for module, ops in sorted(ops_by_module().items()):
+        checked = [op for op in ops if report.checked.get(op)]
+        print(f"  {module}: {len(checked)}/{len(ops)} ops gradchecked")
+    ok = report.ok
+    if args.sanitize:
+        try:
+            for line in _sanitizer_smoke(args.seed):
+                print(line)
+        except Exception as exc:  # pragma: no cover - smoke failure path
+            print(f"sanitizer smoke test failed: {exc}")
+            ok = False
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "scaling": _cmd_scaling,
     "table1": _cmd_table1,
+    "lint": _cmd_lint,
+    "check": _cmd_check,
 }
 
 

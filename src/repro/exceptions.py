@@ -62,3 +62,22 @@ class DatasetError(ReproError):
 
 class ConfigurationError(ReproError, ValueError):
     """Raised when a user-facing configuration object is inconsistent."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis / verification tooling in
+    :mod:`repro.analysis`.
+
+    Examples: a registered op without gradcheck coverage, or an
+    analytic gradient that disagrees with finite differences.
+    """
+
+
+class SanitizerError(ReproError):
+    """Raised by an active runtime sanitizer (see
+    :mod:`repro.analysis.sanitizers`).
+
+    Examples: an op producing NaN/Inf under the float sanitizer, a
+    layer violating its shape contract, or the MPI audit finding
+    messages that were sent but never received.
+    """

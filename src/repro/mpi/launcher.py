@@ -82,8 +82,11 @@ def run_parallel(
                 errors.append((rank, exc))
             router.abort(exc)
 
+    # The router IS the thread-safe shared transport: each worker builds
+    # its own per-rank WorldCommunicator inside the thread and only the
+    # lock-protected router crosses the thread boundary.
     threads = [
-        threading.Thread(target=worker, args=(rank,), name=f"repro-rank-{rank}")
+        threading.Thread(target=worker, args=(rank,), name=f"repro-rank-{rank}")  # noqa: REP002
         for rank in range(size)
     ]
     for thread in threads:

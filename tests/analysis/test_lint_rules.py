@@ -1,0 +1,284 @@
+"""Unit tests for the REP00x rule catalogue on inline source snippets."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.rules import (
+    FileContext,
+    audit_message_events,
+    collect_message_events,
+    run_file_rules,
+)
+from repro.exceptions import AnalysisError
+
+
+def lint_snippet(source, path="snippet.py", rules=None):
+    ctx = FileContext.parse(path, textwrap.dedent(source))
+    return list(run_file_rules(ctx, rules))
+
+
+def rep003_violations(*sources):
+    events = []
+    for i, source in enumerate(sources):
+        ctx = FileContext.parse(f"file{i}.py", textwrap.dedent(source))
+        events.extend(collect_message_events(ctx))
+    return list(audit_message_events(events))
+
+
+# ----------------------------------------------------------------------
+# REP001 — in-place .data mutation
+# ----------------------------------------------------------------------
+class TestRep001:
+    def test_augmented_assignment_flagged(self):
+        hits = lint_snippet("x.data += delta\n", rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+        assert "augmented assignment" in hits[0].message
+
+    def test_element_assignment_flagged(self):
+        hits = lint_snippet("x.data[...] = values\n", rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+
+    def test_rebinding_flagged(self):
+        hits = lint_snippet("x.data = other\n", rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+        assert "rebinding" in hits[0].message
+
+    def test_inplace_ndarray_method_flagged(self):
+        hits = lint_snippet("x.data.fill(0.0)\n", rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+
+    def test_ufunc_at_flagged(self):
+        hits = lint_snippet("np.add.at(x.data, idx, v)\n", rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+
+    def test_no_grad_block_sanctioned(self):
+        source = """
+        with no_grad():
+            x.data += delta
+        """
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+    def test_ctor_self_bind_sanctioned(self):
+        source = """
+        class Tensor:
+            def __init__(self, data):
+                self.data = data
+        """
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+    def test_rebind_outside_ctor_flagged(self):
+        source = """
+        class Tensor:
+            def clobber(self, data):
+                self.data = data
+        """
+        hits = lint_snippet(source, rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+
+    def test_optim_directory_sanctioned(self):
+        hits = lint_snippet(
+            "p.data -= lr * p.grad\n", path="src/repro/optim/sgd.py", rules={"REP001"}
+        )
+        assert hits == []
+
+    def test_noqa_suppression(self):
+        hits = lint_snippet("x.data += delta  # noqa: REP001\n", rules={"REP001"})
+        assert hits == []
+
+    def test_bare_noqa_suppresses_all(self):
+        hits = lint_snippet("x.data += delta  # noqa\n", rules={"REP001"})
+        assert hits == []
+
+    def test_out_of_place_not_flagged(self):
+        assert lint_snippet("y = x.data + delta\n", rules={"REP001"}) == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — communicator crossing a thread boundary
+# ----------------------------------------------------------------------
+class TestRep002:
+    def test_target_free_variable_flagged(self):
+        source = """
+        import threading
+
+        def launch(comm):
+            def worker():
+                comm.send(1.0, dest=0)
+            return threading.Thread(target=worker)
+        """
+        hits = lint_snippet(source, rules={"REP002"})
+        assert [v.rule for v in hits] == ["REP002"]
+        assert "'comm'" in hits[0].message
+
+    def test_endpoint_in_args_tuple_flagged(self):
+        source = """
+        import threading
+        thread = threading.Thread(target=run, args=(router, 3))
+        """
+        hits = lint_snippet(source, rules={"REP002"})
+        assert [v.rule for v in hits] == ["REP002"]
+
+    def test_lambda_capture_flagged(self):
+        source = """
+        from threading import Thread
+        t = Thread(target=lambda: comm.recv(source=0))
+        """
+        hits = lint_snippet(source, rules={"REP002"})
+        assert [v.rule for v in hits] == ["REP002"]
+
+    def test_endpoint_created_inside_thread_ok(self):
+        source = """
+        import threading
+
+        def launch(router):
+            def worker(rank):
+                comm = WorldCommunicator(router, rank)
+                comm.send(1.0, dest=0)
+            return threading.Thread(target=worker, args=(0,))
+        """
+        # `router` is a free variable of worker, so the shared-transport
+        # case still needs an explicit, documented suppression.
+        hits = lint_snippet(source, rules={"REP002"})
+        assert [v.rule for v in hits] == ["REP002"]
+        assert "'router'" in hits[0].message
+
+    def test_unrelated_thread_ok(self):
+        source = """
+        import threading
+
+        def launch(items):
+            def worker():
+                items.append(1)
+            return threading.Thread(target=worker)
+        """
+        assert lint_snippet(source, rules={"REP002"}) == []
+
+    def test_noqa_suppression(self):
+        source = """
+        import threading
+        t = threading.Thread(target=run, args=(router,))  # noqa: REP002
+        """
+        assert lint_snippet(source, rules={"REP002"}) == []
+
+
+# ----------------------------------------------------------------------
+# REP003 — paired-message audit
+# ----------------------------------------------------------------------
+class TestRep003:
+    def test_matched_literals_clean(self):
+        violations = rep003_violations(
+            "comm.send(x, 1, tag=7)\n",
+            "y, s = comm.recv(source=0, tag=7)\n",
+        )
+        assert violations == []
+
+    def test_orphan_send_flagged(self):
+        violations = rep003_violations("comm.send(x, 1, tag=421)\n")
+        assert [v.rule for v in violations] == ["REP003"]
+        assert "tag 421" in violations[0].message
+
+    def test_orphan_recv_flagged(self):
+        violations = rep003_violations("comm.recv(source=0, tag=9000)\n")
+        assert [v.rule for v in violations] == ["REP003"]
+        assert "no matching send" in violations[0].message
+
+    def test_module_constants_folded(self):
+        violations = rep003_violations(
+            """
+            TAG_BASE = 7000
+            comm.send(x, 1, tag=TAG_BASE + 3)
+            """,
+            "comm.recv(source=0, tag=7003)\n",
+        )
+        assert violations == []
+
+    def test_symbolic_tag_builder_matches_by_name(self):
+        violations = rep003_violations(
+            "comm.send(x, 1, tag=_halo_tag(phase, 1))\n",
+            "comm.recv(source=0, tag=_halo_tag(phase, -1))\n",
+        )
+        assert violations == []
+
+    def test_wildcard_recv_matches_same_file_only(self):
+        same_file = """
+        comm.send(x, 1, tag=55)
+        comm.recv(source=0, tag=ANY_TAG)
+        """
+        assert rep003_violations(same_file) == []
+        # The wildcard in another file does not absorb the orphan send.
+        cross_file = rep003_violations(
+            "comm.send(x, 1, tag=55)\n",
+            "comm.recv(source=0, tag=ANY_TAG)\n",
+        )
+        assert [v.rule for v in cross_file] == ["REP003"]
+
+    def test_omitted_recv_tag_is_wildcard(self):
+        assert rep003_violations("comm.send(x, 1, tag=9)\ncomm.recv(source=0)\n") == []
+
+    def test_dynamic_tag_ignored(self):
+        assert rep003_violations("comm.send(x, 1, tag=base + offset)\n") == []
+
+    def test_sendrecv_produces_both_events(self):
+        violations = rep003_violations(
+            "comm.sendrecv(x, 1, 0, send_tag=11, recv_tag=12)\n"
+        )
+        assert len(violations) == 2
+        messages = " | ".join(v.message for v in violations)
+        assert "tag 11" in messages and "tag 12" in messages
+
+
+# ----------------------------------------------------------------------
+# REP004 — loop-variable capture
+# ----------------------------------------------------------------------
+class TestRep004:
+    def test_backward_closure_flagged(self):
+        source = """
+        for axis in range(ndim):
+            def backward(grad):
+                return unreduce(grad, axis)
+            closures.append(backward)
+        """
+        hits = lint_snippet(source, rules={"REP004"})
+        assert [v.rule for v in hits] == ["REP004"]
+        assert "'axis'" in hits[0].message
+
+    def test_lambda_flagged(self):
+        source = """
+        for i in range(3):
+            fns.append(lambda g: g * i)
+        """
+        hits = lint_snippet(source, rules={"REP004"})
+        assert [v.rule for v in hits] == ["REP004"]
+
+    def test_default_argument_snapshot_ok(self):
+        source = """
+        for axis in range(ndim):
+            def backward(grad, axis=axis):
+                return unreduce(grad, axis)
+            closures.append(backward)
+        """
+        assert lint_snippet(source, rules={"REP004"}) == []
+
+    def test_tuple_loop_target(self):
+        source = """
+        for key, value in items:
+            hooks[key] = lambda: handler(value)
+        """
+        hits = lint_snippet(source, rules={"REP004"})
+        assert [v.rule for v in hits] == ["REP004"]
+        assert "'value'" in hits[0].message
+
+    def test_closure_not_using_loop_var_ok(self):
+        source = """
+        for i in range(3):
+            fns.append(lambda g: g * 2)
+        """
+        assert lint_snippet(source, rules={"REP004"}) == []
+
+
+def test_unknown_rule_id_rejected():
+    from repro.analysis import lint_paths
+
+    with pytest.raises(AnalysisError, match="unknown rule"):
+        lint_paths(["src/repro"], rules=["REP999"])

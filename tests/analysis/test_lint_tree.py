@@ -1,0 +1,72 @@
+"""Tree-level lint gates: the clean tree stays clean, planted bugs are caught.
+
+``test_source_tree_is_lint_clean`` is the CI gate the whole subsystem
+exists for: any new REP00x violation in ``src/repro`` fails the suite.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_source_tree_is_lint_clean(capsys):
+    exit_code = main(["lint", str(SRC), "--no-baseline"])
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"repro lint found violations:\n{output}"
+    assert "0 violations" in output
+
+
+def test_planted_fixtures_are_caught(capsys):
+    exit_code = main(["lint", str(FIXTURES), "--no-baseline"])
+    output = capsys.readouterr().out
+    assert exit_code == 1
+    assert "REP001" in output
+    assert "REP003" in output
+
+
+def test_fixture_report_details():
+    report = lint_paths([FIXTURES])
+    assert not report.ok
+    assert report.count("REP001") >= 1
+    assert report.count("REP003") >= 2  # orphan send AND orphan recv
+    rep001 = [v for v in report.violations if v.rule == "REP001"]
+    assert rep001[0].path.endswith("planted_rep001.py")
+
+
+def test_rule_subset_runs_only_selected():
+    report = lint_paths([FIXTURES], rules=["REP003"])
+    assert report.count("REP001") == 0
+    assert report.count("REP003") >= 2
+
+
+def test_baseline_passes_skip_not_fail_when_tools_missing():
+    report = lint_paths([SRC], baseline=True)
+    assert report.ok, report.format()
+    for result in report.baseline:
+        assert result.status in {"passed", "skipped"}
+
+
+def test_suppressed_tree_findings_are_documented():
+    """Every # noqa: REPxxx comment in the tree must carry a rationale."""
+    import io
+    import re
+    import tokenize
+
+    pattern = re.compile(r"#\s*noqa:\s*REP\d+")
+    for path in sorted(SRC.rglob("*.py")):
+        source = path.read_text()
+        lines = source.splitlines()
+        comment_lines = {
+            tok.start[0]
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT and pattern.search(tok.string)
+        }
+        for lineno in comment_lines:
+            # A rationale comment on one of the two preceding lines.
+            context = " ".join(lines[max(0, lineno - 3) : lineno - 1])
+            assert "#" in context, f"{path}:{lineno}: bare noqa without rationale"
