@@ -56,6 +56,8 @@ RULES: dict[str, str] = {
     "tree (message can never be delivered/received)",
     "REP004": "closure captures a loop variable by reference (late "
     "binding: every closure sees the final iteration's value)",
+    "REP005": "hand-rolled training loop (backward + optimizer step inside "
+    "a loop) outside core/engine.py — route it through the Engine",
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
@@ -585,11 +587,52 @@ def rule_rep004(ctx: FileContext) -> Iterator[Violation]:
                     )
 
 
+# ======================================================================
+# REP005 — hand-rolled training loops outside the Engine
+# ======================================================================
+#: The one sanctioned home of the epoch/batch loop (posix-style suffix).
+_REP005_SANCTIONED_SUFFIX = "core/engine.py"
+
+
+def _loop_calls(loop: ast.For | ast.AsyncFor | ast.While) -> set[str]:
+    """Attribute-method names called anywhere inside the loop body."""
+    calls: set[str] = set()
+    for stmt in loop.body + loop.orelse:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                calls.add(node.func.attr)
+    return calls
+
+
+def rule_rep005(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.path.replace("\\", "/").endswith(_REP005_SANCTIONED_SUFFIX):
+        return
+    for loop in ast.walk(ctx.tree):
+        if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        calls = _loop_calls(loop)
+        # The signature of a training loop: a backward pass feeding an
+        # optimizer step.  Either alone is innocent (gradcheck calls
+        # backward; schedules call step).
+        if "backward" in calls and "step" in calls:
+            yield Violation(
+                "REP005",
+                ctx.path,
+                loop.lineno,
+                loop.col_offset,
+                "hand-rolled training loop (backward() + step() inside one "
+                "loop): the canonical epoch/batch loop lives in "
+                "repro.core.engine.Engine — use Engine.fit with callbacks, "
+                "or suppress with '# noqa: REP005' and a justification",
+            )
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
     "REP002": rule_rep002,
     "REP004": rule_rep004,
+    "REP005": rule_rep005,
 }
 
 

@@ -65,6 +65,30 @@ def _add_train(subparsers) -> None:
         action="store_true",
         help="augment the training trajectory with its D4 symmetry orbit",
     )
+    parser.add_argument(
+        "--grad-clip",
+        type=float,
+        default=None,
+        help="clip gradients to this global L2 norm each step",
+    )
+    parser.add_argument(
+        "--lr-schedule",
+        default=None,
+        choices=["constant", "step", "exponential", "cosine"],
+        help="per-epoch learning-rate schedule (paper default: constant lr)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="evaluate each rank on its validation subdomain every epoch",
+    )
+    parser.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        help="stop a rank early after this many epochs without improvement "
+        "(monitors validation loss with --validate, else training loss)",
+    )
 
 
 def _add_evaluate(subparsers) -> None:
@@ -178,9 +202,19 @@ def _load_or_generate(dataset_path: str | None, snapshots: int, grid_size: int):
     return SnapshotDataset(produced.full_snapshots)
 
 
+def _schedule_kwargs(name: str | None, epochs: int) -> dict:
+    """Sensible defaults for schedules that require a horizon."""
+    if name == "step":
+        return {"step_size": max(epochs // 3, 1)}
+    if name == "cosine":
+        return {"total_epochs": epochs}
+    return {}
+
+
 def _cmd_train(args) -> int:
     from .core import (
         CNNConfig,
+        EarlyStopping,
         ParallelTrainer,
         TrainingConfig,
         parse_strategy,
@@ -199,6 +233,9 @@ def _cmd_train(args) -> int:
         f"dataset: {dataset.snapshots.shape}, training on {train.num_samples} "
         f"pairs across {args.ranks} ranks"
     )
+    callback_factory = None
+    if args.patience is not None:
+        callback_factory = lambda rank: (EarlyStopping(patience=args.patience),)
     trainer = ParallelTrainer(
         cnn_config=CNNConfig(strategy=parse_strategy(args.strategy)),
         training_config=TrainingConfig(
@@ -207,16 +244,27 @@ def _cmd_train(args) -> int:
             lr=args.lr,
             loss=args.loss,
             seed=args.seed,
+            grad_clip=args.grad_clip,
+            lr_schedule=args.lr_schedule,
+            lr_schedule_kwargs=_schedule_kwargs(args.lr_schedule, args.epochs),
         ),
         num_ranks=args.ranks,
         seed=args.seed,
+        callback_factory=callback_factory,
     )
-    result = trainer.train(train, execution=args.execution)
+    result = trainer.train(
+        train,
+        execution=args.execution,
+        validation=validation if args.validate else None,
+    )
     save_parallel_models(args.checkpoint, result)
     print(
         f"trained in {result.max_train_time:.2f}s (slowest rank); "
         f"final losses {[f'{l:.4g}' for l in result.final_losses]}"
     )
+    if args.validate:
+        val_losses = [r.history.final_val_loss for r in result.rank_results]
+        print(f"final validation losses {[f'{l:.4g}' for l in val_losses]}")
     print(f"checkpoint written to {args.checkpoint}")
     return 0
 

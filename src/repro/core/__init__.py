@@ -1,7 +1,25 @@
 """The paper's contribution: domain-decomposed parallel training and
 halo-exchange parallel inference of PDE-surrogate CNNs."""
 
-from .checkpoint import load_parallel_models, save_parallel_models
+from .checkpoint import (
+    TrainingCheckpoint,
+    load_checkpoint,
+    load_parallel_models,
+    save_checkpoint,
+    save_parallel_models,
+)
+from .engine import (
+    Callback,
+    Checkpointer,
+    EarlyStopping,
+    Engine,
+    GradClip,
+    LossHistory,
+    LRScheduler,
+    ProgressLogger,
+    SanitizerAttach,
+    Timer,
+)
 from .evaluation import ParallelEvaluation, evaluate_parallel
 from .inference import ParallelPredictor, RolloutResult, SequentialPredictor
 from .parallel_recurrent import (
@@ -39,6 +57,19 @@ from .trainer import TrainingConfig, TrainingHistory, evaluate_network, predict,
 from .weight_averaging import WeightAveragingResult, train_weight_averaging
 
 __all__ = [
+    "Engine",
+    "Callback",
+    "LossHistory",
+    "Timer",
+    "LRScheduler",
+    "GradClip",
+    "EarlyStopping",
+    "Checkpointer",
+    "SanitizerAttach",
+    "ProgressLogger",
+    "save_checkpoint",
+    "load_checkpoint",
+    "TrainingCheckpoint",
     "PaddingStrategy",
     "parse_strategy",
     "CNNConfig",

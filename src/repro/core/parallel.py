@@ -18,8 +18,8 @@ all during training.  Two execution modes are provided:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -27,9 +27,10 @@ from ..data.dataset import SnapshotDataset
 from ..domain.decomposition import BlockDecomposition, Subdomain
 from ..exceptions import ConfigurationError
 from .. import mpi
+from .engine import Callback, Engine
 from .model import CNNConfig, SubdomainCNN
 from .subdomain_data import build_rank_dataset
-from .trainer import TrainingConfig, TrainingHistory, train_network
+from .trainer import TrainingConfig, TrainingHistory
 
 
 @dataclass
@@ -107,6 +108,9 @@ class ParallelTrainer:
         Halo fill at physical boundaries (``"zero"`` or ``"edge"``).
     seed:
         Base seed; rank *r* initializes its network from ``seed + r``.
+    callback_factory:
+        Optional ``rank -> callbacks`` hook; the returned callbacks are
+        attached to that rank's :class:`~repro.core.engine.Engine`.
     """
 
     def __init__(
@@ -117,6 +121,7 @@ class ParallelTrainer:
         pgrid: tuple[int, int] | None = None,
         fill: str = "zero",
         seed: int = 0,
+        callback_factory: Callable[[int], Sequence[Callback]] | None = None,
     ) -> None:
         if num_ranks < 1:
             raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
@@ -128,6 +133,7 @@ class ParallelTrainer:
         self.pgrid = pgrid
         self.fill = fill
         self.seed = seed
+        self.callback_factory = callback_factory
 
     # ------------------------------------------------------------------
     def _decomposition(self, field_shape: tuple[int, int]) -> BlockDecomposition:
@@ -136,46 +142,63 @@ class ParallelTrainer:
         return BlockDecomposition.from_num_ranks(field_shape, self.num_ranks)
 
     def _rank_program(
-        self, dataset: SnapshotDataset, decomposition: BlockDecomposition, rank: int
+        self,
+        dataset: SnapshotDataset,
+        decomposition: BlockDecomposition,
+        rank: int,
+        validation: SnapshotDataset | None = None,
     ) -> RankTrainingResult:
         """What one rank executes: build data, build net, train, report."""
         cfg = self.cnn_config
-        data = build_rank_dataset(
-            dataset,
-            decomposition,
-            rank,
-            halo=cfg.input_halo,
-            crop=cfg.output_crop,
-            fill=self.fill,
-        )
+
+        def rank_data(source: SnapshotDataset):
+            return build_rank_dataset(
+                source,
+                decomposition,
+                rank,
+                halo=cfg.input_halo,
+                crop=cfg.output_crop,
+                fill=self.fill,
+            )
+
+        data = rank_data(dataset)
+        val_data = rank_data(validation) if validation is not None else None
         rng = np.random.default_rng(self.seed + rank)
         model = SubdomainCNN(cfg, rng=rng)
-        rank_training = TrainingConfig(
-            **{
-                **self.training_config.__dict__,
-                "seed": self.training_config.seed + rank,
-            }
+        rank_training = self.training_config.replace(
+            seed=self.training_config.seed + rank
         )
-        start = time.perf_counter()
-        history = train_network(model, data, rank_training)
-        elapsed = time.perf_counter() - start
+        callbacks = self.callback_factory(rank) if self.callback_factory else ()
+        engine = Engine(model, rank_training, callbacks=callbacks, model_config=cfg)
+        history = engine.fit(data, validation_data=val_data)
         return RankTrainingResult(
             rank=rank,
             subdomain=decomposition.subdomain(rank),
             state_dict=model.state_dict(),
             history=history,
-            train_time=elapsed,
+            train_time=engine.fit_time,
         )
 
     def train(
-        self, dataset: SnapshotDataset, execution: str = "threads"
+        self,
+        dataset: SnapshotDataset,
+        execution: str = "threads",
+        validation: SnapshotDataset | None = None,
     ) -> ParallelTrainingResult:
-        """Train all P networks on ``dataset`` and collect the results."""
+        """Train all P networks on ``dataset`` and collect the results.
+
+        When ``validation`` is given, each rank also evaluates its own
+        subdomain of it after every epoch (recorded in the history's
+        ``val_losses``; enables validation-monitoring callbacks such as
+        :class:`~repro.core.engine.EarlyStopping`).
+        """
         decomposition = self._decomposition(dataset.field_shape)
         if execution == "threads":
 
             def program(comm: mpi.Communicator) -> RankTrainingResult:
-                result = self._rank_program(dataset, decomposition, comm.rank)
+                result = self._rank_program(
+                    dataset, decomposition, comm.rank, validation
+                )
                 # A single barrier marks the end of the training phase —
                 # the only synchronization, matching the paper.
                 comm.barrier()
@@ -184,7 +207,7 @@ class ParallelTrainer:
             rank_results = mpi.run_parallel(program, self.num_ranks)
         elif execution == "serial":
             rank_results = [
-                self._rank_program(dataset, decomposition, rank)
+                self._rank_program(dataset, decomposition, rank, validation)
                 for rank in range(self.num_ranks)
             ]
         else:

@@ -14,7 +14,6 @@ for the CNN case).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,7 +22,8 @@ from .. import mpi
 from ..data.dataset import SnapshotDataset
 from ..domain.decomposition import BlockDecomposition, Subdomain
 from ..exceptions import ConfigurationError, ShapeError
-from .recurrent_surrogate import RecurrentSurrogate, WindowDataset, train_recurrent
+from .engine import Engine
+from .recurrent_surrogate import RecurrentSurrogate, WindowDataset
 from .trainer import TrainingConfig, TrainingHistory
 
 
@@ -120,18 +120,15 @@ def train_parallel_recurrent(
             kernel_size=kernel_size,
             rng=np.random.default_rng(seed + rank),
         )
-        rank_config = TrainingConfig(
-            **{**training_config.__dict__, "seed": training_config.seed + rank}
-        )
-        start = time.perf_counter()
-        history = train_recurrent(model, data, rank_config)
-        elapsed = time.perf_counter() - start
+        rank_config = training_config.replace(seed=training_config.seed + rank)
+        engine = Engine(model, rank_config)
+        history = engine.fit(data)
         return RecurrentRankResult(
             rank=rank,
             subdomain=sub,
             state_dict=model.state_dict(),
             history=history,
-            train_time=elapsed,
+            train_time=engine.fit_time,
         )
 
     if execution == "threads":

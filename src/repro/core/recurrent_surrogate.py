@@ -9,18 +9,18 @@ network as time-series").
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from ..data.batching import iter_batch_indices
 from ..data.dataset import SnapshotDataset
 from ..exceptions import ConfigurationError, DatasetError
 from ..nn import Conv2d, Module
 from ..nn.recurrent import ConvLSTMCell
-from ..optim import get_optimizer
-from ..nn import get_loss
 from ..tensor import Tensor, no_grad
+from .engine import Callback, Engine
 from .trainer import TrainingConfig, TrainingHistory
 
 
@@ -111,15 +111,7 @@ class WindowDataset:
         )
 
     def batches(self, batch_size: int, shuffle: bool, rng: np.random.Generator | None):
-        if batch_size < 1:
-            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
-        if shuffle and rng is None:
-            raise DatasetError("shuffle=True requires an explicit rng")
-        order = np.arange(self.num_samples)
-        if shuffle:
-            rng.shuffle(order)
-        for start in range(0, self.num_samples, batch_size):
-            chosen = order[start : start + batch_size]
+        for chosen in iter_batch_indices(self.num_samples, batch_size, shuffle, rng):
             windows = np.stack([self.snapshots[i : i + self.window] for i in chosen])
             targets = self.snapshots[chosen + self.window]
             yield windows, targets
@@ -129,29 +121,10 @@ def train_recurrent(
     model: RecurrentSurrogate,
     data: WindowDataset,
     config: TrainingConfig,
+    validation_data: WindowDataset | None = None,
+    callbacks: Sequence[Callback] = (),
 ) -> TrainingHistory:
-    """Train the recurrent surrogate on sliding windows (same loop
-    structure as :func:`repro.core.trainer.train_network`)."""
-    rng = np.random.default_rng(config.seed)
-    loss_fn = get_loss(config.loss, **config.loss_kwargs)
-    optimizer = get_optimizer(
-        config.optimizer, model.parameters(), lr=config.lr, **config.optimizer_kwargs
-    )
-    history = TrainingHistory()
-    model.train()
-    for _ in range(config.epochs):
-        start = time.perf_counter()
-        epoch_loss = 0.0
-        samples = 0
-        for windows, targets in data.batches(config.batch_size, config.shuffle, rng):
-            optimizer.zero_grad()
-            prediction = model(Tensor(windows))
-            loss = loss_fn(prediction, Tensor(targets))
-            loss.backward()
-            optimizer.step()
-            batch = windows.shape[0]
-            epoch_loss += loss.item() * batch
-            samples += batch
-        history.epoch_losses.append(epoch_loss / samples)
-        history.epoch_times.append(time.perf_counter() - start)
-    return history
+    """Train the recurrent surrogate on sliding windows through the
+    canonical :class:`~repro.core.engine.Engine` loop."""
+    engine = Engine(model, config, callbacks=callbacks)
+    return engine.fit(data, validation_data=validation_data)

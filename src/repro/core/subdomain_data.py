@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..data.batching import iter_batch_indices
 from ..data.dataset import SnapshotDataset
 from ..domain.decomposition import BlockDecomposition
 from ..exceptions import DatasetError
@@ -45,15 +46,7 @@ class RankDataset:
 
     def batches(self, batch_size: int, shuffle: bool, rng: np.random.Generator | None):
         """Yield ``(inputs, targets)`` mini-batches."""
-        if batch_size < 1:
-            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
-        if shuffle and rng is None:
-            raise DatasetError("shuffle=True requires an explicit rng")
-        order = np.arange(self.num_samples)
-        if shuffle:
-            rng.shuffle(order)
-        for start in range(0, self.num_samples, batch_size):
-            chosen = order[start : start + batch_size]
+        for chosen in iter_batch_indices(self.num_samples, batch_size, shuffle, rng):
             yield self.inputs[chosen], self.targets[chosen]
 
 

@@ -1,15 +1,21 @@
-"""Single-network training loop (used per rank and by the baselines)."""
+"""Training configuration, history, and single-network entry points.
+
+The epoch/batch loop itself lives in :mod:`repro.core.engine`; this
+module keeps the configuration surface (:class:`TrainingConfig`), the
+per-run record (:class:`TrainingHistory`), and the thin functional
+wrappers (:func:`train_network`, :func:`evaluate_network`,
+:func:`predict`) the rest of the codebase calls.
+"""
 
 from __future__ import annotations
 
-import time
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..nn import Module, get_loss
-from ..optim import clip_grad_norm, get_optimizer
+from ..nn import Module
 from ..tensor import Tensor, no_grad
 from .subdomain_data import RankDataset
 
@@ -47,6 +53,26 @@ class TrainingConfig:
         if self.grad_clip is not None and self.grad_clip <= 0:
             raise ConfigurationError(f"grad_clip must be > 0, got {self.grad_clip}")
 
+    def replace(self, **overrides) -> "TrainingConfig":
+        """A copy with ``overrides`` applied.
+
+        This is the one sanctioned way to derive per-rank / per-round
+        configs — unknown keys raise :class:`ConfigurationError` instead
+        of silently drifting past the dataclass.
+        """
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown TrainingConfig option(s): {sorted(unknown)}; "
+                f"valid options are {sorted(known)}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (used by the checkpoint digest)."""
+        return dataclasses.asdict(self)
+
 
 @dataclass
 class TrainingHistory:
@@ -54,6 +80,8 @@ class TrainingHistory:
 
     epoch_losses: list[float] = field(default_factory=list)
     epoch_times: list[float] = field(default_factory=list)
+    #: per-epoch validation loss (empty when no validation data is given)
+    val_losses: list[float] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -67,6 +95,12 @@ class TrainingHistory:
         return self.epoch_losses[-1]
 
     @property
+    def final_val_loss(self) -> float:
+        if not self.val_losses:
+            raise ConfigurationError("history has no validation record")
+        return self.val_losses[-1]
+
+    @property
     def num_epochs(self) -> int:
         return len(self.epoch_losses)
 
@@ -75,47 +109,20 @@ def train_network(
     model: Module,
     data: RankDataset,
     config: TrainingConfig,
+    validation_data: RankDataset | None = None,
+    callbacks=(),
 ) -> TrainingHistory:
     """Train ``model`` on one rank's data; returns the loss/time history.
 
     The loop is the paper's step 4: an individual loss function and an
     individual optimizer per network, full epochs over the local data,
-    zero communication.
+    zero communication.  Delegates to :class:`repro.core.engine.Engine`.
     """
-    rng = np.random.default_rng(config.seed)
-    loss_fn = get_loss(config.loss, **config.loss_kwargs)
-    optimizer = get_optimizer(
-        config.optimizer, model.parameters(), lr=config.lr, **config.optimizer_kwargs
-    )
-    schedule = None
-    if config.lr_schedule is not None:
-        from ..optim import get_schedule
+    from .engine import Engine
 
-        schedule = get_schedule(
-            config.lr_schedule, optimizer, **config.lr_schedule_kwargs
-        )
-    history = TrainingHistory()
-    model.train()
-    for _ in range(config.epochs):
-        start = time.perf_counter()
-        epoch_loss = 0.0
-        samples = 0
-        for inputs, targets in data.batches(config.batch_size, config.shuffle, rng):
-            optimizer.zero_grad()
-            prediction = model(Tensor(inputs))
-            loss = loss_fn(prediction, Tensor(targets))
-            loss.backward()
-            if config.grad_clip is not None:
-                clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            batch = inputs.shape[0]
-            epoch_loss += loss.item() * batch
-            samples += batch
-        history.epoch_losses.append(epoch_loss / samples)
-        history.epoch_times.append(time.perf_counter() - start)
-        if schedule is not None:
-            schedule.step()
-    return history
+    return Engine(model, config, callbacks=callbacks).fit(
+        data, validation_data=validation_data
+    )
 
 
 def evaluate_network(
@@ -126,16 +133,10 @@ def evaluate_network(
     **loss_kwargs,
 ) -> float:
     """Mean loss of ``model`` over ``data`` without recording gradients."""
-    loss_fn = get_loss(loss, **loss_kwargs)
-    model.eval()
-    total = 0.0
-    samples = 0
-    with no_grad():
-        for inputs, targets in data.batches(batch_size, shuffle=False, rng=None):
-            value = loss_fn(model(Tensor(inputs)), Tensor(targets))
-            total += value.item() * inputs.shape[0]
-            samples += inputs.shape[0]
-    return total / samples
+    from ..nn import get_loss
+    from .engine import evaluate_model
+
+    return evaluate_model(model, data, get_loss(loss, **loss_kwargs), batch_size)
 
 
 def predict(model: Module, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:

@@ -11,7 +11,6 @@ that baseline so both claims can be measured.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,10 +19,11 @@ from .. import mpi
 from ..data.dataset import SnapshotDataset
 from ..domain.decomposition import split_extent
 from ..exceptions import ConfigurationError
+from .engine import Callback, Engine
 from .model import CNNConfig, SubdomainCNN
 from .padding import PaddingStrategy
 from .subdomain_data import RankDataset
-from .trainer import TrainingConfig, TrainingHistory, train_network
+from .trainer import TrainingConfig, TrainingHistory
 
 
 @dataclass
@@ -43,6 +43,43 @@ class WeightAveragingResult:
         model = SubdomainCNN(self.cnn_config, rng=np.random.default_rng(0))
         model.load_state_dict(self.state_dict)
         return model
+
+
+class _WeightAveragingCallback(Callback):
+    """The Viviani et al. round structure as engine events.
+
+    Each epoch is one *round*: a fresh optimizer and a round-specific
+    shuffle seed (``on_epoch_start``), then a weight allreduce averaging
+    all replicas and a loss allreduce replacing the local epoch loss with
+    the global mean (``on_epoch_end``).  The fresh optimizer reproduces
+    the baseline's semantics of restarting Adam's moments every round —
+    part of why the scheme "alters the learning algorithm".
+    """
+
+    def __init__(self, comm: mpi.Communicator, base_seed: int, num_ranks: int) -> None:
+        self.comm = comm
+        self.base_seed = base_seed
+        self.num_ranks = num_ranks
+        self.bytes_reduced = 0
+
+    def on_epoch_start(self, engine: Engine) -> None:
+        engine.reseed(self.base_seed + engine.epoch * self.num_ranks + self.comm.rank)
+        engine.reset_optimizer()
+
+    def on_epoch_end(self, engine: Engine) -> None:
+        # Global reduction: average every parameter across replicas.
+        state = engine.model.state_dict()
+        for name, value in state.items():
+            total = self.comm.allreduce(value, op=mpi.SUM)
+            state[name] = total / self.comm.size
+            # Naive allreduce cost model: each rank contributes its
+            # array once and receives the result once.
+            self.bytes_reduced += 2 * value.nbytes
+        engine.model.load_state_dict(state)
+        # Report the replica-mean loss (runs after LossHistory appended
+        # the local value, so overwrite in place).
+        mean_loss = self.comm.allreduce(engine.train_loss) / self.comm.size
+        engine.history.epoch_losses[-1] = mean_loss
 
 
 def train_weight_averaging(
@@ -92,33 +129,12 @@ def train_weight_averaging(
         # All replicas start from identical weights (standard data
         # parallelism), then diverge within an epoch and are re-averaged.
         model = SubdomainCNN(cnn_config, rng=np.random.default_rng(seed))
-        epoch_config_base = training_config.__dict__
-        history = TrainingHistory()
-        bytes_reduced = 0
-        start = time.perf_counter()
-        for epoch in range(training_config.epochs):
-            epoch_config = TrainingConfig(
-                **{
-                    **epoch_config_base,
-                    "epochs": 1,
-                    "seed": training_config.seed + epoch * num_ranks + rank,
-                }
-            )
-            local_history = train_network(model, local, epoch_config)
-            # Global reduction: average every parameter across replicas.
-            state = model.state_dict()
-            for name, value in state.items():
-                total = comm.allreduce(value, op=mpi.SUM)
-                state[name] = total / comm.size
-                # Naive allreduce cost model: each rank contributes its
-                # array once and receives the result once.
-                bytes_reduced += 2 * value.nbytes
-            model.load_state_dict(state)
-            mean_loss = comm.allreduce(local_history.final_loss) / comm.size
-            history.epoch_losses.append(mean_loss)
-            history.epoch_times.append(local_history.epoch_times[0])
-        elapsed = time.perf_counter() - start
-        return model.state_dict(), history, elapsed, bytes_reduced
+        averaging = _WeightAveragingCallback(comm, training_config.seed, num_ranks)
+        engine = Engine(
+            model, training_config, callbacks=(averaging,), model_config=cnn_config
+        )
+        history = engine.fit(local)
+        return model.state_dict(), history, engine.fit_time, averaging.bytes_reduced
 
     results = mpi.run_parallel(program, num_ranks)
     state_dict, history, _, _ = results[0]

@@ -9,6 +9,7 @@ from .augmentation import (
     flip_y,
     rotate90,
 )
+from .batching import BatchIterator, iter_batch_indices
 from .dataset import SnapshotDataset
 from .generation import (
     TrainValData,
@@ -27,6 +28,8 @@ from .normalization import (
 
 __all__ = [
     "SnapshotDataset",
+    "BatchIterator",
+    "iter_batch_indices",
     "augment_dataset",
     "augment_trajectory",
     "d4_transforms",

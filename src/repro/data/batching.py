@@ -1,0 +1,71 @@
+"""Unified mini-batch index iteration.
+
+Every dataset flavour in the repo (full-domain snapshots, per-rank
+subdomain arrays, sliding windows) used to carry its own copy of the
+shuffle-then-chunk loop; they all delegate here now, so the shuffle
+stream for a given ``(num_samples, batch_size, rng)`` triple is
+identical no matter which dataset produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+__all__ = ["BatchIterator", "iter_batch_indices"]
+
+
+def iter_batch_indices(
+    num_samples: int,
+    batch_size: int,
+    shuffle: bool = False,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_samples)`` in batches.
+
+    Shuffling requires an explicit ``rng`` so experiments stay
+    reproducible; the last short batch is kept unless ``drop_last``.
+    """
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    if shuffle and rng is None:
+        raise DatasetError("shuffle=True requires an explicit rng")
+    order = np.arange(num_samples)
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, num_samples, batch_size):
+        chosen = order[start : start + batch_size]
+        if drop_last and len(chosen) < batch_size:
+            return
+        yield chosen
+
+
+@dataclass(frozen=True)
+class BatchIterator:
+    """Reusable batching plan over an indexable sample set.
+
+    Iterating yields index arrays; dataset classes map them to their
+    storage (fancy-indexing contiguous arrays, stacking windows, ...).
+    """
+
+    num_samples: int
+    batch_size: int
+    shuffle: bool = False
+    rng: np.random.Generator | None = None
+    drop_last: bool = False
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter_batch_indices(
+            self.num_samples, self.batch_size, self.shuffle, self.rng, self.drop_last
+        )
+
+    @property
+    def num_batches(self) -> int:
+        if self.drop_last:
+            return self.num_samples // self.batch_size
+        return -(-self.num_samples // self.batch_size)

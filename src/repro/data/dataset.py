@@ -108,15 +108,9 @@ class SnapshotDataset:
         Shuffling requires an explicit ``rng`` so experiments stay
         reproducible; the last short batch is kept unless ``drop_last``.
         """
-        if batch_size < 1:
-            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
-        if shuffle and rng is None:
-            raise DatasetError("shuffle=True requires an explicit rng")
-        order = np.arange(self.num_samples)
-        if shuffle:
-            rng.shuffle(order)
-        for start in range(0, self.num_samples, batch_size):
-            chosen = order[start : start + batch_size]
-            if drop_last and len(chosen) < batch_size:
-                return
+        from .batching import iter_batch_indices
+
+        for chosen in iter_batch_indices(
+            self.num_samples, batch_size, shuffle, rng, drop_last
+        ):
             yield self.snapshots[chosen], self.snapshots[chosen + 1]

@@ -7,6 +7,7 @@ pipeline at the calibrated defaults of :mod:`repro.experiments.common`.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -154,7 +155,7 @@ def run_loss_ablation(
     for loss in losses:
         use_raw = loss == "mape"
         experiment = prepare_data(
-            DataConfig(**{**data.__dict__, "normalize": not use_raw and data.normalize})
+            dataclasses.replace(data, normalize=not use_raw and data.normalize)
         )
         training = default_training_config(
             epochs=epochs,

@@ -95,9 +95,7 @@ def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
     # otherwise inflate the P=1 time and fake super-linear speedups.
     warmup = ParallelTrainer(
         cnn_config=config.cnn,
-        training_config=TrainingConfig(
-            **{**config.training.__dict__, "epochs": 1}
-        ),
+        training_config=config.training.replace(epochs=1),
         num_ranks=config.rank_counts[0],
         seed=config.seed,
     )

@@ -12,7 +12,7 @@ from .init import (
     leaky_relu_gain,
 )
 from .linear import Linear
-from .losses import HuberLoss, Loss, MAELoss, MAPELoss, MSELoss, get_loss
+from .losses import HuberLoss, Loss, MAELoss, MAPELoss, MSELoss, get_loss, loss_class
 from .module import Module, Parameter
 from .recurrent import ConvLSTM, ConvLSTMCell
 from .regularization import BatchNorm2d, Dropout
@@ -41,6 +41,7 @@ __all__ = [
     "MAPELoss",
     "HuberLoss",
     "get_loss",
+    "loss_class",
     "glorot_uniform",
     "glorot_normal",
     "he_uniform",

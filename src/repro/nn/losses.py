@@ -95,13 +95,17 @@ _LOSSES = {
 }
 
 
-def get_loss(name: str, **kwargs) -> Loss:
-    """Instantiate a loss by name (``mape`` accepts ``epsilon``,
-    ``huber`` accepts ``delta``)."""
+def loss_class(name: str) -> type[Loss]:
+    """Resolve a loss name to its class (for signature inspection)."""
     try:
-        cls = _LOSSES[name]
+        return _LOSSES[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown loss {name!r}; choose from {sorted(_LOSSES)}"
         ) from None
-    return cls(**kwargs)
+
+
+def get_loss(name: str, **kwargs) -> Loss:
+    """Instantiate a loss by name (``mape`` accepts ``epsilon``,
+    ``huber`` accepts ``delta``)."""
+    return loss_class(name)(**kwargs)

@@ -16,27 +16,35 @@ _SCHEDULES = {
 }
 
 
-def get_optimizer(name: str, params, **kwargs) -> Optimizer:
-    """Instantiate an optimizer by name (``'sgd'`` or ``'adam'``)."""
+def optimizer_class(name: str) -> type[Optimizer]:
+    """Resolve an optimizer name to its class (for signature checks)."""
     try:
-        cls = _OPTIMIZERS[name]
+        return _OPTIMIZERS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}"
         ) from None
-    return cls(params, **kwargs)
+
+
+def schedule_class(name: str) -> type[LRSchedule]:
+    """Resolve an LR-schedule name to its class (for signature checks)."""
+    try:
+        return _SCHEDULES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lr schedule {name!r}; choose from {sorted(_SCHEDULES)}"
+        ) from None
+
+
+def get_optimizer(name: str, params, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name (``'sgd'`` or ``'adam'``)."""
+    return optimizer_class(name)(params, **kwargs)
 
 
 def get_schedule(name: str, optimizer: Optimizer, **kwargs) -> LRSchedule:
     """Instantiate an LR schedule by name (``constant``, ``step``,
     ``exponential`` or ``cosine``)."""
-    try:
-        cls = _SCHEDULES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown lr schedule {name!r}; choose from {sorted(_SCHEDULES)}"
-        ) from None
-    return cls(optimizer, **kwargs)
+    return schedule_class(name)(optimizer, **kwargs)
 
 
 __all__ = [
@@ -45,6 +53,8 @@ __all__ = [
     "Adam",
     "get_optimizer",
     "get_schedule",
+    "optimizer_class",
+    "schedule_class",
     "clip_grad_norm",
     "global_grad_norm",
     "LRSchedule",

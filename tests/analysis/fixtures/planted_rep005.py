@@ -1,0 +1,20 @@
+"""Fixture with a planted REP005 violation (never imported, only linted)."""
+
+
+def bespoke_training_loop(model, optimizer, loss_fn, batches, epochs):
+    for _ in range(epochs):
+        for inputs, targets in batches:
+            optimizer.zero_grad()
+            loss = loss_fn(model(inputs), targets)
+            loss.backward()
+            optimizer.step()
+    return model
+
+
+def sanctioned_uses(optimizer, schedule, params, gradcheck):
+    # Either call alone inside a loop is fine: schedules step per epoch,
+    # gradcheck replays backward without ever stepping an optimizer.
+    for _ in range(3):
+        schedule.step()
+    for param in params:
+        gradcheck(param).backward()

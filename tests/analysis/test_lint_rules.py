@@ -277,6 +277,64 @@ class TestRep004:
         assert lint_snippet(source, rules={"REP004"}) == []
 
 
+# ----------------------------------------------------------------------
+# REP005 — hand-rolled training loops outside the Engine
+# ----------------------------------------------------------------------
+class TestRep005:
+    TRAINING_LOOP = """
+    for epoch in range(epochs):
+        for x, y in batches:
+            optimizer.zero_grad()
+            loss_fn(model(x), y).backward()
+            optimizer.step()
+    """
+
+    def test_training_loop_flagged(self):
+        hits = lint_snippet(self.TRAINING_LOOP, rules={"REP005"})
+        assert hits and all(v.rule == "REP005" for v in hits)
+        assert "Engine" in hits[0].message
+
+    def test_while_loop_flagged(self):
+        source = """
+        while epoch < max_epochs:
+            loss.backward()
+            optimizer.step()
+            epoch += 1
+        """
+        hits = lint_snippet(source, rules={"REP005"})
+        assert [v.rule for v in hits] == ["REP005"]
+
+    def test_engine_module_sanctioned(self):
+        assert (
+            lint_snippet(
+                self.TRAINING_LOOP, path="src/repro/core/engine.py", rules={"REP005"}
+            )
+            == []
+        )
+
+    def test_backward_only_loop_ok(self):
+        source = """
+        for param in params:
+            gradcheck(param).backward()
+        """
+        assert lint_snippet(source, rules={"REP005"}) == []
+
+    def test_step_only_loop_ok(self):
+        source = """
+        for _ in range(epochs):
+            schedule.step()
+        """
+        assert lint_snippet(source, rules={"REP005"}) == []
+
+    def test_noqa_suppression(self):
+        source = """
+        for epoch in range(epochs):  # noqa: REP005
+            loss.backward()
+            optimizer.step()
+        """
+        assert lint_snippet(source, rules={"REP005"}) == []
+
+
 def test_unknown_rule_id_rejected():
     from repro.analysis import lint_paths
 

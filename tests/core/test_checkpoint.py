@@ -8,10 +8,14 @@ from repro.core import (
     PaddingStrategy,
     ParallelPredictor,
     ParallelTrainer,
+    SubdomainCNN,
     TrainingConfig,
+    load_checkpoint,
     load_parallel_models,
+    save_checkpoint,
     save_parallel_models,
 )
+from repro.core.engine import build_optimizer
 from repro.data import SnapshotDataset, synthetic_advection_snapshots
 from repro.exceptions import DatasetError
 
@@ -66,3 +70,80 @@ class TestValidation:
         np.savez(path, stuff=np.zeros(3))
         with pytest.raises(DatasetError):
             load_parallel_models(path)
+
+
+# ----------------------------------------------------------------------
+# Single-model training checkpoints
+# ----------------------------------------------------------------------
+def small_model(seed=7):
+    config = CNNConfig(channels=(4, 6, 4), kernel_size=3, strategy=PaddingStrategy.ZERO)
+    return SubdomainCNN(config, rng=np.random.default_rng(seed)), config
+
+
+class TestTrainingCheckpoint:
+    def test_model_and_config_roundtrip(self, tmp_path):
+        model, cnn_config = small_model()
+        config = TrainingConfig(epochs=3, batch_size=8, lr=0.05, loss="mae", seed=4)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, config, model_config=cnn_config, epoch=2)
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.epoch == 2
+        assert checkpoint.training_config == config
+        assert checkpoint.model_config == cnn_config
+        state = model.state_dict()
+        assert set(checkpoint.model_state) == set(state)
+        for name, value in state.items():
+            np.testing.assert_array_equal(checkpoint.model_state[name], value)
+
+    def test_optimizer_state_roundtrip(self, tmp_path):
+        model, _ = small_model()
+        config = TrainingConfig(epochs=1, batch_size=4, loss="mse")
+        optimizer = build_optimizer(config, model.parameters())
+        # Populate the Adam moments with one real step.
+        for param in optimizer.params:
+            param.grad = np.ones_like(param.data)
+        optimizer.step()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, config, optimizer)
+        loaded = build_optimizer(config, model.parameters())
+        loaded.load_state_dict(load_checkpoint(path).optimizer_state)
+        assert loaded.step_count == 1
+        for original, restored in zip(optimizer._m, loaded._m):
+            np.testing.assert_array_equal(original, restored)
+        for original, restored in zip(optimizer._v, loaded._v):
+            np.testing.assert_array_equal(original, restored)
+
+    def test_history_and_rng_state_roundtrip(self, tmp_path):
+        model, _ = small_model()
+        config = TrainingConfig(loss="mse")
+        rng = np.random.default_rng(123)
+        rng.random(10)  # advance mid-stream
+        from repro.core import TrainingHistory
+
+        history = TrainingHistory(
+            epoch_losses=[0.5, 0.25], epoch_times=[1.0, 1.1], val_losses=[0.6]
+        )
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(
+            path, model, config, history=history, rng_state=rng.bit_generator.state
+        )
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.epoch_losses == [0.5, 0.25]
+        assert checkpoint.val_losses == [0.6]
+        restored = np.random.default_rng(0)
+        restored.bit_generator.state = checkpoint.rng_state
+        np.testing.assert_array_equal(restored.random(5), rng.random(5))
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_checkpoint(path)
+
+    def test_parallel_checkpoint_is_not_a_training_checkpoint(
+        self, tmp_path, trained_result
+    ):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result)
+        with pytest.raises(DatasetError):
+            load_checkpoint(path)
