@@ -3,7 +3,9 @@ the im2col convolution, the halo exchange, and one solver step on the
 paper's full 256 x 256 grid.
 
 These are not paper artifacts; they document where the training time of
-Figs. 3-4 is spent and guard against performance regressions.
+Figs. 3-4 is spent and guard against performance regressions.  Each
+test tags its ``extra_info`` with the problem size so the emitted
+``BENCH_kernels.json`` records are self-describing.
 """
 
 import numpy as np
@@ -15,12 +17,16 @@ from repro.tensor import Tensor, conv2d, im2col, no_grad
 
 
 def test_im2col_256(benchmark):
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["channels"] = 4
     x = np.random.default_rng(0).standard_normal((1, 4, 256, 256))
     cols, dims = benchmark(lambda: im2col(x, (5, 5), (1, 1), (2, 2)))
     assert dims == (256, 256)
 
 
 def test_conv2d_forward_256(benchmark):
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["kernel"] = 5
     rng = np.random.default_rng(0)
     x = Tensor(rng.standard_normal((1, 4, 256, 256)))
     w = Tensor(rng.standard_normal((6, 4, 5, 5)))
@@ -34,6 +40,8 @@ def test_conv2d_forward_256(benchmark):
 
 
 def test_conv2d_backward_128(benchmark):
+    benchmark.extra_info["grid"] = 128
+    benchmark.extra_info["kernel"] = 5
     rng = np.random.default_rng(0)
     x_data = rng.standard_normal((1, 4, 128, 128))
     w_data = rng.standard_normal((6, 4, 5, 5))
@@ -50,6 +58,7 @@ def test_conv2d_backward_128(benchmark):
 
 def test_solver_step_256(benchmark):
     """One RK4 step of the linearized Euler solver on the paper grid."""
+    benchmark.extra_info["grid"] = 256
     grid = UniformGrid2D.square(256)
     sim = Simulation(grid, LinearizedEuler(), boundary="outflow")
     state = paper_initial_condition(grid)
@@ -61,6 +70,9 @@ def test_solver_step_256(benchmark):
 def test_halo_exchange_round(benchmark):
     """One full halo exchange across a 2x2 rank grid (4 channels,
     64x64 blocks, halo 2 — the paper's inference communication)."""
+    benchmark.extra_info["grid"] = 128
+    benchmark.extra_info["ranks"] = 4
+    benchmark.extra_info["halo"] = 2
     decomp = BlockDecomposition((128, 128), (2, 2))
     field = np.random.default_rng(0).standard_normal((4, 128, 128))
 
@@ -79,6 +91,8 @@ def test_halo_exchange_round(benchmark):
 def test_allreduce_weight_volume(benchmark):
     """One allreduce of a Table-I-sized parameter set across 4 ranks
     (the per-epoch cost of the weight-averaging baseline)."""
+    benchmark.extra_info["ranks"] = 4
+    benchmark.extra_info["params"] = 6032
     payload = np.random.default_rng(0).standard_normal(6032)  # Table-I params
 
     def round_trip():

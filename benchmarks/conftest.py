@@ -4,10 +4,17 @@ Every benchmark regenerates one table/figure of the paper (or one
 ablation from DESIGN.md) and writes the rendered report to
 ``benchmarks/results/<name>.txt`` so the EXPERIMENTS.md record can be
 refreshed from a single ``pytest benchmarks/ --benchmark-only`` run.
+
+In addition to the human-readable reports, every run emits one
+machine-readable ``benchmarks/results/BENCH_<module>.json`` per
+benchmark module (e.g. ``BENCH_kernels.json``): a list of
+``{op, median_seconds, rounds, iterations, ...extra_info}`` records so
+perf regressions can be diffed across commits without parsing text.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -31,3 +38,27 @@ def run_once(benchmark, fn):
     """Run an expensive experiment exactly once under the benchmark
     timer and return its result object."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-module JSON summaries of every benchmark that ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        module = pathlib.Path(bench.fullname.split("::", 1)[0]).stem
+        record = {
+            "op": bench.name,
+            "median_seconds": float(bench.stats.median),
+            "rounds": int(bench.stats.rounds),
+            "iterations": int(bench.iterations),
+        }
+        for key in sorted(bench.extra_info):
+            record.setdefault(key, bench.extra_info[key])
+        by_module.setdefault(module, []).append(record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, records in by_module.items():
+        stem = module.removeprefix("bench_")
+        path = RESULTS_DIR / f"BENCH_{stem}.json"
+        path.write_text(json.dumps(records, indent=2, default=str) + "\n")

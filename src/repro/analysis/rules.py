@@ -58,6 +58,9 @@ RULES: dict[str, str] = {
     "binding: every closure sees the final iteration's value)",
     "REP005": "hand-rolled training loop (backward + optimizer step inside "
     "a loop) outside core/engine.py — route it through the Engine",
+    "REP006": "direct multiprocessing / SharedMemory use outside "
+    "src/repro/mpi/ — inter-rank communication must stay behind the "
+    "Communicator API",
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
@@ -627,12 +630,58 @@ def rule_rep005(ctx: FileContext) -> Iterator[Violation]:
             )
 
 
+# ======================================================================
+# REP006 — multiprocessing / SharedMemory outside the MPI runtime
+# ======================================================================
+#: The one sanctioned home of process-level transport code.  Everything
+#: else must go through the Communicator API (repro.mpi.run_parallel),
+#: otherwise rank programs grow private side channels that the deadlock
+#: watchdog, the MPI sanitizer, and the REP003 message audit cannot see.
+_REP006_SANCTIONED_DIRS = ("mpi",)
+
+#: Top-level modules whose import signals process-level transport.
+_REP006_FORBIDDEN_ROOTS = ("multiprocessing",)
+
+
+def rule_rep006(ctx: FileContext) -> Iterator[Violation]:
+    parts = ctx.path.replace("\\", "/").split("/")
+    if any(fragment in parts for fragment in _REP006_SANCTIONED_DIRS):
+        return
+    for node in ast.walk(ctx.tree):
+        imported: str | None = None
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _REP006_FORBIDDEN_ROOTS:
+                    imported = alias.name
+                    break
+        elif isinstance(node, ast.ImportFrom) and node.module is not None:
+            if node.module.split(".")[0] in _REP006_FORBIDDEN_ROOTS:
+                imported = node.module
+        if imported is None:
+            continue
+        yield Violation(
+            "REP006",
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            f"direct import of {imported!r} outside src/repro/mpi/: "
+            "process-level transport (workers, queues, SharedMemory) is "
+            "the MPI runtime's job — use repro.mpi.run_parallel("
+            "backend='processes') so inter-rank communication stays "
+            "behind the Communicator API (deadlock watchdog, sanitizers, "
+            "message audit), or suppress with '# noqa: REP006' plus a "
+            "justification",
+        )
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
     "REP002": rule_rep002,
     "REP004": rule_rep004,
     "REP005": rule_rep005,
+    "REP006": rule_rep006,
 }
 
 

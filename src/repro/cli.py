@@ -58,7 +58,11 @@ def _add_train(subparsers) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--execution", default="threads", choices=["threads", "serial"]
+        "--execution",
+        default="threads",
+        choices=["threads", "processes", "serial"],
+        help="where ranks run: in-process threads (faithful, GIL-bound), "
+        "one OS process per rank (real multi-core scaling), or serial",
     )
     parser.add_argument(
         "--augment",
@@ -108,6 +112,19 @@ def _add_scaling(subparsers) -> None:
     parser.add_argument("--epochs", type=int, default=2)
     parser.add_argument(
         "--ranks", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64]
+    )
+    parser.add_argument(
+        "--timing",
+        default="faithful",
+        choices=["faithful", "measured"],
+        help="faithful: serial per-rank max (models a P-core machine); "
+        "measured: real concurrent wall-clock on this machine",
+    )
+    parser.add_argument(
+        "--execution",
+        default="processes",
+        choices=["threads", "processes"],
+        help="backend for --timing measured (default: processes)",
     )
 
 
@@ -302,6 +319,8 @@ def _cmd_scaling(args) -> int:
         ),
         training=default_training_config(epochs=args.epochs),
         rank_counts=tuple(args.ranks),
+        timing=args.timing,
+        execution=args.execution,
     )
     print(run_fig4(config).report())
     return 0

@@ -2,10 +2,21 @@
 
 The paper reports "almost perfect" strong scaling because training is
 communication-free: the parallel wall time equals the slowest rank's
-local training time on 1/P of the data.  This runner measures exactly
-that quantity — each rank's training is executed and timed, and the
-per-P wall time is the maximum over ranks (see DESIGN.md for why this
-measurement is faithful on a machine with fewer cores than ranks).
+local training time on 1/P of the data.  Two timing modes are provided:
+
+``timing="faithful"`` (default)
+    Each rank's training is executed *serially* and timed in isolation;
+    the per-P wall time is the maximum over ranks.  This is the faithful
+    model-based measurement: it reports what a P-core machine would
+    observe, even inside a single-core container (see DESIGN.md).
+
+``timing="measured"``
+    The ranks actually run concurrently (``execution="processes"`` by
+    default, one OS process per rank) and the per-P wall time is the
+    real wall-clock of the parallel region.  This is the honest
+    hardware measurement: it saturates — and stops improving — at the
+    machine's core count, which is exactly the effect the faithful mode
+    abstracts away.
 """
 
 from __future__ import annotations
@@ -34,6 +45,11 @@ class Fig4Config:
     seed: int = 0
     #: repeat measurements and keep the minimum (noise suppression)
     repeats: int = 1
+    #: ``"faithful"`` (serial per-rank max) or ``"measured"`` (real
+    #: concurrent wall-clock) — see the module docstring.
+    timing: str = "faithful"
+    #: execution backend used by the ``measured`` mode.
+    execution: str = "processes"
 
     def __post_init__(self) -> None:
         if not self.rank_counts:
@@ -42,6 +58,14 @@ class Fig4Config:
             raise ConfigurationError(f"rank counts must be >= 1: {self.rank_counts}")
         if self.repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {self.repeats}")
+        if self.timing not in ("faithful", "measured"):
+            raise ConfigurationError(
+                f"timing must be 'faithful' or 'measured', got {self.timing!r}"
+            )
+        if self.execution not in ("threads", "processes"):
+            raise ConfigurationError(
+                f"execution must be 'threads' or 'processes', got {self.execution!r}"
+            )
 
 
 @dataclass
@@ -73,13 +97,19 @@ class Fig4Result:
         return [r.train_time for r in self.rows]
 
     def report(self) -> str:
+        mode = self.config.timing
+        title = "Fig. 4 — strong scaling of the parallel training scheme"
+        if mode == "measured":
+            title += f" [measured wall-clock, execution={self.config.execution}]"
+        else:
+            title += " [faithful per-rank max, serial execution]"
         table = format_table(
             ["P", "train time [s]", "mean rank time [s]", "speedup", "efficiency"],
             [
                 (r.num_ranks, r.train_time, r.mean_rank_time, r.speedup, r.efficiency)
                 for r in self.rows
             ],
-            title="Fig. 4 — strong scaling of the parallel training scheme",
+            title=title,
         )
         plot = format_scaling_plot(self.rank_counts, self.times, label="time [s]")
         return table + "\n\n" + plot
@@ -113,13 +143,21 @@ def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
                 num_ranks=num_ranks,
                 seed=config.seed,
             )
-            # Serial execution: ranks run one at a time so each rank's
-            # time is an uncontended single-core measurement; the
-            # parallel wall time of the communication-free scheme is
-            # their maximum.
-            result = trainer.train(experiment.train, execution="serial")
-            if result.max_train_time < best_max:
-                best_max = result.max_train_time
+            if config.timing == "measured":
+                # Real concurrent execution: the scaling point is the
+                # wall-clock of the whole parallel region as the caller
+                # sees it (launch + training + teardown).
+                result = trainer.train(experiment.train, execution=config.execution)
+                observed = result.wall_time
+            else:
+                # Serial execution: ranks run one at a time so each
+                # rank's time is an uncontended single-core measurement;
+                # the parallel wall time of the communication-free
+                # scheme is their maximum.
+                result = trainer.train(experiment.train, execution="serial")
+                observed = result.max_train_time
+            if observed < best_max:
+                best_max = observed
                 best_mean = result.mean_train_time
         if base_time is None:
             base_time = best_max

@@ -13,9 +13,13 @@ Typical SPMD usage::
 
     results = mpi.run_parallel(program, size=4)
 
-The transport is an in-memory router with threads standing in for
-processes; see DESIGN.md for why this preserves the paper's parallel
-behaviour.
+Two execution backends share the :class:`Communicator` API:
+``run_parallel(..., backend="threads")`` (default) runs in-process
+ranks over an in-memory router — the faithful communication-structure
+execution — while ``backend="processes"`` runs one OS process per rank
+with a shared-memory fast path for NumPy payloads, so P ranks genuinely
+occupy P cores.  See DESIGN.md ("Execution backends") for what each
+mode measures.
 """
 
 from .api import (
@@ -36,7 +40,8 @@ from .api import (
     wait_all,
 )
 from .cartesian import CartComm, dims_create
-from .launcher import run_parallel
+from .launcher import BACKENDS, run_parallel
+from .process_backend import ProcessCommunicator
 from .router import MessageRouter
 from .world import SelfCommunicator, WorldCommunicator
 
@@ -58,8 +63,10 @@ __all__ = [
     "SubCommunicator",
     "WorldCommunicator",
     "SelfCommunicator",
+    "ProcessCommunicator",
     "MessageRouter",
     "CartComm",
     "dims_create",
     "run_parallel",
+    "BACKENDS",
 ]

@@ -1,15 +1,29 @@
 """Parallel-region launcher: the ``mpiexec`` analogue.
 
-:func:`run_parallel` executes one Python callable per rank, each in its
-own thread, connected through a shared :class:`MessageRouter`.  NumPy
-kernels release the GIL, so ranks overlap where the hardware allows;
-more importantly, the *communication structure* of the rank program is
-executed faithfully (real blocking receives, real message matching),
-which is what the reproduction needs to validate.
+:func:`run_parallel` executes one Python callable per rank behind one of
+two execution backends:
 
-An exception in any rank aborts the whole world: the router is poisoned
-so blocked peers wake with :class:`~repro.exceptions.DeadlockError`, and
-the original exception is re-raised to the caller.
+``backend="threads"`` (default)
+    One in-process rank (thread) per subdomain, connected through a
+    shared :class:`MessageRouter`.  NumPy kernels release the GIL, so
+    ranks overlap where the hardware allows; more importantly, the
+    *communication structure* of the rank program is executed faithfully
+    (real blocking receives, real message matching), which is what the
+    reproduction needs to validate.  Python-level work still serializes
+    on the GIL.
+
+``backend="processes"``
+    One OS process per rank (see :mod:`repro.mpi.process_backend`), so P
+    ranks genuinely occupy P cores: this is the backend that actually
+    *scales*.  Large NumPy payloads travel through shared memory instead
+    of pickle.  With the default ``fork`` start method, rank programs
+    may be closures exactly as with threads; ``spawn`` requires
+    picklable module-level callables.
+
+An exception in any rank aborts the whole world: the transport is
+poisoned so blocked peers wake with
+:class:`~repro.exceptions.DeadlockError`, and the original exception is
+re-raised to the caller.
 """
 
 from __future__ import annotations
@@ -24,6 +38,9 @@ from .world import WorldCommunicator
 
 RankFn = Callable[[Communicator], Any]
 
+#: Valid values of :func:`run_parallel`'s ``backend`` argument.
+BACKENDS = ("threads", "processes")
+
 
 def run_parallel(
     fn: RankFn | Sequence[RankFn],
@@ -31,8 +48,10 @@ def run_parallel(
     timeout: float | None = None,
     deadlock_timeout: float | None = 120.0,
     isolate_messages: bool = True,
+    backend: str = "threads",
+    start_method: str | None = None,
 ) -> list[Any]:
-    """Run an SPMD (or MPMD) program on ``size`` in-process ranks.
+    """Run an SPMD (or MPMD) program on ``size`` ranks.
 
     Parameters
     ----------
@@ -50,7 +69,16 @@ def run_parallel(
         this raises :class:`~repro.exceptions.DeadlockError`.
     isolate_messages:
         Deep-copy payloads at the sender (distributed-memory semantics).
-        Disable only for read-only payloads on hot paths.
+        Disable only for read-only payloads on hot paths.  Ignored by
+        the process backend, where isolation is inherent (payloads cross
+        a real address-space boundary).
+    backend:
+        ``"threads"`` (in-process ranks, faithful communication
+        structure) or ``"processes"`` (one OS process per rank, real
+        multi-core execution).
+    start_method:
+        Process backend only: ``multiprocessing`` start method
+        (default: ``fork`` where available, else ``spawn``).
 
     Returns
     -------
@@ -67,6 +95,30 @@ def run_parallel(
                 f"MPMD launch needs {size} callables, got {len(fns)}"
             )
 
+    if backend == "threads":
+        return _run_threads(fns, size, timeout, deadlock_timeout, isolate_messages)
+    if backend == "processes":
+        from .process_backend import run_parallel_processes
+
+        return run_parallel_processes(
+            fns,
+            size,
+            timeout=timeout,
+            deadlock_timeout=deadlock_timeout,
+            start_method=start_method,
+        )
+    raise CommunicatorError(
+        f"unknown backend {backend!r} (use one of {BACKENDS})"
+    )
+
+
+def _run_threads(
+    fns: Sequence[RankFn],
+    size: int,
+    timeout: float | None,
+    deadlock_timeout: float | None,
+    isolate_messages: bool,
+) -> list[Any]:
     router = MessageRouter(size, isolate=isolate_messages)
     results: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []

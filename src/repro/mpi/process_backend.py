@@ -1,0 +1,375 @@
+"""Process-based execution backend: one OS process per rank.
+
+The thread backend executes the communication structure faithfully but
+serializes Python-level work on the GIL; this backend gives every rank
+its own interpreter so P ranks genuinely occupy P cores.  The transport
+is one ``multiprocessing`` queue per destination rank (the mailbox) —
+matching receives buffer out-of-order arrivals locally, preserving
+MPI's non-overtaking guarantee per ``(source, dest, tag)`` because all
+traffic to a rank flows through its single FIFO queue.  Large NumPy
+payloads bypass pickling entirely via the shared-memory fast path in
+:mod:`repro.mpi.shm`.
+
+Failure semantics mirror the thread backend: a rank that raises reports
+its (pickled) exception to the parent, which poisons every mailbox with
+an abort sentinel so blocked peers wake with
+:class:`~repro.exceptions.DeadlockError`; the parent re-raises the root
+cause.  Hard deaths (a worker exiting without reporting) and region
+timeouts are detected by the parent's supervision loop, which aborts
+and, as a last resort, terminates stragglers.
+
+The default start method is ``fork`` where available (it allows rank
+programs that are closures, mirroring the thread backend's contract);
+pass ``start_method="spawn"`` for picklable, module-level rank programs
+when fork-safety is a concern.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..exceptions import CommunicatorError, DeadlockError
+from .api import ANY_SOURCE, ANY_TAG, Communicator, Request, Status
+from .router import _isolate_payload
+from .shm import ShmArrayHeader, decode_payload, discard_header, encode_payload
+
+__all__ = ["ProcessCommunicator", "run_parallel_processes"]
+
+#: How long the parent waits, after an abort, for workers to exit on
+#: their own before terminating them.
+_ABORT_GRACE_SECONDS = 5.0
+
+#: Consecutive empty result-queue polls (at _POLL_SECONDS each) before a
+#: cleanly-exited worker with no reported result is declared lost.
+_LOST_WORKER_POLLS = 20
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class _Abort:
+    """Mailbox poison: wakes a blocked receive with the world's failure."""
+
+    reason: str
+
+
+@dataclass
+class _Envelope:
+    source: int
+    tag: int
+    payload: Any  # still wire-encoded; decoded on delivery
+
+
+class ProcessCommunicator(Communicator):
+    """One rank's endpoint over the per-rank mailbox queues.
+
+    Safe to use from the owning rank's process only (the mailbox buffer
+    is process-local state).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        mailboxes: Sequence[Any],  # one multiprocessing queue per rank
+        deadlock_timeout: float | None = 120.0,
+    ) -> None:
+        if not 0 <= rank < size:
+            raise CommunicatorError(f"rank {rank} out of range for size {size}")
+        self._rank = rank
+        self._size = size
+        self._mailboxes = mailboxes
+        self._inbox: list[_Envelope] = []  # out-of-order arrivals, oldest first
+        self._failed: str | None = None
+        self._collective_seq = 0
+        self.deadlock_timeout = deadlock_timeout
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _send(self, payload: Any, dest: int, tag: int) -> None:
+        # The queue's feeder thread pickles items *asynchronously*, so a
+        # sender mutating the payload right after send() would race the
+        # serialization.  The shm path copies at send time by design;
+        # everything else is snapshotted here before it is enqueued.
+        wire = encode_payload(payload)
+        if not isinstance(wire, ShmArrayHeader):
+            wire = _isolate_payload(wire)
+        self._mailboxes[dest].put((self._rank, tag, wire))
+
+    def _admit(self, item: Any) -> None:
+        if isinstance(item, _Abort):
+            self._failed = item.reason
+            return
+        source, tag, payload = item
+        self._inbox.append(_Envelope(source, tag, payload))
+
+    def _drain(self) -> None:
+        """Pull every message currently queued into the local inbox."""
+        mailbox = self._mailboxes[self._rank]
+        while True:
+            try:
+                item = mailbox.get_nowait()
+            except queue_module.Empty:
+                return
+            self._admit(item)
+
+    def _check_failed(self) -> None:
+        if self._failed is not None:
+            raise DeadlockError(f"world aborted: {self._failed}")
+
+    def _match(self, source: int, tag: int, *, remove: bool) -> _Envelope | None:
+        for i, env in enumerate(self._inbox):
+            if (source == ANY_SOURCE or env.source == source) and (
+                tag == ANY_TAG or env.tag == tag
+            ):
+                if remove:
+                    del self._inbox[i]
+                return env
+        return None
+
+    def _deliver(self, env: _Envelope) -> tuple[Any, Status]:
+        return decode_payload(env.payload), Status(env.source, env.tag)
+
+    def _recv(self, source: int, tag: int, timeout: float | None) -> tuple[Any, Status]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        mailbox = self._mailboxes[self._rank]
+        while True:
+            self._drain()
+            self._check_failed()
+            env = self._match(source, tag, remove=True)
+            if env is not None:
+                return self._deliver(env)
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise DeadlockError(
+                    f"rank {self._rank} timed out after {timeout}s blocked in recv "
+                    f"on (source={source}, dest={self._rank}, tag={tag}); "
+                    f"{len(self._inbox)} non-matching message(s) buffered locally; "
+                    "likely deadlock"
+                )
+            try:
+                item = mailbox.get(timeout=remaining)
+            except queue_module.Empty:
+                continue
+            self._admit(item)
+
+    def _iprobe(self, source: int, tag: int) -> bool:
+        self._drain()
+        self._check_failed()
+        return self._match(source, tag, remove=False) is not None
+
+    def _irecv(self, source: int, tag: int) -> Request:
+        def wait(timeout: float | None = None) -> Any:
+            payload, status = self._recv(
+                source, tag, timeout if timeout is not None else self.deadlock_timeout
+            )
+            request.status = status
+            return payload
+
+        def test() -> tuple[bool, Any]:
+            self._drain()
+            self._check_failed()
+            env = self._match(source, tag, remove=True)
+            if env is None:
+                return False, None
+            payload, status = self._deliver(env)
+            request.status = status
+            return True, payload
+
+        request = Request(_wait=wait, _test=test)
+        return request
+
+    # ------------------------------------------------------------------
+    def release_undelivered(self) -> None:
+        """Free shared-memory segments behind locally buffered messages."""
+        for env in self._inbox:
+            discard_header(env.payload)
+        self._inbox.clear()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _encode_outcome(rank: int, kind: str, value: Any) -> bytes:
+    """Pre-pickle the report so an unpicklable result/exception cannot
+    die silently in the queue's feeder thread (which would hang the
+    parent's supervision loop)."""
+    try:
+        return pickle.dumps((rank, kind, value), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        detail = (
+            f"rank {rank} produced an unpicklable "
+            f"{'result' if kind == 'ok' else 'exception'} "
+            f"({type(value).__name__}): {exc!r}"
+        )
+        if isinstance(value, BaseException):
+            detail += "\n" + "".join(
+                traceback.format_exception(type(value), value, value.__traceback__)
+            )
+        return pickle.dumps((rank, "err", CommunicatorError(detail)))
+
+
+def _worker_main(
+    rank: int,
+    size: int,
+    fns: Sequence[Callable[[Communicator], Any]],
+    mailboxes: Sequence[Any],
+    result_queue: Any,
+    deadlock_timeout: float | None,
+) -> None:
+    """Entry point of one rank process (module-level for spawn support)."""
+    comm = ProcessCommunicator(rank, size, mailboxes, deadlock_timeout)
+    try:
+        result = fns[rank](comm)
+        report = _encode_outcome(rank, "ok", result)
+    except BaseException as exc:  # noqa: BLE001 - must propagate to the parent
+        report = _encode_outcome(rank, "err", exc)
+    finally:
+        comm.release_undelivered()
+    result_queue.put(report)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def run_parallel_processes(
+    fns: Sequence[Callable[[Communicator], Any]],
+    size: int,
+    timeout: float | None = None,
+    deadlock_timeout: float | None = 120.0,
+    start_method: str | None = None,
+) -> list[Any]:
+    """Run ``fns[rank]`` in one OS process per rank; returns per-rank
+    results (see :func:`repro.mpi.run_parallel` for the contract)."""
+    method = start_method if start_method is not None else _default_start_method()
+    ctx = multiprocessing.get_context(method)
+    mailboxes = [ctx.Queue() for _ in range(size)]
+    result_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(rank, size, fns, mailboxes, result_queue, deadlock_timeout),
+            name=f"repro-rank-{rank}",
+            daemon=True,
+        )
+        for rank in range(size)
+    ]
+    for worker in workers:
+        worker.start()
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    outcomes: dict[int, tuple[str, Any]] = {}
+    aborted = False
+    timed_out = False
+    empty_polls = 0
+
+    def abort_world(reason: str) -> None:
+        nonlocal aborted
+        if aborted:
+            return
+        aborted = True
+        for mailbox in mailboxes:
+            try:
+                mailbox.put(_Abort(reason))
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
+
+    try:
+        while len(outcomes) < size:
+            if deadline is not None and time.monotonic() > deadline:
+                timed_out = True
+                abort_world(f"parallel region exceeded timeout {timeout}s")
+                break
+            try:
+                report = result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                empty_polls += 1
+                for rank, worker in enumerate(workers):
+                    if rank in outcomes or worker.is_alive():
+                        continue
+                    if worker.exitcode not in (0, None):
+                        outcomes[rank] = (
+                            "err",
+                            CommunicatorError(
+                                f"rank {rank} died with exit code {worker.exitcode} "
+                                "without reporting a result"
+                            ),
+                        )
+                        abort_world(str(outcomes[rank][1]))
+                    elif empty_polls >= _LOST_WORKER_POLLS:
+                        # Exited cleanly, queue repeatedly empty: the
+                        # report is not coming.
+                        outcomes[rank] = (
+                            "err",
+                            CommunicatorError(
+                                f"rank {rank} exited without reporting a result"
+                            ),
+                        )
+                        abort_world(str(outcomes[rank][1]))
+                continue
+            empty_polls = 0
+            rank, kind, value = pickle.loads(report)
+            outcomes[rank] = (kind, value)
+            if kind == "err":
+                abort_world(f"{type(value).__name__}: {value}")
+
+        grace = time.monotonic() + _ABORT_GRACE_SECONDS
+        for worker in workers:
+            worker.join(max(0.0, grace - time.monotonic()))
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(1.0)
+    finally:
+        _drain_and_close(mailboxes, result_queue)
+
+    if timed_out and len(outcomes) < size:
+        raise CommunicatorError(f"parallel region exceeded timeout {timeout}s")
+
+    errors = sorted(
+        (rank, value) for rank, (kind, value) in outcomes.items() if kind == "err"
+    )
+    if errors:
+        # Peers of a failed rank typically die with the induced abort
+        # DeadlockError; report the root cause instead.
+        primary = [e for e in errors if not isinstance(e[1], DeadlockError)]
+        _, first = (primary or errors)[0]
+        raise first
+    return [outcomes[rank][1] for rank in range(size)]
+
+
+def _drain_and_close(mailboxes: Sequence[Any], result_queue: Any) -> None:
+    """Release undelivered shared-memory segments and shut the queues down."""
+    for mailbox in mailboxes:
+        while True:
+            try:
+                item = mailbox.get_nowait()
+            except (queue_module.Empty, OSError, EOFError):
+                break
+            if isinstance(item, tuple) and len(item) == 3:
+                discard_header(item[2])
+    for q in (*mailboxes, result_queue):
+        q.close()
+        try:
+            q.join_thread()
+        except Exception:  # pragma: no cover - defensive
+            pass

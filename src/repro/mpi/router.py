@@ -29,16 +29,38 @@ class _Envelope:
     seq: int
 
 
-def _isolate(payload: Any) -> Any:
-    """Deep-copy a payload so sender and receiver share no memory.
+#: Types that are immutable (or value-semantic) and need no copy at all.
+_IMMUTABLE_TYPES = (int, float, complex, bool, str, bytes, frozenset, np.generic)
 
-    NumPy arrays take the fast path (``np.array`` copy); everything else
-    goes through :func:`copy.deepcopy`.
+
+def _isolate_payload(payload: Any) -> Any:
+    """Copy a payload so sender and receiver share no memory.
+
+    ``copy.deepcopy`` was a measured hot spot of the thread backend
+    (every halo slab and weight vector went through the generic memo
+    machinery), so the common payload shapes take fast paths: ndarrays
+    are buffer-copied, :class:`~repro.tensor.Tensor` payloads copy only
+    their buffer (a message carries *values*, never a live autograd
+    graph — matching real distributed-memory semantics), and plain
+    list/tuple/dict containers recurse so state-dicts of arrays stay on
+    the fast path.  Everything else falls back to ``copy.deepcopy``.
     """
+    if payload is None or isinstance(payload, _IMMUTABLE_TYPES):
+        return payload
     if isinstance(payload, np.ndarray):
         return payload.copy()
-    if payload is None or isinstance(payload, (int, float, bool, str, bytes)):
-        return payload
+    from ..tensor import Tensor  # local import: repro.tensor never imports repro.mpi
+
+    if type(payload) is Tensor:
+        return Tensor(payload.data.copy(), requires_grad=payload.requires_grad)
+    # Exact container types only: subclasses may carry extra state that
+    # a structural copy would silently drop.
+    if type(payload) is list:
+        return [_isolate_payload(item) for item in payload]
+    if type(payload) is tuple:
+        return tuple(_isolate_payload(item) for item in payload)
+    if type(payload) is dict:
+        return {key: _isolate_payload(value) for key, value in payload.items()}
     return copy.deepcopy(payload)
 
 
@@ -59,7 +81,7 @@ class MessageRouter:
     def post(self, source: int, dest: int, tag: int, payload: Any) -> None:
         """Deposit a message (buffered send)."""
         if self.isolate:
-            payload = _isolate(payload)
+            payload = _isolate_payload(payload)
         with self._ready:
             self._seq += 1
             self._mailboxes[dest].append(_Envelope(source, tag, payload, self._seq))

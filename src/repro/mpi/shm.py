@@ -1,0 +1,158 @@
+"""Pickle-free shared-memory transport for NumPy payloads.
+
+The process backend moves every message through a ``multiprocessing``
+queue, which pickles its items.  For the payloads that dominate the
+runtime's traffic — halo slabs and weight vectors, i.e. plain NumPy
+arrays — pickling is pure overhead: the bytes are copied into the
+pickle stream, through a pipe, and out again.  This module provides the
+fast path: the sender copies the array into a POSIX shared-memory
+segment and ships only a tiny :class:`ShmArrayHeader` (name, shape,
+dtype) through the queue; the receiver attaches, copies the bytes out
+(``np.copy``, so the segment can be released immediately), and unlinks
+the segment.  Anything that is not a large contiguous-able ndarray
+falls back to ordinary pickling.
+
+Lifetime protocol (exactly one unlink per segment):
+
+- sender: create + write + ``close()`` (keeps the segment alive — a
+  POSIX shm segment persists until unlinked);
+- receiver: attach + copy + ``close()`` + ``unlink()``;
+- launcher teardown: any header still sitting in a mailbox after the
+  world ends is drained and unlinked by :func:`discard_header`.
+
+CPython's ``resource_tracker`` registers a segment in *every* process
+that opens it and complains (or worse, unlinks early) when that process
+exits before the segment is gone (bpo-39959); worse, sender and
+receiver racing register/unregister messages for the same name crashes
+the shared tracker process with a ``KeyError``.  Since this module owns
+the lifetime explicitly, segments are opened with tracker registration
+suppressed (the 3.13 ``track=False`` behaviour, backported by briefly
+stubbing the register hook).  The cost is that a rank crashing between
+create and unlink leaks the segment until reboot — the launcher's
+teardown drain covers every non-crash path.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SHM_THRESHOLD_BYTES",
+    "ShmArrayHeader",
+    "encode_payload",
+    "decode_payload",
+    "discard_header",
+]
+
+#: Below this many bytes the queue's pickle path is cheaper than a
+#: shared-memory round trip (segment creation is a syscall + mmap).
+SHM_THRESHOLD_BYTES = 1 << 14  # 16 KiB
+
+
+@dataclass(frozen=True)
+class ShmArrayHeader:
+    """Wire header describing an array parked in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str  # ``np.dtype.str`` — carries byte order
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+#: Python 3.13+ supports ``SharedMemory(..., track=False)`` natively and
+#: skips the tracker in ``unlink()`` for untracked segments.
+_HAS_TRACK_PARAM = sys.version_info >= (3, 13)
+
+
+def _open_untracked(**kwargs: Any) -> shared_memory.SharedMemory:
+    """Open a segment without resource-tracker registration.
+
+    Python 3.13 exposes this as ``SharedMemory(..., track=False)``; on
+    earlier versions the registration hook is stubbed out for the
+    duration of the constructor.  Single-threaded per process by
+    construction: each rank process drives exactly one communicator.
+    """
+    if _HAS_TRACK_PARAM:
+        return shared_memory.SharedMemory(track=False, **kwargs)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kw: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(**kwargs)
+    finally:
+        resource_tracker.register = original
+
+
+def _unlink_untracked(segment: shared_memory.SharedMemory) -> None:
+    """Unlink without the tracker UNREGISTER message (the segment was
+    never registered, and a spurious unregister crashes the shared
+    tracker process with a KeyError)."""
+    if _HAS_TRACK_PARAM:
+        segment.unlink()
+        return
+    original = resource_tracker.unregister
+    resource_tracker.unregister = lambda *args, **kw: None  # type: ignore[assignment]
+    try:
+        segment.unlink()
+    finally:
+        resource_tracker.unregister = original
+
+
+def encode_payload(payload: Any, threshold: int = SHM_THRESHOLD_BYTES) -> Any:
+    """Park large ndarray payloads in shared memory; pass others through.
+
+    Returns either the original payload (pickle path) or a
+    :class:`ShmArrayHeader` the receiver resolves with
+    :func:`decode_payload`.
+    """
+    if (
+        not isinstance(payload, np.ndarray)
+        or payload.dtype.hasobject
+        or payload.nbytes < threshold
+    ):
+        return payload
+    array = np.ascontiguousarray(payload)
+    segment = _open_untracked(create=True, size=array.nbytes)
+    try:
+        view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return ShmArrayHeader(segment.name, array.shape, array.dtype.str)
+    finally:
+        segment.close()
+
+
+def decode_payload(payload: Any) -> Any:
+    """Resolve a wire payload: attach + copy out + unlink for headers."""
+    if not isinstance(payload, ShmArrayHeader):
+        return payload
+    segment = _open_untracked(name=payload.name)
+    try:
+        view: np.ndarray = np.ndarray(
+            payload.shape, dtype=np.dtype(payload.dtype), buffer=segment.buf
+        )
+        return np.copy(view)
+    finally:
+        segment.close()
+        _unlink_untracked(segment)
+
+
+def discard_header(payload: Any) -> None:
+    """Release the segment behind an undelivered message (teardown path)."""
+    if not isinstance(payload, ShmArrayHeader):
+        return
+    try:
+        segment = _open_untracked(name=payload.name)
+    except FileNotFoundError:
+        return  # already released
+    segment.close()
+    _unlink_untracked(segment)

@@ -1,0 +1,13 @@
+"""Fixture with planted REP006 violations (never imported, only linted)."""
+
+import multiprocessing
+from multiprocessing.shared_memory import SharedMemory
+
+
+def rogue_side_channel(payload):
+    # Process transport hand-rolled outside repro.mpi: invisible to the
+    # deadlock watchdog and the REP003 message audit.
+    queue = multiprocessing.Queue()
+    segment = SharedMemory(create=True, size=payload.nbytes)
+    queue.put(segment.name)
+    return queue

@@ -335,6 +335,52 @@ class TestRep005:
         assert lint_snippet(source, rules={"REP005"}) == []
 
 
+# ----------------------------------------------------------------------
+# REP006 — multiprocessing / SharedMemory outside the MPI runtime
+# ----------------------------------------------------------------------
+class TestRep006:
+    def test_plain_import_flagged(self):
+        hits = lint_snippet("import multiprocessing\n", rules={"REP006"})
+        assert [v.rule for v in hits] == ["REP006"]
+        assert "repro.mpi" in hits[0].message
+
+    def test_submodule_import_flagged(self):
+        hits = lint_snippet(
+            "import multiprocessing.shared_memory\n", rules={"REP006"}
+        )
+        assert [v.rule for v in hits] == ["REP006"]
+
+    def test_from_import_flagged(self):
+        source = "from multiprocessing.shared_memory import SharedMemory\n"
+        hits = lint_snippet(source, rules={"REP006"})
+        assert [v.rule for v in hits] == ["REP006"]
+
+    def test_aliased_import_flagged(self):
+        hits = lint_snippet("import multiprocessing as mp\n", rules={"REP006"})
+        assert [v.rule for v in hits] == ["REP006"]
+
+    def test_mpi_runtime_sanctioned(self):
+        source = "from multiprocessing import shared_memory\n"
+        assert (
+            lint_snippet(
+                source, path="src/repro/mpi/process_backend.py", rules={"REP006"}
+            )
+            == []
+        )
+
+    def test_lookalike_modules_not_flagged(self):
+        for source in (
+            "import multiprocessing_utils\n",
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "import threading\n",
+        ):
+            assert lint_snippet(source, rules={"REP006"}) == []
+
+    def test_noqa_suppression(self):
+        source = "import multiprocessing  # noqa: REP006\n"
+        assert lint_snippet(source, rules={"REP006"}) == []
+
+
 def test_unknown_rule_id_rejected():
     from repro.analysis import lint_paths
 

@@ -28,6 +28,7 @@ def test_planted_fixtures_are_caught(capsys):
     assert "REP001" in output
     assert "REP003" in output
     assert "REP005" in output
+    assert "REP006" in output
 
 
 def test_fixture_report_details():
@@ -36,10 +37,13 @@ def test_fixture_report_details():
     assert report.count("REP001") >= 1
     assert report.count("REP003") >= 2  # orphan send AND orphan recv
     assert report.count("REP005") >= 1
+    assert report.count("REP006") >= 2  # plain import AND from-import
     rep001 = [v for v in report.violations if v.rule == "REP001"]
     assert rep001[0].path.endswith("planted_rep001.py")
     rep005 = [v for v in report.violations if v.rule == "REP005"]
     assert rep005[0].path.endswith("planted_rep005.py")
+    rep006 = [v for v in report.violations if v.rule == "REP006"]
+    assert rep006[0].path.endswith("planted_rep006.py")
 
 
 def test_rule_subset_runs_only_selected():

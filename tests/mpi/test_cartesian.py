@@ -1,8 +1,7 @@
-"""Cartesian topology tests."""
+"""Cartesian topology tests (both execution backends where ranks run)."""
 
 import pytest
 
-from repro import mpi
 from repro.exceptions import CommunicatorError
 from repro.mpi import CartComm, SelfCommunicator, dims_create
 
@@ -50,46 +49,46 @@ def make_cart(dims, periods=None):
 
 
 class TestCoordinateMath:
-    def test_roundtrip_all_ranks(self):
+    def test_roundtrip_all_ranks(self, launch):
         def program(comm):
             cart = CartComm(comm, (2, 3))
             assert cart.rank_of(cart.coords_of(comm.rank)) == comm.rank
             return cart.coords
 
-        coords = mpi.run_parallel(program, 6)
+        coords = launch(program, 6)
         assert coords == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
 
-    def test_dims_mismatch_raises(self):
+    def test_dims_mismatch_raises(self, launch):
         def program(comm):
             with pytest.raises(CommunicatorError):
                 CartComm(comm, (2, 2))  # needs 4 ranks, world has 2
             return True
 
-        assert all(mpi.run_parallel(program, 2))
+        assert all(launch(program, 2))
 
-    def test_shift_non_periodic(self):
+    def test_shift_non_periodic(self, launch):
         def program(comm):
             cart = CartComm(comm, (1, 3))
             lo, hi = cart.shift(axis=1)
             return (lo, hi)
 
-        shifts = mpi.run_parallel(program, 3)
+        shifts = launch(program, 3)
         assert shifts == [(None, 1), (0, 2), (1, None)]
 
-    def test_shift_periodic_wraps(self):
+    def test_shift_periodic_wraps(self, launch):
         def program(comm):
             cart = CartComm(comm, (1, 3), periods=(False, True))
             return cart.shift(axis=1)
 
-        shifts = mpi.run_parallel(program, 3)
+        shifts = launch(program, 3)
         assert shifts == [(2, 1), (0, 2), (1, 0)]
 
-    def test_neighbours_interior_vs_corner(self):
+    def test_neighbours_interior_vs_corner(self, launch):
         def program(comm):
             cart = CartComm(comm, (3, 3))
             return len(cart.neighbours())
 
-        counts = mpi.run_parallel(program, 9)
+        counts = launch(program, 9)
         # Corner ranks have 2 neighbours, edges 3, centre 4.
         assert counts == [2, 3, 2, 3, 4, 3, 2, 3, 2]
 
@@ -107,7 +106,7 @@ class TestCoordinateMath:
 
 
 class TestCartCommunication:
-    def test_messaging_through_cart(self):
+    def test_messaging_through_cart(self, launch):
         """CartComm delegates pt2pt and collectives to its parent."""
 
         def program(comm):
@@ -123,5 +122,5 @@ class TestCartCommunication:
             assert total == comm.size
             return received
 
-        results = mpi.run_parallel(program, 6)
+        results = launch(program, 6)
         assert any(r is not None for r in results)

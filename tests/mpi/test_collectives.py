@@ -1,4 +1,5 @@
-"""Collective operations over the generic point-to-point layer."""
+"""Collective operations over the generic point-to-point layer
+(both execution backends)."""
 
 import numpy as np
 import pytest
@@ -11,82 +12,82 @@ SIZES = [1, 2, 3, 5, 8]
 
 @pytest.mark.parametrize("size", SIZES)
 class TestCollectives:
-    def test_barrier_completes(self, size):
+    def test_barrier_completes(self, size, launch):
         def program(comm):
             for _ in range(3):
                 comm.barrier()
             return True
 
-        assert all(mpi.run_parallel(program, size))
+        assert all(launch(program, size))
 
-    def test_bcast(self, size):
+    def test_bcast(self, size, launch):
         def program(comm):
             payload = {"v": 7} if comm.rank == 0 else None
             return comm.bcast(payload, root=0)
 
-        assert mpi.run_parallel(program, size) == [{"v": 7}] * size
+        assert launch(program, size) == [{"v": 7}] * size
 
-    def test_bcast_nonzero_root(self, size):
+    def test_bcast_nonzero_root(self, size, launch):
         root = size - 1
 
         def program(comm):
             payload = "hi" if comm.rank == root else None
             return comm.bcast(payload, root=root)
 
-        assert mpi.run_parallel(program, size) == ["hi"] * size
+        assert launch(program, size) == ["hi"] * size
 
-    def test_gather(self, size):
+    def test_gather(self, size, launch):
         def program(comm):
             return comm.gather(comm.rank**2, root=0)
 
-        results = mpi.run_parallel(program, size)
+        results = launch(program, size)
         assert results[0] == [r**2 for r in range(size)]
         assert all(r is None for r in results[1:])
 
-    def test_scatter(self, size):
+    def test_scatter(self, size, launch):
         def program(comm):
             payloads = [i * 10 for i in range(size)] if comm.rank == 0 else None
             return comm.scatter(payloads, root=0)
 
-        assert mpi.run_parallel(program, size) == [i * 10 for i in range(size)]
+        assert launch(program, size) == [i * 10 for i in range(size)]
 
-    def test_allgather(self, size):
+    def test_allgather(self, size, launch):
         def program(comm):
             return comm.allgather(chr(ord("a") + comm.rank))
 
         expected = [chr(ord("a") + i) for i in range(size)]
-        assert mpi.run_parallel(program, size) == [expected] * size
+        assert launch(program, size) == [expected] * size
 
-    def test_allreduce_sum(self, size):
+    def test_allreduce_sum(self, size, launch):
         def program(comm):
             return comm.allreduce(comm.rank + 1)
 
-        assert mpi.run_parallel(program, size) == [size * (size + 1) // 2] * size
+        assert launch(program, size) == [size * (size + 1) // 2] * size
 
-    def test_allreduce_array(self, size):
+    def test_allreduce_array(self, size, launch):
         def program(comm):
             return comm.allreduce(np.full(3, float(comm.rank)), op=mpi.MAX)
 
-        for result in mpi.run_parallel(program, size):
+        for result in launch(program, size):
             assert np.allclose(result, size - 1)
 
-    def test_reduce_min(self, size):
+    def test_reduce_min(self, size, launch):
         def program(comm):
             return comm.reduce(10 - comm.rank, op=mpi.MIN, root=0)
 
-        results = mpi.run_parallel(program, size)
+        results = launch(program, size)
         assert results[0] == 10 - (size - 1)
 
-    def test_alltoall(self, size):
+    def test_alltoall(self, size, launch):
         def program(comm):
             outgoing = [(comm.rank, j) for j in range(size)]
             return comm.alltoall(outgoing)
 
-        results = mpi.run_parallel(program, size)
+        results = launch(program, size)
         for rank, incoming in enumerate(results):
             assert incoming == [(j, rank) for j in range(size)]
 
-    def test_interleaved_collectives_and_pt2pt(self, size):
+    def test_interleaved_collectives_and_pt2pt(self, size, launch):
         """Collectives use reserved tags: user traffic cannot collide."""
 
         def program(comm):
@@ -98,36 +99,36 @@ class TestCollectives:
                 assert neighbour == (comm.rank - 1) % size
             return total
 
-        assert mpi.run_parallel(program, size) == [size] * size
+        assert launch(program, size) == [size] * size
 
 
 class TestReduceOps:
-    def test_prod(self):
+    def test_prod(self, launch):
         def program(comm):
             return comm.allreduce(comm.rank + 1, op=mpi.PROD)
 
-        assert mpi.run_parallel(program, 4) == [24] * 4
+        assert launch(program, 4) == [24] * 4
 
-    def test_logical_ops(self):
+    def test_logical_ops(self, launch):
         def program(comm):
             any_true = comm.allreduce(comm.rank == 2, op=mpi.LOR)
             all_true = comm.allreduce(comm.rank < 10, op=mpi.LAND)
             return bool(any_true), bool(all_true)
 
-        assert mpi.run_parallel(program, 4) == [(True, True)] * 4
+        assert launch(program, 4) == [(True, True)] * 4
 
-    def test_reduce_deterministic_order(self):
+    def test_reduce_deterministic_order(self, launch):
         """Reduction combines payloads in rank order (reproducibility)."""
 
         def program(comm):
             return comm.reduce([comm.rank], op=mpi.ReduceOp("concat", lambda a, b: a + b), root=0)
 
-        results = mpi.run_parallel(program, 5)
+        results = launch(program, 5)
         assert results[0] == [0, 1, 2, 3, 4]
 
 
 class TestValidation:
-    def test_scatter_wrong_count_raises(self):
+    def test_scatter_wrong_count_raises(self, launch):
         def program(comm):
             if comm.rank == 0:
                 with pytest.raises(CommunicatorError):
@@ -140,20 +141,20 @@ class TestValidation:
                 comm.scatter([1, 2], root=0)
             return True
 
-        assert all(mpi.run_parallel(solo, 1))
+        assert all(launch(solo, 1))
 
-    def test_alltoall_wrong_count_raises(self):
+    def test_alltoall_wrong_count_raises(self, launch):
         def program(comm):
             with pytest.raises(CommunicatorError):
                 comm.alltoall([1, 2, 3])
             return True
 
-        assert all(mpi.run_parallel(program, 1))
+        assert all(launch(program, 1))
 
-    def test_bad_root_raises(self):
+    def test_bad_root_raises(self, launch):
         def program(comm):
             with pytest.raises(CommunicatorError):
                 comm.bcast("x", root=7)
             return True
 
-        assert all(mpi.run_parallel(program, 2))
+        assert all(launch(program, 2))

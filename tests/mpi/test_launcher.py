@@ -1,4 +1,9 @@
-"""Launcher (run_parallel) tests."""
+"""Launcher (run_parallel) tests.
+
+Backend-agnostic behaviour goes through the ``launch`` fixture; tests
+that rely on in-process state (shared ``threading`` primitives, object
+identity across ranks) pin the thread backend explicitly.
+"""
 
 import threading
 
@@ -10,21 +15,27 @@ from repro.mpi import SelfCommunicator
 
 
 class TestSPMD:
-    def test_results_in_rank_order(self):
-        results = mpi.run_parallel(lambda comm: comm.rank * 2, 5)
+    def test_results_in_rank_order(self, launch):
+        results = launch(lambda comm: comm.rank * 2, 5)
         assert results == [0, 2, 4, 6, 8]
 
-    def test_world_size_visible(self):
-        assert mpi.run_parallel(lambda comm: comm.size, 3) == [3, 3, 3]
+    def test_world_size_visible(self, launch):
+        assert launch(lambda comm: comm.size, 3) == [3, 3, 3]
 
-    def test_get_rank_get_size_aliases(self):
+    def test_get_rank_get_size_aliases(self, launch):
         def program(comm):
             return comm.Get_rank(), comm.Get_size()
 
-        assert mpi.run_parallel(program, 2) == [(0, 2), (1, 2)]
+        assert launch(program, 2) == [(0, 2), (1, 2)]
 
     def test_ranks_run_concurrently(self):
-        """Blocking receives must not serialize independent ranks."""
+        """Blocking receives must not serialize independent ranks.
+
+        Thread backend only: a shared ``threading.Barrier`` can only
+        synchronise ranks living in the same process.  (Process-backend
+        concurrency is exercised by the pt2pt exchange patterns, which
+        deadlock under serialized execution.)
+        """
         barrier = threading.Barrier(3, timeout=10.0)
 
         def program(comm):
@@ -35,49 +46,57 @@ class TestSPMD:
 
 
 class TestMPMD:
-    def test_one_callable_per_rank(self):
+    def test_one_callable_per_rank(self, launch):
         fns = [lambda comm, i=i: f"rank{i}" for i in range(3)]
-        assert mpi.run_parallel(fns, 3) == ["rank0", "rank1", "rank2"]
+        assert launch(fns, 3) == ["rank0", "rank1", "rank2"]
 
-    def test_wrong_count_raises(self):
+    def test_wrong_count_raises(self, launch):
         with pytest.raises(CommunicatorError):
-            mpi.run_parallel([lambda c: None], 2)
+            launch([lambda c: None], 2)
 
 
 class TestErrorPropagation:
-    def test_rank_exception_reraised(self):
+    def test_rank_exception_reraised(self, launch):
         def program(comm):
             if comm.rank == 1:
                 raise ValueError("rank 1 exploded")
             comm.barrier()
 
         with pytest.raises(ValueError, match="rank 1 exploded"):
-            mpi.run_parallel(program, 3)
+            launch(program, 3)
 
-    def test_original_error_preferred_over_induced_deadlock(self):
+    def test_original_error_preferred_over_induced_deadlock(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.recv(source=1, tag=1)  # dies with induced DeadlockError
             raise RuntimeError("root cause")
 
         with pytest.raises(RuntimeError, match="root cause"):
-            mpi.run_parallel(program, 2)
+            launch(program, 2)
 
-    def test_pure_deadlock_raises_deadlock_error(self):
+    def test_pure_deadlock_raises_deadlock_error(self, launch):
         def program(comm):
             comm.recv(source=(comm.rank + 1) % comm.size, tag=0)
 
         with pytest.raises(DeadlockError):
-            mpi.run_parallel(program, 2, deadlock_timeout=0.2)
+            launch(program, 2, deadlock_timeout=0.2)
 
     def test_invalid_size_raises(self):
         with pytest.raises(CommunicatorError):
             mpi.run_parallel(lambda c: None, 0)
 
+    def test_unknown_backend_raises(self):
+        with pytest.raises(CommunicatorError, match="unknown backend"):
+            mpi.run_parallel(lambda c: None, 1, backend="carrier-pigeon")
+
 
 class TestIsolationToggle:
     def test_isolation_can_be_disabled(self):
-        """With isolation off, large read-only payloads pass by reference."""
+        """With isolation off, large read-only payloads pass by reference.
+
+        Thread backend only: object identity across ranks is meaningless
+        once ranks live in separate address spaces.
+        """
         import numpy as np
 
         big = np.ones(10)

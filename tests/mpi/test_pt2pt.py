@@ -1,4 +1,4 @@
-"""Point-to-point messaging semantics."""
+"""Point-to-point messaging semantics (both execution backends)."""
 
 import numpy as np
 import pytest
@@ -8,27 +8,27 @@ from repro.exceptions import CommunicatorError, DeadlockError
 
 
 class TestSendRecv:
-    def test_basic_pair(self):
+    def test_basic_pair(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.send({"x": 42}, dest=1, tag=3)
                 return None
             return comm.recv(source=0, tag=3)
 
-        results = mpi.run_parallel(program, 2)
+        results = launch(program, 2)
         assert results[1] == {"x": 42}
 
-    def test_numpy_payload(self):
+    def test_numpy_payload(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.send(np.arange(5.0), dest=1, tag=1)
                 return None
             return comm.recv(source=0, tag=1)
 
-        results = mpi.run_parallel(program, 2)
+        results = launch(program, 2)
         assert np.allclose(results[1], np.arange(5.0))
 
-    def test_tag_selectivity(self):
+    def test_tag_selectivity(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.send("a", dest=1, tag=1)
@@ -39,9 +39,9 @@ class TestSendRecv:
             first = comm.recv(source=0, tag=1)
             return (first, second)
 
-        assert mpi.run_parallel(program, 2)[1] == ("a", "b")
+        assert launch(program, 2)[1] == ("a", "b")
 
-    def test_any_source_any_tag(self):
+    def test_any_source_any_tag(self, launch):
         def program(comm):
             if comm.rank == 2:
                 got = set()
@@ -54,10 +54,10 @@ class TestSendRecv:
             comm.send(f"from{comm.rank}", dest=2, tag=comm.rank + 10)
             return None
 
-        result = mpi.run_parallel(program, 3)[2]
+        result = launch(program, 3)[2]
         assert result == {(0, 10, "from0"), (1, 11, "from1")}
 
-    def test_non_overtaking_same_source_tag(self):
+    def test_non_overtaking_same_source_tag(self, launch):
         """MPI guarantees message order per (source, dest, tag)."""
 
         def program(comm):
@@ -67,9 +67,9 @@ class TestSendRecv:
                 return None
             return [comm.recv(source=0, tag=5) for _ in range(20)]
 
-        assert mpi.run_parallel(program, 2)[1] == list(range(20))
+        assert launch(program, 2)[1] == list(range(20))
 
-    def test_message_isolation(self):
+    def test_message_isolation(self, launch):
         """Sender-side mutation after send is invisible to the receiver."""
 
         def program(comm):
@@ -80,18 +80,18 @@ class TestSendRecv:
                 return None
             return comm.recv(source=0, tag=1)
 
-        assert np.allclose(mpi.run_parallel(program, 2)[1], 0.0)
+        assert np.allclose(launch(program, 2)[1], 0.0)
 
-    def test_sendrecv_exchange(self):
+    def test_sendrecv_exchange(self, launch):
         def program(comm):
             peer = 1 - comm.rank
             return comm.sendrecv(comm.rank * 10, dest=peer, recv_source=peer)
 
-        assert mpi.run_parallel(program, 2) == [10, 0]
+        assert launch(program, 2) == [10, 0]
 
 
 class TestBufferAPI:
-    def test_Send_Recv_roundtrip(self):
+    def test_Send_Recv_roundtrip(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.Send(np.arange(6, dtype=np.float64), dest=1, tag=2)
@@ -100,11 +100,11 @@ class TestBufferAPI:
             status = comm.Recv(buffer, source=0, tag=2)
             return buffer, status.source
 
-        buffer, source = mpi.run_parallel(program, 2)[1]
+        buffer, source = launch(program, 2)[1]
         assert np.allclose(buffer, np.arange(6.0))
         assert source == 0
 
-    def test_Recv_shape_mismatch_raises(self):
+    def test_Recv_shape_mismatch_raises(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.Send(np.zeros(3), dest=1, tag=1)
@@ -113,48 +113,48 @@ class TestBufferAPI:
                 comm.Recv(np.empty(5), source=0, tag=1)
             return True
 
-        assert mpi.run_parallel(program, 2)[1]
+        assert launch(program, 2)[1]
 
 
 class TestValidation:
-    def test_send_out_of_range_raises(self):
+    def test_send_out_of_range_raises(self, launch):
         def program(comm):
             with pytest.raises(CommunicatorError):
                 comm.send("x", dest=5)
             return True
 
-        assert all(mpi.run_parallel(program, 2))
+        assert all(launch(program, 2))
 
-    def test_reserved_tag_rejected(self):
+    def test_reserved_tag_rejected(self, launch):
         def program(comm):
             with pytest.raises(CommunicatorError):
                 comm.send("x", dest=0, tag=mpi.MAX_USER_TAG)
             return True
 
-        assert all(mpi.run_parallel(program, 1))
+        assert all(launch(program, 1))
 
-    def test_negative_tag_rejected_for_send(self):
+    def test_negative_tag_rejected_for_send(self, launch):
         def program(comm):
             with pytest.raises(CommunicatorError):
                 comm.send("x", dest=0, tag=-3)
             return True
 
-        assert all(mpi.run_parallel(program, 1))
+        assert all(launch(program, 1))
 
 
 class TestDeadlockWatchdog:
-    def test_mutual_recv_detected(self):
+    def test_mutual_recv_detected(self, launch):
         def program(comm):
             comm.recv(source=1 - comm.rank, tag=1)
 
         with pytest.raises(DeadlockError):
-            mpi.run_parallel(program, 2, deadlock_timeout=0.2)
+            launch(program, 2, deadlock_timeout=0.2)
 
-    def test_recv_timeout_override(self):
+    def test_recv_timeout_override(self, launch):
         def program(comm):
             if comm.rank == 0:
                 with pytest.raises(DeadlockError):
                     comm.recv(source=1, tag=9, timeout=0.1)
             return True
 
-        assert all(mpi.run_parallel(program, 2))
+        assert all(launch(program, 2))

@@ -1,4 +1,4 @@
-"""Non-blocking operation (Request) tests."""
+"""Non-blocking operation (Request) tests (both execution backends)."""
 
 import numpy as np
 
@@ -6,7 +6,7 @@ from repro import mpi
 
 
 class TestIsend:
-    def test_isend_completes_immediately(self):
+    def test_isend_completes_immediately(self, launch):
         def program(comm):
             if comm.rank == 0:
                 request = comm.isend("hello", dest=1, tag=1)
@@ -15,11 +15,11 @@ class TestIsend:
                 return None
             return comm.recv(source=0, tag=1)
 
-        assert mpi.run_parallel(program, 2)[1] == "hello"
+        assert launch(program, 2)[1] == "hello"
 
 
 class TestIrecv:
-    def test_wait_returns_payload(self):
+    def test_wait_returns_payload(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.send(np.arange(3.0), dest=1, tag=4)
@@ -30,9 +30,9 @@ class TestIrecv:
             assert request.status.tag == 4
             return payload
 
-        assert np.allclose(mpi.run_parallel(program, 2)[1], np.arange(3.0))
+        assert np.allclose(launch(program, 2)[1], np.arange(3.0))
 
-    def test_test_polls_without_blocking(self):
+    def test_test_polls_without_blocking(self, launch):
         def program(comm):
             if comm.rank == 1:
                 request = comm.irecv(source=0, tag=9)
@@ -44,9 +44,9 @@ class TestIrecv:
             comm.send("late", dest=1, tag=9)
             return None
 
-        assert mpi.run_parallel(program, 2)[1] == "late"
+        assert launch(program, 2)[1] == "late"
 
-    def test_wait_after_successful_test_returns_same(self):
+    def test_wait_after_successful_test_returns_same(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.send(123, dest=1, tag=2)
@@ -59,9 +59,9 @@ class TestIrecv:
             assert request.wait() == 123
             return True
 
-        assert mpi.run_parallel(program, 2)[1]
+        assert launch(program, 2)[1]
 
-    def test_multiple_outstanding_irecvs(self):
+    def test_multiple_outstanding_irecvs(self, launch):
         def program(comm):
             if comm.rank == 0:
                 for i in range(4):
@@ -70,4 +70,4 @@ class TestIrecv:
             requests = [comm.irecv(source=0, tag=i) for i in range(4)]
             return mpi.wait_all(requests)
 
-        assert mpi.run_parallel(program, 2)[1] == [0, 1, 2, 3]
+        assert launch(program, 2)[1] == [0, 1, 2, 3]

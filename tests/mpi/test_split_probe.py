@@ -1,4 +1,4 @@
-"""Communicator splitting and probing tests."""
+"""Communicator splitting and probing tests (both execution backends)."""
 
 import numpy as np
 import pytest
@@ -8,7 +8,7 @@ from repro.exceptions import CommunicatorError
 
 
 class TestIprobe:
-    def test_false_before_true_after(self):
+    def test_false_before_true_after(self, launch):
         def program(comm):
             if comm.rank == 0:
                 comm.send("m", dest=1, tag=7)
@@ -23,7 +23,7 @@ class TestIprobe:
             assert not comm.iprobe()
             return True
 
-        assert mpi.run_parallel(program, 2)[1]
+        assert launch(program, 2)[1]
 
     def test_self_communicator_probe(self):
         comm = mpi.SelfCommunicator()
@@ -40,12 +40,12 @@ class TestIprobe:
 
 
 class TestSplit:
-    def test_even_odd_groups(self):
+    def test_even_odd_groups(self, launch):
         def program(comm):
             sub = comm.split(color=comm.rank % 2)
             return (sub.rank, sub.size, sub.allgather(comm.rank))
 
-        results = mpi.run_parallel(program, 6)
+        results = launch(program, 6)
         evens = [0, 2, 4]
         odds = [1, 3, 5]
         for world_rank, (sub_rank, sub_size, members) in enumerate(results):
@@ -54,16 +54,16 @@ class TestSplit:
             assert members == expected
             assert expected[sub_rank] == world_rank
 
-    def test_key_reorders_group(self):
+    def test_key_reorders_group(self, launch):
         def program(comm):
             # Reverse order within the single group.
             sub = comm.split(color=0, key=-comm.rank)
             return sub.rank
 
-        results = mpi.run_parallel(program, 4)
+        results = launch(program, 4)
         assert results == [3, 2, 1, 0]
 
-    def test_negative_color_opts_out(self):
+    def test_negative_color_opts_out(self, launch):
         def program(comm):
             color = 0 if comm.rank < 2 else -1
             sub = comm.split(color)
@@ -73,10 +73,10 @@ class TestSplit:
             assert sub is None
             return None
 
-        results = mpi.run_parallel(program, 4)
+        results = launch(program, 4)
         assert results == [2, 2, None, None]
 
-    def test_subgroup_pt2pt_uses_group_ranks(self):
+    def test_subgroup_pt2pt_uses_group_ranks(self, launch):
         def program(comm):
             sub = comm.split(color=comm.rank // 2)  # pairs (0,1), (2,3)
             peer = 1 - sub.rank
@@ -87,32 +87,32 @@ class TestSplit:
             assert partner_world_rank != comm.rank
             return True
 
-        assert all(mpi.run_parallel(program, 4))
+        assert all(launch(program, 4))
 
-    def test_concurrent_subgroup_collectives(self):
+    def test_concurrent_subgroup_collectives(self, launch):
         def program(comm):
             sub = comm.split(color=comm.rank % 2)
             return sub.allreduce(np.array([comm.rank]), op=mpi.SUM)[0]
 
-        results = mpi.run_parallel(program, 4)
+        results = launch(program, 4)
         assert results == [2, 4, 2, 4]
 
-    def test_nested_split(self):
+    def test_nested_split(self, launch):
         def program(comm):
             half = comm.split(color=comm.rank // 4)
             quarter = half.split(color=half.rank // 2)
             return (half.size, quarter.size, quarter.allgather(comm.rank))
 
-        results = mpi.run_parallel(program, 8)
+        results = launch(program, 8)
         for world_rank, (half_size, quarter_size, members) in enumerate(results):
             assert half_size == 4
             assert quarter_size == 2
             assert world_rank in members
 
-    def test_translate(self):
+    def test_translate(self, launch):
         def program(comm):
             sub = comm.split(color=0)
             return [sub.translate(i) for i in range(sub.size)]
 
-        results = mpi.run_parallel(program, 3)
+        results = launch(program, 3)
         assert all(r == [0, 1, 2] for r in results)
