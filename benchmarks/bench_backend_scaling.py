@@ -10,7 +10,7 @@ measures the region wall-clock.  Two claims are checked:
    the process backend's wall-clock must beat the thread backend's.
    Inside smaller containers the processes still work, they just have
    no spare cores to win with, so the speedup assertion is gated on
-   ``os.cpu_count()``.
+   :func:`available_cores`.
 """
 
 import os
@@ -23,6 +23,22 @@ from repro.data import SnapshotDataset, synthetic_advection_snapshots
 
 NUM_RANKS = 2
 BACKENDS = ("serial", "threads", "processes")
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which inside a
+    cgroup/affinity-limited container (CI runners, ``taskset``) is a
+    lie — a 64-core host pinned to one core would enable the scaling
+    assertion and then fail it.  ``os.sched_getaffinity(0)`` reports
+    the schedulable set; it is Linux-only, so everywhere else we fall
+    back to ``os.cpu_count()`` (macOS/Windows runners are not
+    affinity-restricted in our CI).
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 def _setup():
@@ -53,7 +69,7 @@ def test_backend_scaling(benchmark, record_report):
 
     results = run_once(benchmark, measure_all)
 
-    cores = os.cpu_count() or 1
+    cores = available_cores()
     benchmark.extra_info["ranks"] = NUM_RANKS
     benchmark.extra_info["cores"] = cores
     lines = [

@@ -8,12 +8,15 @@ test tags its ``extra_info`` with the problem size so the emitted
 ``BENCH_kernels.json`` records are self-describing.
 """
 
+import time
+
 import numpy as np
 
 from repro import mpi
+from repro.core import InferencePlan, build_paper_cnn
 from repro.domain import BlockDecomposition, HaloExchanger
 from repro.solver import LinearizedEuler, Simulation, UniformGrid2D, paper_initial_condition
-from repro.tensor import Tensor, conv2d, im2col, no_grad
+from repro.tensor import Tensor, conv2d, im2col, leaky_relu, no_grad, workspace_disabled
 
 
 def test_im2col_256(benchmark):
@@ -37,6 +40,101 @@ def test_conv2d_forward_256(benchmark):
 
     out = benchmark(forward)
     assert out.shape == (1, 6, 256, 256)
+
+
+def test_conv2d_forward_fused_256(benchmark):
+    """The fused/workspace path of the same 256x256 convolution: bias +
+    leaky ReLU folded into the GEMM epilogue, scratch from the
+    per-thread workspace arena (the no-grad fast path)."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["kernel"] = 5
+    benchmark.extra_info["variant"] = "fused+workspace"
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+    w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+    b = Tensor(rng.standard_normal(6))
+
+    def forward():
+        with no_grad():
+            return conv2d(x, w, b, padding=2, activation="leaky_relu")
+
+    out = benchmark(forward)
+    assert out.shape == (1, 6, 256, 256)
+
+
+def test_conv2d_forward_naive_epilogue_256(benchmark):
+    """The allocate-per-call baseline for the fused variant above:
+    conv, then bias is added by the op, then a separate leaky ReLU —
+    with the workspace arena disabled."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["kernel"] = 5
+    benchmark.extra_info["variant"] = "naive"
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+    w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+    b = Tensor(rng.standard_normal(6))
+
+    def forward():
+        with no_grad(), workspace_disabled():
+            return leaky_relu(conv2d(x, w, b, padding=2), 0.01)
+
+    out = benchmark(forward)
+    assert out.shape == (1, 6, 256, 256)
+
+
+def test_fused_conv_speedup_256():
+    """Regression gate for the workspace/fusion layer: the fused path
+    must stay >= 1.3x faster than the naive path at the paper's
+    256x256 / 4-channel / 5x5 configuration (best-of timing to shed
+    scheduler noise)."""
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+    w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+    b = Tensor(rng.standard_normal(6))
+
+    def naive():
+        with no_grad(), workspace_disabled():
+            leaky_relu(conv2d(x, w, b, padding=2), 0.01)
+
+    def fused():
+        with no_grad():
+            conv2d(x, w, b, padding=2, activation="leaky_relu")
+
+    def best_of(fn, repeats=7):
+        fn()  # warmup: page faults, BLAS spin-up, arena fill
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive_s = best_of(naive)
+    fused_s = best_of(fused)
+    speedup = naive_s / fused_s
+    print(f"\nfused conv speedup @256: {speedup:.2f}x "
+          f"(naive {naive_s * 1e3:.2f} ms, fused {fused_s * 1e3:.2f} ms)")
+    assert speedup >= 1.3, (
+        f"fused/workspace conv forward only {speedup:.2f}x faster than "
+        f"naive (need >= 1.3x)"
+    )
+
+
+def test_inference_plan_step_256(benchmark):
+    """One rollout step of the compiled InferencePlan on the paper's
+    full network at 256x256 — allocation-free after the warmup run."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["variant"] = "plan"
+    rng = np.random.default_rng(0)
+    model = build_paper_cnn("zero", rng=np.random.default_rng(0))
+    plan = InferencePlan(model)
+    x = rng.standard_normal((1, 4, 256, 256))
+    plan.run(x)  # warm the arena so the timed runs are steady-state
+    created = plan.workspace.stats.buffers_created
+
+    out = benchmark(lambda: plan.run(x))
+    assert out.shape == (1, 4, 256, 256)
+    assert plan.workspace.stats.buffers_created == created  # zero-alloc
 
 
 def test_conv2d_backward_128(benchmark):

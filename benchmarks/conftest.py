@@ -21,6 +21,21 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Warmup iterations applied to every timed benchmark (see
+#: ``pytest_configure``).  The first call pays one-off costs — BLAS
+#: thread-pool spin-up, ``sliding_window_view`` code paths, page faults
+#: on fresh buffers, workspace-arena fills — that pollute medians at
+#: low round counts.
+BENCH_WARMUP_ITERATIONS = 2
+
+
+def pytest_configure(config):
+    """Turn benchmark warmup on by default (user flags still win)."""
+    user_args = " ".join(str(a) for a in config.invocation_params.args)
+    if "--benchmark-warmup" not in user_args:
+        config.option.benchmark_warmup = True
+        config.option.benchmark_warmup_iterations = BENCH_WARMUP_ITERATIONS
+
 
 @pytest.fixture
 def record_report():
@@ -53,6 +68,8 @@ def pytest_sessionfinish(session, exitstatus):
             "median_seconds": float(bench.stats.median),
             "rounds": int(bench.stats.rounds),
             "iterations": int(bench.iterations),
+            # warmup iterations applied before timing (0 = cold start)
+            "warmup": int(getattr(bench, "options", {}).get("warmup") or 0),
         }
         for key in sorted(bench.extra_info):
             record.setdefault(key, bench.extra_info[key])

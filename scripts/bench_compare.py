@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_<module>.json results against committed baselines.
+
+Usage::
+
+    python scripts/bench_compare.py \
+        --baseline benchmarks/results/BENCH_kernels.json \
+        --current  /tmp/fresh/BENCH_kernels.json \
+        --tolerance 1.5
+
+Each record is matched by its ``op`` name and compared on
+``median_seconds``.  An op is a **regression** when
+``current > baseline * tolerance``; ops only present on one side are
+reported but never fail the run (benchmarks come and go).  Exit status
+is 1 when any regression is found, 0 otherwise — CI wires this in as a
+*soft* gate (``continue-on-error``), because shared runners make
+wall-clock a noisy signal; the report is the artifact, the exit code is
+the hint.
+
+The default tolerance is deliberately loose (1.5x): this gate exists to
+catch "the fused path silently fell back to the naive one" (2-3x), not
+5% drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_records(path: pathlib.Path) -> dict[str, dict]:
+    try:
+        records = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"bench_compare: no such file: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {exc}")
+    return {record["op"]: record for record in records}
+
+
+def compare(
+    baseline: dict[str, dict], current: dict[str, dict], tolerance: float
+) -> tuple[list[str], int]:
+    """Render a comparison table; returns (lines, regression_count)."""
+    lines = [f"{'op':<40} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict"]
+    regressions = 0
+    for op in sorted(set(baseline) | set(current)):
+        base = baseline.get(op)
+        cur = current.get(op)
+        if base is None:
+            lines.append(f"{op:<40} {'-':>12} {cur['median_seconds']:>12.5f} {'-':>8}  new (no baseline)")
+            continue
+        if cur is None:
+            lines.append(f"{op:<40} {base['median_seconds']:>12.5f} {'-':>12} {'-':>8}  missing from current run")
+            continue
+        base_s = float(base["median_seconds"])
+        cur_s = float(cur["median_seconds"])
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        if ratio > tolerance:
+            verdict = f"REGRESSION (> {tolerance:.2f}x)"
+            regressions += 1
+        elif ratio < 1.0 / tolerance:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(f"{op:<40} {base_s:>12.5f} {cur_s:>12.5f} {ratio:>7.2f}x  {verdict}")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="committed BENCH_<module>.json")
+    parser.add_argument("--current", required=True, type=pathlib.Path,
+                        help="freshly generated BENCH_<module>.json")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="fail when current > baseline * tolerance "
+                        "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error(f"--tolerance must be > 1.0, got {args.tolerance}")
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    lines, regressions = compare(baseline, current, args.tolerance)
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{regressions} regression(s) beyond {args.tolerance:.2f}x tolerance")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -386,6 +386,14 @@ def _conv2d_strided(rng):
     return fn, [_normal(rng, 1, 2, 6, 6), _normal(rng, 3, 2, 3, 3)]
 
 
+@case("conv2d", "fused-leaky-relu")
+def _conv2d_fused(rng):
+    fn = lambda x, w, b: get_op("conv2d")(  # noqa: E731
+        x, w, b, stride=1, padding=1, activation="leaky_relu", negative_slope=0.1
+    )
+    return fn, [_normal(rng, 2, 3, 5, 5), _normal(rng, 4, 3, 3, 3), _normal(rng, 4)]
+
+
 @case("conv_transpose2d", "strided-bias")
 def _conv_transpose2d(rng):
     fn = lambda x, w, b: get_op("conv_transpose2d")(x, w, b, stride=2, padding=1)  # noqa: E731

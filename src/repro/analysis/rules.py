@@ -61,6 +61,9 @@ RULES: dict[str, str] = {
     "REP006": "direct multiprocessing / SharedMemory use outside "
     "src/repro/mpi/ — inter-rank communication must stay behind the "
     "Communicator API",
+    "REP007": "Workspace arena constructed outside src/repro/tensor/ and "
+    "src/repro/core/inference.py — callers must request buffers from an "
+    "existing arena, not build private ones",
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
@@ -675,6 +678,46 @@ def rule_rep006(ctx: FileContext) -> Iterator[Violation]:
         )
 
 
+# ======================================================================
+# REP007 — Workspace arenas constructed outside the sanctioned modules
+# ======================================================================
+#: Where building a Workspace is legitimate: the tensor package (which
+#: defines the arena and the per-thread default) and the inference plan
+#: (which owns a private arena per compiled model).  Everywhere else,
+#: constructing an arena forks the buffer-reuse accounting and invites
+#: two owners handing out the same scratch — callers should use
+#: repro.tensor.get_workspace() or accept an arena as a parameter.
+_REP007_SANCTIONED_DIRS = ("tensor",)
+_REP007_SANCTIONED_SUFFIX = "core/inference.py"
+
+
+def rule_rep007(ctx: FileContext) -> Iterator[Violation]:
+    posix = ctx.path.replace("\\", "/")
+    parts = posix.split("/")
+    if any(fragment in parts for fragment in _REP007_SANCTIONED_DIRS):
+        return
+    if posix.endswith(_REP007_SANCTIONED_SUFFIX):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if not (name == "Workspace" or name.endswith(".Workspace")):
+            continue
+        yield Violation(
+            "REP007",
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            "Workspace construction outside src/repro/tensor/ and "
+            "src/repro/core/inference.py: private arenas split the reuse "
+            "accounting and can hand out scratch another owner still "
+            "holds — request buffers via repro.tensor.get_workspace() or "
+            "take an arena as a parameter, or suppress with "
+            "'# noqa: REP007' plus a justification",
+        )
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
@@ -682,6 +725,7 @@ _FILE_RULES = {
     "REP004": rule_rep004,
     "REP005": rule_rep005,
     "REP006": rule_rep006,
+    "REP007": rule_rep007,
 }
 
 

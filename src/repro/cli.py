@@ -11,7 +11,9 @@ Subcommands cover the full workflow:
 - ``repro lint``      — repo-specific static analysis (REP00x rules
   plus optional ruff/mypy baseline passes),
 - ``repro check``     — runtime verification: gradcheck every
-  registered op, optionally smoke-test the sanitizers.
+  registered op, optionally smoke-test the sanitizers,
+- ``repro perf``      — op-level perf report: naive vs fused/workspace
+  conv forward and an allocation-free ``InferencePlan`` rollout.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -161,6 +163,20 @@ def _add_check(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_perf(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "perf",
+        help="op-level perf report: naive vs fused conv forward and an "
+        "allocation-free InferencePlan rollout",
+    )
+    parser.add_argument("--grid-size", type=int, default=128)
+    parser.add_argument("--steps", type=int, default=5, help="rollout steps")
+    parser.add_argument("--repeats", type=int, default=3, help="forward timing repeats")
+    parser.add_argument("--pgrid", type=int, nargs=2, default=(2, 2), metavar=("PY", "PX"))
+    parser.add_argument("--strategy", default="neighbor_first")
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -174,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("table1", help="print the Table-I architecture")
     _add_lint(subparsers)
     _add_check(subparsers)
+    _add_perf(subparsers)
     return parser
 
 
@@ -401,6 +418,63 @@ def _cmd_check(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_perf(args) -> int:
+    import time
+
+    from . import tensor as T
+    from .core import InferencePlan, ParallelPredictor, build_paper_cnn
+    from .domain.decomposition import BlockDecomposition
+    from .tensor import no_grad, perf, workspace_disabled
+
+    rng = np.random.default_rng(args.seed)
+    size = args.grid_size
+    model = build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed))
+    halo = model.input_halo
+    x = rng.standard_normal((1, 4, size + 2 * halo, size + 2 * halo))
+
+    def fwd_naive() -> None:
+        with no_grad(), workspace_disabled():
+            model(T.Tensor(x))
+
+    plan = InferencePlan(model)
+
+    def fwd_plan() -> None:
+        plan.run(x)
+
+    def best_of(fn) -> float:
+        fn()  # warmup (BLAS thread pools, page faults, arena fill)
+        best = float("inf")
+        for _ in range(max(1, args.repeats)):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive_s = best_of(fwd_naive)
+    plan_s = best_of(fwd_plan)
+    print(f"forward @ {size}x{size} (halo {halo}, strategy {args.strategy})")
+    print(f"  naive (allocate-per-call): {naive_s * 1e3:9.2f} ms")
+    print(f"  plan  (fused + workspace): {plan_s * 1e3:9.2f} ms")
+    print(f"  speedup: {naive_s / plan_s:.2f}x")
+    print(f"  {plan.workspace.describe()}")
+
+    # Rollout on the THREAD backend: the perf registry is process-local,
+    # so thread-backed ranks all record into the one report below.
+    py, px = args.pgrid
+    models = [
+        build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed + r))
+        for r in range(py * px)
+    ]
+    predictor = ParallelPredictor(models, BlockDecomposition((size, size), (py, px)))
+    initial = rng.standard_normal((4, size, size))
+    perf.reset()
+    with perf.collecting():
+        predictor.rollout(initial, num_steps=args.steps, execution="threads")
+    print(f"\nrollout: {args.steps} steps on a {py}x{px} grid (thread backend)")
+    print(perf.format_report())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -409,6 +483,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "lint": _cmd_lint,
     "check": _cmd_check,
+    "perf": _cmd_perf,
 }
 
 

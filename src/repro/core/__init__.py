@@ -16,12 +16,18 @@ from .engine import (
     GradClip,
     LossHistory,
     LRScheduler,
+    PerfCounters,
     ProgressLogger,
     SanitizerAttach,
     Timer,
 )
 from .evaluation import ParallelEvaluation, evaluate_parallel
-from .inference import ParallelPredictor, RolloutResult, SequentialPredictor
+from .inference import (
+    InferencePlan,
+    ParallelPredictor,
+    RolloutResult,
+    SequentialPredictor,
+)
 from .parallel_recurrent import (
     ParallelRecurrentResult,
     RecurrentRankResult,
@@ -66,6 +72,7 @@ __all__ = [
     "EarlyStopping",
     "Checkpointer",
     "SanitizerAttach",
+    "PerfCounters",
     "ProgressLogger",
     "save_checkpoint",
     "load_checkpoint",
@@ -91,6 +98,7 @@ __all__ = [
     "train_sequential_baseline",
     "ParallelPredictor",
     "SequentialPredictor",
+    "InferencePlan",
     "RolloutResult",
     "train_weight_averaging",
     "WeightAveragingResult",

@@ -5,6 +5,17 @@ embarrassingly parallel; for multi-step rollout the network input at
 step *t+1* needs the neighbour overlap of the *predicted* fields, which
 ranks obtain through the fully point-to-point halo exchange — no
 central instance, exactly as the paper prescribes.
+
+Rollout is the inference hot loop, so this module also hosts
+:class:`InferencePlan`: a per-model compilation of the fixed layer
+sequence into raw-ndarray steps whose scratch, GEMM outputs, and
+activation masks are all pre-bound to a private
+:class:`~repro.tensor.workspace.Workspace`.  After the first (warmup)
+step every buffer request hits a warm slot, so each subsequent rollout
+step — including the stretches between halo exchanges — runs without
+allocating.  Plan outputs are bit-identical to the module-by-module
+forward; the equivalence tests pin this per strategy and over seeded
+multi-step MPI rollouts on both execution backends.
 """
 
 from __future__ import annotations
@@ -17,8 +28,11 @@ from .. import mpi
 from ..domain.decomposition import BlockDecomposition
 from ..domain.halo import HaloExchanger
 from ..exceptions import ConfigurationError, ShapeError
-from ..nn import Module
-from ..tensor import Tensor, no_grad
+from ..nn import Conv2d, ConvTranspose2d, LeakyReLU, Module, Sequential
+from ..tensor import Tensor, no_grad, perf
+from ..tensor.im2col import col2im, conv_output_size
+from ..tensor.ops_conv import conv2d_forward
+from ..tensor.workspace import Workspace
 from .model import SubdomainCNN
 from .padding import PaddingStrategy
 
@@ -39,6 +53,199 @@ class RolloutResult:
         return self.trajectory.shape[0] - 1
 
 
+class _ConvStep:
+    """One (possibly activation-fused) convolution of a compiled plan."""
+
+    def __init__(self, index: int, layer: Conv2d, slope: float | None) -> None:
+        self.index = index
+        self.layer = layer
+        self.slope = slope  # fused leaky-ReLU negative slope, or None
+
+    def apply(self, x: np.ndarray, ws: Workspace, owned: bool) -> np.ndarray:
+        layer = self.layer
+        weight = layer.weight.data  # re-read each run: training may update it
+        n = x.shape[0]
+        k, s, p = layer.kernel_size, layer.stride, layer.padding
+        oh = conv_output_size(x.shape[2], k, s, p)
+        ow = conv_output_size(x.shape[3], k, s, p)
+        gemm = ws.request(
+            f"plan.conv{self.index}.gemm",
+            (n * oh * ow, layer.out_channels),
+            np.result_type(x.dtype, weight.dtype),
+        )
+        out, _, _, _, _ = conv2d_forward(
+            x,
+            weight,
+            None if layer.bias is None else layer.bias.data,
+            (s, s),
+            (p, p),
+            activation=None if self.slope is None else "leaky_relu",
+            negative_slope=self.slope if self.slope is not None else 0.01,
+            workspace=ws,
+            gemm_out=gemm,
+            slot_prefix=f"plan.conv{self.index}",
+        )
+        return out
+
+
+class _LeakyStep:
+    """A standalone leaky ReLU, applied in place on plan-owned storage."""
+
+    def __init__(self, index: int, slope: float) -> None:
+        self.index = index
+        self.slope = slope
+
+    def apply(self, x: np.ndarray, ws: Workspace, owned: bool) -> np.ndarray:
+        if not owned:
+            # Never mutate the caller's input array in place.
+            copy = ws.request(f"plan.leaky{self.index}.copy", x.shape, x.dtype)
+            np.copyto(copy, x)
+            x = copy
+        mask = ws.request(f"plan.leaky{self.index}.mask", x.shape, np.bool_)
+        np.less(x, 0.0, out=mask)
+        np.multiply(x, self.slope, out=x, where=mask)
+        return x
+
+
+class _ConvTransposeStep:
+    """A transposed convolution with workspace-backed scratch."""
+
+    def __init__(self, index: int, layer: ConvTranspose2d) -> None:
+        self.index = index
+        self.layer = layer
+
+    def apply(self, x: np.ndarray, ws: Workspace, owned: bool) -> np.ndarray:
+        layer = self.layer
+        weight = layer.weight.data
+        c, f = weight.shape[0], weight.shape[1]
+        n, _, h, w = x.shape
+        k, s, p = layer.kernel_size, layer.stride, layer.padding
+        oh = (h - 1) * s - 2 * p + k
+        ow = (w - 1) * s - 2 * p + k
+        wmat = weight.reshape(c, f * k * k)
+        # Same element order as the op's transpose-then-reshape copy,
+        # landed in a warm buffer instead of a fresh allocation.
+        xmat = ws.request(f"plan.tconv{self.index}.xmat", (n * h * w, c), x.dtype)
+        np.copyto(xmat.reshape(n, h, w, c), x.transpose(0, 2, 3, 1))
+        cols = ws.request(
+            f"plan.tconv{self.index}.cols",
+            (n * h * w, f * k * k),
+            np.result_type(x.dtype, weight.dtype),
+        )
+        np.matmul(xmat, wmat, out=cols)
+        out = col2im(cols, (n, f, oh, ow), (k, k), (s, s), (p, p), workspace=ws)
+        if layer.bias is not None:
+            out += layer.bias.data[None, :, None, None]
+        return out
+
+
+class InferencePlan:
+    """A model's layer sequence compiled to allocation-free steps.
+
+    Compilation flattens the module tree (``SubdomainCNN`` →
+    ``Sequential`` → layers), fuses every ``Conv2d`` directly followed
+    by a ``LeakyReLU`` into one GEMM-epilogue step, and binds all
+    scratch to a plan-owned :class:`Workspace`.  After the first
+    ``run`` call the arena is warm and subsequent runs create zero new
+    buffers (asserted in the tests via the perf-counter registry).
+
+    The plan holds *references* to the model's parameter storage, so it
+    stays valid across in-place weight updates; structural edits
+    (adding/removing layers) require recompiling.  Like the workspace
+    it owns, a plan belongs to one thread at a time.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when the model
+    contains a module the step vocabulary cannot express — use
+    :meth:`try_compile` to fall back to the module-by-module forward.
+    """
+
+    SUPPORTED = (Conv2d, ConvTranspose2d, LeakyReLU)
+
+    def __init__(self, model: Module, workspace: Workspace | None = None) -> None:
+        self.model = model
+        self.steps = self._compile(model)
+        if not self.steps:
+            raise ConfigurationError("InferencePlan: model has no layers")
+        # Each plan owns its arena: two plans sharing one workspace
+        # would collide on the per-step slot names.
+        self.workspace = (
+            workspace
+            if workspace is not None
+            else Workspace(name=f"plan-{type(model).__name__}")
+        )
+
+    @classmethod
+    def try_compile(
+        cls, model: Module, workspace: Workspace | None = None
+    ) -> "InferencePlan | None":
+        """Compile if possible, else ``None`` (caller keeps naive path)."""
+        try:
+            return cls(model, workspace=workspace)
+        except ConfigurationError:
+            return None
+
+    @staticmethod
+    def _flatten(module: Module) -> list[Module]:
+        if isinstance(module, SubdomainCNN):
+            module = module.layers
+        if isinstance(module, Sequential):
+            flat: list[Module] = []
+            for child in module:
+                flat.extend(InferencePlan._flatten(child))
+            return flat
+        return [module]
+
+    @classmethod
+    def _compile(cls, model: Module) -> list:
+        layers = cls._flatten(model)
+        for layer in layers:
+            if not isinstance(layer, cls.SUPPORTED):
+                raise ConfigurationError(
+                    f"InferencePlan cannot compile {type(layer).__name__}"
+                )
+        steps: list = []
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            if isinstance(layer, Conv2d):
+                follower = layers[i + 1] if i + 1 < len(layers) else None
+                if isinstance(follower, LeakyReLU):
+                    steps.append(_ConvStep(len(steps), layer, follower.negative_slope))
+                    i += 2
+                    continue
+                steps.append(_ConvStep(len(steps), layer, None))
+            elif isinstance(layer, ConvTranspose2d):
+                steps.append(_ConvTransposeStep(len(steps), layer))
+            else:  # LeakyReLU not preceded by a Conv2d
+                steps.append(_LeakyStep(len(steps), layer.negative_slope))
+            i += 1
+        return steps
+
+    def run(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Forward ``x`` (N, C, H, W) through the compiled steps.
+
+        Intermediate results live entirely in the plan's workspace; the
+        final result is copied out (into ``out`` when given) because
+        arena storage is recycled by the next ``run``.
+        """
+        data = np.asarray(x)
+        if data.ndim != 4:
+            raise ShapeError(f"InferencePlan.run expects (N, C, H, W), got {data.shape}")
+        with perf.timed("plan.run"):
+            h = data
+            owned = False
+            for step in self.steps:
+                h = step.apply(h, self.workspace, owned)
+                owned = True
+            if out is not None:
+                np.copyto(out, h)
+                return out
+            return h.copy()
+
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return self.run(x, out=out)
+
+
 class ParallelPredictor:
     """Drives P trained subdomain networks as a coupled surrogate.
 
@@ -50,6 +257,10 @@ class ParallelPredictor:
         The block decomposition used during training.
     fill:
         Physical-boundary halo fill, matching training.
+    use_plan:
+        Compile each model to an :class:`InferencePlan` once, so rollout
+        steps reuse warm workspace buffers (bit-identical results).
+        Models the plan cannot express fall back to the module forward.
     """
 
     def __init__(
@@ -57,6 +268,7 @@ class ParallelPredictor:
         models: list[SubdomainCNN],
         decomposition: BlockDecomposition,
         fill: str = "zero",
+        use_plan: bool = True,
     ) -> None:
         if len(models) != decomposition.num_subdomains:
             raise ConfigurationError(
@@ -78,18 +290,27 @@ class ParallelPredictor:
         self.decomposition = decomposition
         self.fill = fill
         self.halo = models[0].input_halo
+        # Compiled once per model; plans hold references to parameter
+        # storage, so later in-place weight updates stay visible.
+        self._plans = [
+            InferencePlan.try_compile(m) if use_plan else None for m in models
+        ]
 
     # ------------------------------------------------------------------
-    def predict_step(self, state: np.ndarray) -> np.ndarray:
+    def predict_step(self, state: np.ndarray, execution: str = "threads") -> np.ndarray:
         """One global step ``t -> t+1`` (embarrassingly parallel)."""
-        return self.rollout(state, num_steps=1).trajectory[1]
+        return self.rollout(state, num_steps=1, execution=execution).trajectory[1]
 
-    def rollout(self, initial: np.ndarray, num_steps: int) -> RolloutResult:
+    def rollout(
+        self, initial: np.ndarray, num_steps: int, execution: str = "threads"
+    ) -> RolloutResult:
         """Autoregressive multi-step prediction from a global field.
 
         ``initial`` has shape ``(C, H, W)``; each step exchanges halos
         (when the strategy uses neighbour data), forwards the local
         network, and feeds the prediction back as the next input.
+        ``execution`` selects the MPI runtime backend (``"threads"`` or
+        ``"processes"``); results are identical either way.
         """
         if num_steps < 1:
             raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
@@ -105,6 +326,7 @@ class ParallelPredictor:
         def program(comm: mpi.Communicator):
             local = decomposition.extract(initial, comm.rank)
             model = self.models[comm.rank]
+            plan = self._plans[comm.rank]
             exchanger = (
                 HaloExchanger(comm, decomposition, halo, self.fill)
                 if halo > 0
@@ -126,9 +348,13 @@ class ParallelPredictor:
                     net_input = local
                 else:  # pragma: no cover - excluded in __init__
                     raise ConfigurationError(f"strategy {self.strategy} cannot roll out")
-                with no_grad():
-                    prediction = model(Tensor(net_input[None]))
-                local = prediction.numpy()[0]
+                if plan is not None:
+                    # Allocation-free after the first (warmup) step.
+                    local = plan.run(net_input[None])[0]
+                else:
+                    with no_grad():
+                        prediction = model(Tensor(net_input[None]))
+                    local = prediction.numpy()[0]
                 if local.shape[-2:] != trajectory[0].shape[-2:]:
                     raise ShapeError(
                         f"network output {local.shape[-2:]} does not match the "
@@ -137,7 +363,7 @@ class ParallelPredictor:
                 trajectory.append(local)
             return np.stack(trajectory), messages, volume
 
-        rank_outputs = mpi.run_parallel(program, size)
+        rank_outputs = mpi.run_parallel(program, size, backend=execution)
         pieces = [out[0] for out in rank_outputs]
         messages = sum(out[1] for out in rank_outputs)
         volume = sum(out[2] for out in rank_outputs)
@@ -163,8 +389,9 @@ def _strip_volumes(local_shape: tuple[int, ...], halo: int, exchanger: HaloExcha
 class SequentialPredictor:
     """Reference single-network predictor on the undecomposed domain."""
 
-    def __init__(self, model: Module) -> None:
+    def __init__(self, model: Module, use_plan: bool = True) -> None:
         self.model = model
+        self._plan = InferencePlan.try_compile(model) if use_plan else None
 
     def rollout(self, initial: np.ndarray, num_steps: int) -> RolloutResult:
         """Autoregressive rollout with one network (no communication).
@@ -185,6 +412,9 @@ class SequentialPredictor:
                     # The physical-boundary halo is plain zero padding.
                     pad = ((0, 0), (halo, halo), (halo, halo))
                     net_input = np.pad(state, pad)
-                state = self.model(Tensor(net_input[None])).numpy()[0]
+                if self._plan is not None:
+                    state = self._plan.run(net_input[None])[0]
+                else:
+                    state = self.model(Tensor(net_input[None])).numpy()[0]
                 trajectory.append(state)
         return RolloutResult(np.stack(trajectory), messages_sent=0, bytes_sent=0)

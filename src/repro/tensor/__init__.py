@@ -50,8 +50,16 @@ from .ops_elementwise import (  # noqa: E402
 from .ops_reduce import tensor_max, tensor_mean, tensor_min, tensor_sum  # noqa: E402
 from .ops_shape import concatenate, flip, getitem, pad, reshape, stack, transpose  # noqa: E402
 from .ops_matmul import matmul  # noqa: E402
-from .ops_conv import conv2d, conv_transpose2d  # noqa: E402
+from .ops_conv import conv2d, conv2d_forward, conv_transpose2d  # noqa: E402
 from .im2col import col2im, conv_output_size, im2col  # noqa: E402
+from . import perf  # noqa: E402
+from .fused import add_, bias_leaky_relu_, leaky_relu_, mul_  # noqa: E402
+from .workspace import (  # noqa: E402
+    Workspace,
+    WorkspaceStats,
+    get_workspace,
+    workspace_disabled,
+)
 
 # Friendlier functional aliases.
 abs = absolute  # noqa: A001 - intentional shadow inside the namespace
@@ -105,8 +113,19 @@ __all__ = [
     "flip",
     "matmul",
     "conv2d",
+    "conv2d_forward",
     "conv_transpose2d",
     "im2col",
     "col2im",
     "conv_output_size",
+    # workspace / fused / perf layer
+    "Workspace",
+    "WorkspaceStats",
+    "get_workspace",
+    "workspace_disabled",
+    "perf",
+    "add_",
+    "mul_",
+    "leaky_relu_",
+    "bias_leaky_relu_",
 ]

@@ -1,0 +1,13 @@
+"""Fixture with planted REP007 violations (never imported, only linted)."""
+
+from repro.tensor import Workspace
+from repro.tensor import workspace
+
+
+def rogue_private_arena():
+    # A private arena outside the sanctioned modules: its buffers are
+    # invisible to the shared reuse accounting, and a second owner of
+    # the same slots could hand out scratch this one still holds.
+    arena = Workspace(name="rogue")
+    other = workspace.Workspace(name="also-rogue")
+    return arena, other

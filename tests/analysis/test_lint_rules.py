@@ -381,6 +381,59 @@ class TestRep006:
         assert lint_snippet(source, rules={"REP006"}) == []
 
 
+# ----------------------------------------------------------------------
+# REP007 — Workspace construction outside the sanctioned modules
+# ----------------------------------------------------------------------
+class TestRep007:
+    def test_bare_construction_flagged(self):
+        hits = lint_snippet("ws = Workspace()\n", rules={"REP007"})
+        assert [v.rule for v in hits] == ["REP007"]
+        assert "get_workspace" in hits[0].message
+
+    def test_qualified_construction_flagged(self):
+        source = "from repro.tensor import workspace\nws = workspace.Workspace(name='mine')\n"
+        hits = lint_snippet(source, rules={"REP007"})
+        assert [v.rule for v in hits] == ["REP007"]
+
+    def test_tensor_package_sanctioned(self):
+        assert (
+            lint_snippet(
+                "ws = Workspace()\n",
+                path="src/repro/tensor/workspace.py",
+                rules={"REP007"},
+            )
+            == []
+        )
+
+    def test_inference_module_sanctioned(self):
+        assert (
+            lint_snippet(
+                "plan_ws = Workspace(name='plan')\n",
+                path="src/repro/core/inference.py",
+                rules={"REP007"},
+            )
+            == []
+        )
+
+    def test_other_core_modules_flagged(self):
+        hits = lint_snippet(
+            "ws = Workspace()\n", path="src/repro/core/engine.py", rules={"REP007"}
+        )
+        assert [v.rule for v in hits] == ["REP007"]
+
+    def test_request_calls_not_flagged(self):
+        for source in (
+            "buf = ws.request('slot', (4, 4), float)\n",
+            "ws = get_workspace()\n",
+            "stats = WorkspaceStats()\n",
+        ):
+            assert lint_snippet(source, rules={"REP007"}) == []
+
+    def test_noqa_suppression(self):
+        source = "ws = Workspace()  # noqa: REP007\n"
+        assert lint_snippet(source, rules={"REP007"}) == []
+
+
 def test_unknown_rule_id_rejected():
     from repro.analysis import lint_paths
 

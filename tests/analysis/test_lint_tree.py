@@ -29,6 +29,7 @@ def test_planted_fixtures_are_caught(capsys):
     assert "REP003" in output
     assert "REP005" in output
     assert "REP006" in output
+    assert "REP007" in output
 
 
 def test_fixture_report_details():
@@ -44,6 +45,9 @@ def test_fixture_report_details():
     assert rep005[0].path.endswith("planted_rep005.py")
     rep006 = [v for v in report.violations if v.rule == "REP006"]
     assert rep006[0].path.endswith("planted_rep006.py")
+    assert report.count("REP007") >= 2  # bare name AND module-qualified
+    rep007 = [v for v in report.violations if v.rule == "REP007"]
+    assert rep007[0].path.endswith("planted_rep007.py")
 
 
 def test_rule_subset_runs_only_selected():

@@ -250,6 +250,35 @@ class TestEarlyStopping:
             EarlyStopping(patience=1, min_delta=-0.1)
 
 
+class TestPerfCounters:
+    def test_fit_populates_perf_report(self):
+        from repro.core import PerfCounters
+        from repro.tensor import perf
+
+        config = TrainingConfig(epochs=2, batch_size=5, lr=0.01, loss="mse", seed=0)
+        lines = []
+        engine = Engine(
+            small_model(), config, callbacks=(PerfCounters(log=lines.append),)
+        )
+        engine.fit(toy_dataset())
+        assert engine.perf_report is not None
+        assert engine.perf_report["conv2d"].calls > 0
+        assert engine.perf_report["conv2d"].seconds > 0.0
+        assert any("conv2d" in line for line in lines)
+        # The callback restores the registry's prior (disabled) state.
+        assert not perf.perf_enabled()
+
+    def test_training_identical_with_and_without_counters(self):
+        from repro.core import PerfCounters
+
+        config = TrainingConfig(epochs=3, batch_size=5, lr=0.01, loss="mse", seed=0)
+        plain = Engine(small_model(), config).fit(toy_dataset())
+        counted = Engine(
+            small_model(), config, callbacks=(PerfCounters(),)
+        ).fit(toy_dataset())
+        assert plain.epoch_losses == counted.epoch_losses
+
+
 class TestCheckpointer:
     def test_best_checkpoint_tracks_minimum(self, tmp_path):
         best = tmp_path / "best.npz"

@@ -5,6 +5,7 @@ import pytest
 
 from repro.exceptions import ShapeError
 from repro.tensor.im2col import col2im, conv_output_size, im2col
+from repro.tensor.workspace import Workspace
 
 
 def reference_im2col(x, kernel, stride, padding):
@@ -86,3 +87,114 @@ class TestCol2Im:
         x = rng.standard_normal((1, 2, 6, 6))
         cols, _ = im2col(x, (3, 3), (3, 3))
         assert np.allclose(col2im(cols, x.shape, (3, 3), (3, 3)), x)
+
+
+class TestEdgeCases:
+    """Configurations the conv tests never exercise: stride > 1 with
+    padding, asymmetric kernels (kh != kw), and batched inputs."""
+
+    def test_strided_and_padded(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9))
+        cols, dims = im2col(x, (3, 3), (2, 2), (1, 1))
+        ref, ref_dims = reference_im2col(x, (3, 3), (2, 2), (1, 1))
+        assert dims == ref_dims == (5, 5)
+        assert np.allclose(cols, ref)
+
+    def test_strided_padded_adjoint(self, rng):
+        """The adjoint identity must hold with stride AND padding active
+        (the scatter loop's bounds interact with both)."""
+        shape = (2, 2, 9, 8)
+        x = rng.standard_normal(shape)
+        cols, _ = im2col(x, (3, 3), (2, 2), (1, 1))
+        y = rng.standard_normal(cols.shape)
+        back = col2im(y, shape, (3, 3), (2, 2), (1, 1))
+        assert np.isclose(np.sum(cols * y), np.sum(x * back))
+
+    @pytest.mark.parametrize("kernel", [(1, 5), (5, 1), (2, 4)])
+    def test_asymmetric_kernels(self, rng, kernel):
+        x = rng.standard_normal((1, 3, 8, 8))
+        stride, padding = (1, 1), (0, 0)
+        cols, dims = im2col(x, kernel, stride, padding)
+        ref, ref_dims = reference_im2col(x, kernel, stride, padding)
+        assert dims == ref_dims
+        assert np.allclose(cols, ref)
+
+    def test_asymmetric_kernel_adjoint(self, rng):
+        shape = (1, 2, 7, 9)
+        x = rng.standard_normal(shape)
+        cols, _ = im2col(x, (2, 4), (1, 2), (1, 0))
+        y = rng.standard_normal(cols.shape)
+        back = col2im(y, shape, (2, 4), (1, 2), (1, 0))
+        assert np.isclose(np.sum(cols * y), np.sum(x * back))
+
+    def test_batched_matches_reference(self, rng):
+        x = rng.standard_normal((4, 3, 6, 6))
+        cols, dims = im2col(x, (3, 3), (1, 1), (1, 1))
+        ref, ref_dims = reference_im2col(x, (3, 3), (1, 1), (1, 1))
+        assert dims == ref_dims
+        assert np.allclose(cols, ref)
+
+    def test_batched_rows_are_per_sample(self, rng):
+        """Batch rows must be grouped per sample: the first N*OH*OW/N
+        rows of a batch must equal the single-sample result."""
+        x = rng.standard_normal((3, 2, 5, 5))
+        cols, (oh, ow) = im2col(x, (3, 3))
+        single, _ = im2col(x[1:2], (3, 3))
+        rows = oh * ow
+        assert np.array_equal(cols[rows : 2 * rows], single)
+
+
+class TestWorkspacePath:
+    """The arena-backed path must be bit-identical to the naive path."""
+
+    @pytest.mark.parametrize("stride", [(1, 1), (2, 2)])
+    @pytest.mark.parametrize("padding", [(0, 0), (1, 1), (2, 0)])
+    def test_im2col_identical(self, rng, stride, padding):
+        ws = Workspace()
+        x = rng.standard_normal((2, 3, 9, 9))
+        naive, dims = im2col(x, (3, 3), stride, padding)
+        warm, warm_dims = im2col(x, (3, 3), stride, padding, workspace=ws)
+        assert dims == warm_dims
+        assert np.array_equal(naive, warm)
+        # Second call reuses every buffer and still matches.
+        created = ws.stats.buffers_created
+        again, _ = im2col(x, (3, 3), stride, padding, workspace=ws)
+        assert np.array_equal(naive, again)
+        assert ws.stats.buffers_created == created
+
+    @pytest.mark.parametrize("padding", [(0, 0), (1, 1), (2, 1)])
+    def test_col2im_identical(self, rng, padding):
+        ws = Workspace()
+        shape = (2, 3, 8, 8)
+        cols, _ = im2col(rng.standard_normal(shape), (3, 3), (1, 1), padding)
+        y = rng.standard_normal(cols.shape)
+        naive = col2im(y, shape, (3, 3), (1, 1), padding)
+        warm = col2im(y, shape, (3, 3), (1, 1), padding, workspace=ws)
+        assert np.array_equal(naive, warm)
+        # The scatter base is re-zeroed on every request, so repeated
+        # calls must not accumulate.
+        again = col2im(y, shape, (3, 3), (1, 1), padding, workspace=ws)
+        assert np.array_equal(naive, again)
+
+    def test_padded_slots_keyed_by_split(self, rng):
+        """Two calls with the same padded shape but different (ph, pw)
+        splits must not share a padded scratch buffer: the zero borders
+        live in different places, so a shared buffer would leak one
+        call's interior into the other's border.  Results are copied
+        out immediately — arena views are invalidated by the next call.
+        """
+        ws = Workspace()
+        x_a = rng.standard_normal((1, 1, 6, 8))  # padded to 8x8 via (1, 0)
+        x_b = rng.standard_normal((1, 1, 8, 6))  # padded to 8x8 via (0, 1)
+        ref_a, _ = im2col(x_a, (3, 3), (1, 1), (1, 0))
+        ref_b, _ = im2col(x_b, (3, 3), (1, 1), (0, 1))
+        a1 = im2col(x_a, (3, 3), (1, 1), (1, 0), workspace=ws)[0].copy()
+        b1 = im2col(x_b, (3, 3), (1, 1), (0, 1), workspace=ws)[0].copy()
+        a2 = im2col(x_a, (3, 3), (1, 1), (1, 0), workspace=ws)[0].copy()
+        assert np.array_equal(a1, ref_a)
+        assert np.array_equal(b1, ref_b)
+        assert np.array_equal(a2, ref_a)
+        # Distinct padded slots were created for the two splits.
+        slots = {key[0] for key in ws._buffers}
+        assert "im2col.padded.1x0" in slots
+        assert "im2col.padded.0x1" in slots

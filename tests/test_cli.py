@@ -13,7 +13,7 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("generate", "train", "evaluate", "scaling", "table1"):
+        for command in ("generate", "train", "evaluate", "scaling", "table1", "perf"):
             if command == "generate":
                 args = parser.parse_args([command, "out.npz"])
             elif command in ("train", "evaluate"):
@@ -152,3 +152,27 @@ class TestScalingCommand:
         out = capsys.readouterr().out
         assert "Fig. 4" in out
         assert "speedup" in out
+
+
+class TestPerfCommand:
+    def test_prints_report(self, capsys):
+        code = main(
+            [
+                "perf",
+                "--grid-size",
+                "16",
+                "--steps",
+                "2",
+                "--repeats",
+                "1",
+                "--pgrid",
+                "1",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "plan.run" in out
+        assert "im2col" in out
+        assert "workspace" in out
