@@ -20,6 +20,22 @@ the hint.
 The default tolerance is deliberately loose (1.5x): this gate exists to
 catch "the fused path silently fell back to the naive one" (2-3x), not
 5% drift.
+
+A second, independent mode diffs the per-rank communication fraction of
+two ``repro trace`` summary files (the ``<out>.summary.json`` written
+next to every chrome trace)::
+
+    python scripts/bench_compare.py \
+        --summary-baseline baseline.summary.json \
+        --summary-current  fresh.summary.json \
+        --comm-tolerance 0.10
+
+A rank is a regression when its current ``comm_fraction`` exceeds the
+baseline's by more than ``--comm-tolerance`` *absolute* points (0.10 =
+ten percentage points).  Fractions are compared absolutely rather than
+as ratios because a 0.01 -> 0.03 jump is noise while 0.30 -> 0.45 is a
+real shift in the compute/communication balance.  Both modes can run in
+one invocation; exit status is 1 when either finds a regression.
 """
 
 from __future__ import annotations
@@ -69,25 +85,108 @@ def compare(
     return lines, regressions
 
 
+def load_summary(path: pathlib.Path) -> dict[str, dict]:
+    try:
+        summary = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"bench_compare: no such file: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {exc}")
+    if not isinstance(summary, dict):
+        sys.exit(f"bench_compare: {path} is not a trace summary (expected an object)")
+    return summary
+
+
+def compare_comm(
+    baseline: dict[str, dict], current: dict[str, dict], tolerance: float
+) -> tuple[list[str], int]:
+    """Diff per-rank comm_fraction; returns (lines, regression_count).
+
+    ``tolerance`` is an *absolute* delta in fraction points.  Ranks
+    present on only one side are reported but never fail the run
+    (rank counts legitimately change between scaling configurations).
+    """
+    lines = [f"{'rank':<8} {'base comm%':>11} {'cur comm%':>11} {'delta':>8}  verdict"]
+    regressions = 0
+    for rank in sorted(set(baseline) | set(current), key=lambda r: (r == "driver", r)):
+        base = baseline.get(rank)
+        cur = current.get(rank)
+        if base is None:
+            lines.append(f"{rank:<8} {'-':>11} {100 * cur['comm_fraction']:>10.1f}% {'-':>8}  new (no baseline)")
+            continue
+        if cur is None:
+            lines.append(f"{rank:<8} {100 * base['comm_fraction']:>10.1f}% {'-':>11} {'-':>8}  missing from current run")
+            continue
+        base_f = float(base["comm_fraction"])
+        cur_f = float(cur["comm_fraction"])
+        delta = cur_f - base_f
+        if delta > tolerance:
+            verdict = f"REGRESSION (> +{100 * tolerance:.0f} pts)"
+            regressions += 1
+        elif delta < -tolerance:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{rank:<8} {100 * base_f:>10.1f}% {100 * cur_f:>10.1f}% "
+            f"{100 * delta:>+7.1f}p  {verdict}"
+        )
+    return lines, regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+    parser.add_argument("--baseline", type=pathlib.Path,
                         help="committed BENCH_<module>.json")
-    parser.add_argument("--current", required=True, type=pathlib.Path,
+    parser.add_argument("--current", type=pathlib.Path,
                         help="freshly generated BENCH_<module>.json")
     parser.add_argument("--tolerance", type=float, default=1.5,
                         help="fail when current > baseline * tolerance "
                         "(default: %(default)s)")
+    parser.add_argument("--summary-baseline", type=pathlib.Path,
+                        help="baseline repro-trace <out>.summary.json")
+    parser.add_argument("--summary-current", type=pathlib.Path,
+                        help="fresh repro-trace <out>.summary.json")
+    parser.add_argument("--comm-tolerance", type=float, default=0.10,
+                        help="fail when a rank's comm_fraction grows by more "
+                        "than this absolute delta (default: %(default)s)")
     args = parser.parse_args(argv)
     if args.tolerance <= 1.0:
         parser.error(f"--tolerance must be > 1.0, got {args.tolerance}")
+    if not 0.0 < args.comm_tolerance < 1.0:
+        parser.error(f"--comm-tolerance must be in (0, 1), got {args.comm_tolerance}")
+    if bool(args.baseline) != bool(args.current):
+        parser.error("--baseline and --current must be given together")
+    if bool(args.summary_baseline) != bool(args.summary_current):
+        parser.error("--summary-baseline and --summary-current must be given together")
+    if not args.baseline and not args.summary_baseline:
+        parser.error("nothing to compare: give --baseline/--current and/or "
+                     "--summary-baseline/--summary-current")
 
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
-    lines, regressions = compare(baseline, current, args.tolerance)
-    print("\n".join(lines))
+    regressions = 0
+    if args.baseline:
+        baseline = load_records(args.baseline)
+        current = load_records(args.current)
+        lines, bench_regressions = compare(baseline, current, args.tolerance)
+        print("\n".join(lines))
+        if bench_regressions:
+            print(f"\n{bench_regressions} regression(s) beyond "
+                  f"{args.tolerance:.2f}x tolerance")
+        regressions += bench_regressions
+    if args.summary_baseline:
+        if args.baseline:
+            print()
+        base_summary = load_summary(args.summary_baseline)
+        cur_summary = load_summary(args.summary_current)
+        lines, comm_regressions = compare_comm(
+            base_summary, cur_summary, args.comm_tolerance
+        )
+        print("\n".join(lines))
+        if comm_regressions:
+            print(f"\n{comm_regressions} rank(s) with comm_fraction up more "
+                  f"than {100 * args.comm_tolerance:.0f} points")
+        regressions += comm_regressions
     if regressions:
-        print(f"\n{regressions} regression(s) beyond {args.tolerance:.2f}x tolerance")
         return 1
     print("\nno regressions")
     return 0

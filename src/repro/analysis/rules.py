@@ -64,6 +64,9 @@ RULES: dict[str, str] = {
     "REP007": "Workspace arena constructed outside src/repro/tensor/ and "
     "src/repro/core/inference.py — callers must request buffers from an "
     "existing arena, not build private ones",
+    "REP008": "raw time.perf_counter() outside the observability layer — "
+    "timing must go through repro.obs.trace.clock so spans and ad-hoc "
+    "timers share one clock and one trace timeline",
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
@@ -718,6 +721,59 @@ def rule_rep007(ctx: FileContext) -> Iterator[Violation]:
         )
 
 
+# ======================================================================
+# REP008 — raw perf_counter timing outside the observability layer
+# ======================================================================
+#: Where reading time.perf_counter() directly is legitimate: the obs
+#: package (which *defines* the sanctioned clock and the wall-clock
+#: anchor), the tensor perf registry (pre-dates obs; its counters feed
+#: the same timeline), and benchmarks (standalone timing harnesses).
+#: Everywhere else, a private perf_counter() reading produces timestamps
+#: that cannot be aligned with the trace timeline — call
+#: ``repro.obs.trace.clock()`` (the same function, re-exported) or open
+#: a span instead.
+_REP008_SANCTIONED_DIRS = ("obs", "benchmarks")
+_REP008_SANCTIONED_SUFFIX = "tensor/perf.py"
+
+#: Call spellings that read the raw monotonic clock.
+_REP008_CLOCK_CALLS = {"perf_counter", "perf_counter_ns"}
+
+
+def rule_rep008(ctx: FileContext) -> Iterator[Violation]:
+    posix = ctx.path.replace("\\", "/")
+    parts = posix.split("/")
+    if any(fragment in parts for fragment in _REP008_SANCTIONED_DIRS):
+        return
+    if posix.endswith(_REP008_SANCTIONED_SUFFIX):
+        return
+
+    def hit(node: ast.AST, what: str) -> Violation:
+        return Violation(
+            "REP008",
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            f"{what}: raw perf_counter readings cannot be aligned with "
+            "the trace timeline — use repro.obs.trace.clock() (the same "
+            "monotonic clock, shared with every span) or wrap the region "
+            "in trace.span(...), or suppress with '# noqa: REP008' plus "
+            "a justification",
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in _REP008_CLOCK_CALLS and (
+                name == leaf or name.startswith("time.")
+            ):
+                yield hit(node, f"call to {name}()")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _REP008_CLOCK_CALLS:
+                    yield hit(node, f"'from time import {alias.name}'")
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
@@ -726,6 +782,7 @@ _FILE_RULES = {
     "REP005": rule_rep005,
     "REP006": rule_rep006,
     "REP007": rule_rep007,
+    "REP008": rule_rep008,
 }
 
 

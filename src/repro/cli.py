@@ -13,7 +13,15 @@ Subcommands cover the full workflow:
 - ``repro check``     — runtime verification: gradcheck every
   registered op, optionally smoke-test the sanitizers,
 - ``repro perf``      — op-level perf report: naive vs fused/workspace
-  conv forward and an allocation-free ``InferencePlan`` rollout.
+  conv forward and an allocation-free ``InferencePlan`` rollout,
+- ``repro trace``     — record a traced rollout (or convert a JSONL
+  event log) into a chrome://tracing timeline plus a per-rank
+  compute/communication summary.
+
+``repro train`` / ``repro evaluate`` / ``repro scaling`` additionally
+accept ``--trace <path>``, which runs the command under the
+:mod:`repro.obs` tracer and writes the merged timeline (every rank, on
+every backend) next to the command's normal output.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -22,10 +30,39 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import contextlib
+import pathlib
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
+
+
+@contextlib.contextmanager
+def _trace_session(path: str | None) -> Iterator[None]:
+    """Run the body traced; export Chrome JSON + JSONL + summary after.
+
+    ``path`` is the Chrome-trace output; the raw event log and the
+    per-rank summary JSON are written alongside it (``.jsonl`` /
+    ``.summary.json``).  No-op when ``path`` is ``None``.
+    """
+    if path is None:
+        yield
+        return
+    from .obs import export, trace
+
+    trace.reset()
+    with trace.tracing():
+        yield
+    spans, metrics = trace.spans(), trace.metrics()
+    out = pathlib.Path(path)
+    export.write_chrome_trace(out, spans, metrics)
+    jsonl = export.write_jsonl(out.with_suffix(".jsonl"), spans, metrics)
+    summary = export.write_summary(out.with_suffix(".summary.json"), spans)
+    print(export.format_summary(spans))
+    print(f"chrome trace: {out} (load via chrome://tracing)")
+    print(f"event log:    {jsonl}")
+    print(f"summary json: {summary}")
 
 
 def _add_generate(subparsers) -> None:
@@ -95,6 +132,7 @@ def _add_train(subparsers) -> None:
         help="stop a rank early after this many epochs without improvement "
         "(monitors validation loss with --validate, else training loss)",
     )
+    _add_trace_flag(parser)
 
 
 def _add_evaluate(subparsers) -> None:
@@ -105,6 +143,7 @@ def _add_evaluate(subparsers) -> None:
     parser.add_argument("--dataset", help="dataset (.npz); regenerated if omitted")
     parser.add_argument("--snapshots", type=int, default=150)
     parser.add_argument("--steps", type=int, default=1, help="rollout depth")
+    _add_trace_flag(parser)
 
 
 def _add_scaling(subparsers) -> None:
@@ -127,6 +166,18 @@ def _add_scaling(subparsers) -> None:
         default="processes",
         choices=["threads", "processes"],
         help="backend for --timing measured (default: processes)",
+    )
+    _add_trace_flag(parser)
+
+
+def _add_trace_flag(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a repro.obs trace of this run and write a "
+        "chrome://tracing timeline to PATH (plus .jsonl event log and "
+        ".summary.json per-rank breakdown alongside)",
     )
 
 
@@ -175,12 +226,51 @@ def _add_perf(subparsers) -> None:
     parser.add_argument("--pgrid", type=int, nargs=2, default=(2, 2), metavar=("PY", "PX"))
     parser.add_argument("--strategy", default="neighbor_first")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--execution",
+        default="threads",
+        choices=["threads", "processes"],
+        help="rollout backend; counters from process ranks merge into "
+        "the parent's report via the obs aggregation path",
+    )
+
+
+def _add_trace_cmd(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="record a traced halo-exchange rollout and export the "
+        "timeline (chrome://tracing JSON + JSONL + per-rank summary)",
+    )
+    parser.add_argument("output", help="Chrome-trace JSON output path")
+    parser.add_argument(
+        "--from",
+        dest="from_path",
+        metavar="EVENTS.JSONL",
+        help="convert an existing JSONL event log instead of running a workload",
+    )
+    parser.add_argument("--grid-size", type=int, default=64)
+    parser.add_argument("--steps", type=int, default=3, help="rollout steps")
+    parser.add_argument("--pgrid", type=int, nargs=2, default=(2, 2), metavar=("PY", "PX"))
+    parser.add_argument("--strategy", default="neighbor_first")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--execution",
+        default="threads",
+        choices=["threads", "processes"],
+        help="MPI backend for the rollout ranks",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel machine learning of PDEs (IPDPS/PDSEC 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="verbosity of the repro logger (progress lines emit at info)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_generate(subparsers)
@@ -191,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lint(subparsers)
     _add_check(subparsers)
     _add_perf(subparsers)
+    _add_trace_cmd(subparsers)
     return parser
 
 
@@ -419,11 +510,10 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_perf(args) -> int:
-    import time
-
     from . import tensor as T
     from .core import InferencePlan, ParallelPredictor, build_paper_cnn
     from .domain.decomposition import BlockDecomposition
+    from .obs import trace
     from .tensor import no_grad, perf, workspace_disabled
 
     rng = np.random.default_rng(args.seed)
@@ -445,9 +535,9 @@ def _cmd_perf(args) -> int:
         fn()  # warmup (BLAS thread pools, page faults, arena fill)
         best = float("inf")
         for _ in range(max(1, args.repeats)):
-            start = time.perf_counter()
+            start = trace.clock()
             fn()
-            best = min(best, time.perf_counter() - start)
+            best = min(best, trace.clock() - start)
         return best
 
     naive_s = best_of(fwd_naive)
@@ -458,8 +548,9 @@ def _cmd_perf(args) -> int:
     print(f"  speedup: {naive_s / plan_s:.2f}x")
     print(f"  {plan.workspace.describe()}")
 
-    # Rollout on the THREAD backend: the perf registry is process-local,
-    # so thread-backed ranks all record into the one report below.
+    # Rollout counters cover every rank on either backend: thread ranks
+    # share this registry directly; process ranks ship their snapshot
+    # back through the obs aggregation path at shutdown.
     py, px = args.pgrid
     models = [
         build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed + r))
@@ -469,9 +560,52 @@ def _cmd_perf(args) -> int:
     initial = rng.standard_normal((4, size, size))
     perf.reset()
     with perf.collecting():
-        predictor.rollout(initial, num_steps=args.steps, execution="threads")
-    print(f"\nrollout: {args.steps} steps on a {py}x{px} grid (thread backend)")
+        predictor.rollout(initial, num_steps=args.steps, execution=args.execution)
+    print(f"\nrollout: {args.steps} steps on a {py}x{px} grid ({args.execution} backend)")
     print(perf.format_report())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import export, trace
+
+    if args.from_path:
+        spans, metrics = export.read_jsonl(args.from_path)
+        export.write_chrome_trace(args.output, spans, metrics)
+        print(export.format_summary(spans))
+        print(f"chrome trace: {args.output} (load via chrome://tracing)")
+        return 0
+
+    from .core import ParallelPredictor, build_paper_cnn
+    from .domain.decomposition import BlockDecomposition
+
+    rng = np.random.default_rng(args.seed)
+    size = args.grid_size
+    py, px = args.pgrid
+    models = [
+        build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed + r))
+        for r in range(py * px)
+    ]
+    predictor = ParallelPredictor(models, BlockDecomposition((size, size), (py, px)))
+    initial = rng.standard_normal((4, size, size))
+    trace.reset()
+    with trace.tracing():
+        predictor.rollout(initial, num_steps=args.steps, execution=args.execution)
+    spans, metrics = trace.spans(), trace.metrics()
+    out = pathlib.Path(args.output)
+    export.write_chrome_trace(out, spans, metrics)
+    jsonl = export.write_jsonl(
+        out.with_suffix(".jsonl"),
+        spans,
+        metrics,
+        meta={"workload": "rollout", "execution": args.execution, "ranks": py * px},
+    )
+    summary = export.write_summary(out.with_suffix(".summary.json"), spans)
+    print(f"rollout: {args.steps} steps on a {py}x{px} grid ({args.execution} backend)")
+    print(export.format_summary(spans))
+    print(f"chrome trace: {out} (load via chrome://tracing)")
+    print(f"event log:    {jsonl}")
+    print(f"summary json: {summary}")
     return 0
 
 
@@ -484,12 +618,17 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "check": _cmd_check,
     "perf": _cmd_perf,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from .obs import log as obs_log
+
+    obs_log.configure(args.log_level.upper())
+    with _trace_session(getattr(args, "trace", None)):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

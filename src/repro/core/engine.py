@@ -31,13 +31,14 @@ else under ``src/repro``; this module is the one sanctioned home.
 from __future__ import annotations
 
 import inspect
-import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn import Module, get_loss, loss_class
+from ..obs import trace
+from ..obs.log import progress as _log_progress
 from ..optim import (
     LRSchedule,
     Optimizer,
@@ -182,20 +183,20 @@ class LossHistory(Callback):
 
 
 class Timer(Callback):
-    """perf_counter epoch timing into ``engine.history.epoch_times``
+    """Monotonic epoch timing into ``engine.history.epoch_times``
     plus total fit wall time on ``engine.fit_time``."""
 
     def on_fit_start(self, engine: "Engine") -> None:
-        self._fit_start = time.perf_counter()
+        self._fit_start = trace.clock()
 
     def on_epoch_start(self, engine: "Engine") -> None:
-        self._epoch_start = time.perf_counter()
+        self._epoch_start = trace.clock()
 
     def on_epoch_end(self, engine: "Engine") -> None:
-        engine.history.epoch_times.append(time.perf_counter() - self._epoch_start)
+        engine.history.epoch_times.append(trace.clock() - self._epoch_start)
 
     def on_fit_end(self, engine: "Engine") -> None:
-        engine.fit_time = time.perf_counter() - self._fit_start
+        engine.fit_time = trace.clock() - self._fit_start
 
 
 class GradClip(Callback):
@@ -357,12 +358,18 @@ class PerfCounters(Callback):
 
 
 class ProgressLogger(Callback):
-    """One line per epoch through ``log`` (default ``print``)."""
+    """One line per epoch through ``log``.
 
-    def __init__(self, log: Callable[[str], None] = print, every: int = 1) -> None:
+    The default sink is the rank-tagged ``repro`` logger (see
+    :mod:`repro.obs.log`): the line itself is byte-identical to the old
+    ``print`` default, but verbosity now follows ``--log-level`` and
+    rank threads get a ``[rank N]`` prefix.
+    """
+
+    def __init__(self, log: Callable[[str], None] | None = None, every: int = 1) -> None:
         if every < 1:
             raise ConfigurationError(f"every must be >= 1, got {every}")
-        self.log = log
+        self.log = log if log is not None else _log_progress
         self.every = int(every)
 
     def on_epoch_end(self, engine: "Engine") -> None:
@@ -437,6 +444,8 @@ class Engine:
         self.train_loss: float | None = None
         self.val_loss: float | None = None
         self.last_batch_loss: float | None = None
+        #: sample count of the most recent batch (throughput metrics)
+        self.last_batch_size: int = 0
         self.stop_training = False
         self.fit_time: float | None = None
         #: filled by the PerfCounters callback at fit end
@@ -534,32 +543,35 @@ class Engine:
         try:
             for epoch in range(self.epoch, config.epochs):
                 self.epoch = epoch
-                self._emit("on_epoch_start")
-                epoch_loss = 0.0
-                samples = 0
-                for self.batch_index, (inputs, targets) in enumerate(
-                    data.batches(config.batch_size, config.shuffle, self._rng)
-                ):
-                    self._emit("on_batch_start")
-                    self.optimizer.zero_grad()
-                    prediction = self.model(Tensor(inputs))
-                    loss = self.loss_fn(prediction, Tensor(targets))
-                    loss.backward()
-                    self._emit("on_after_backward")
-                    self.optimizer.step()
-                    batch = inputs.shape[0]
-                    self.last_batch_loss = loss.item()
-                    epoch_loss += self.last_batch_loss * batch
-                    samples += batch
-                    self._emit("on_batch_end")
-                self.train_loss = epoch_loss / samples
-                self.val_loss = None
-                if validation_data is not None:
-                    self.val_loss = self.evaluate(validation_data)
-                    self.model.train()
-                    self._emit("on_validation_end")
-                self.epoch = epoch + 1
-                self._emit("on_epoch_end")
+                with trace.span("engine.epoch", cat="train", epoch=epoch):
+                    self._emit("on_epoch_start")
+                    epoch_loss = 0.0
+                    samples = 0
+                    for self.batch_index, (inputs, targets) in enumerate(
+                        data.batches(config.batch_size, config.shuffle, self._rng)
+                    ):
+                        with trace.span("engine.batch", cat="train"):
+                            self._emit("on_batch_start")
+                            self.optimizer.zero_grad()
+                            prediction = self.model(Tensor(inputs))
+                            loss = self.loss_fn(prediction, Tensor(targets))
+                            loss.backward()
+                            self._emit("on_after_backward")
+                            self.optimizer.step()
+                            batch = inputs.shape[0]
+                            self.last_batch_loss = loss.item()
+                            self.last_batch_size = batch
+                            epoch_loss += self.last_batch_loss * batch
+                            samples += batch
+                            self._emit("on_batch_end")
+                    self.train_loss = epoch_loss / samples
+                    self.val_loss = None
+                    if validation_data is not None:
+                        self.val_loss = self.evaluate(validation_data)
+                        self.model.train()
+                        self._emit("on_validation_end")
+                    self.epoch = epoch + 1
+                    self._emit("on_epoch_end")
                 if self.stop_training:
                     break
         finally:

@@ -29,6 +29,7 @@ from ..domain.decomposition import BlockDecomposition
 from ..domain.halo import HaloExchanger
 from ..exceptions import ConfigurationError, ShapeError
 from ..nn import Conv2d, ConvTranspose2d, LeakyReLU, Module, Sequential
+from ..obs import trace
 from ..tensor import Tensor, no_grad, perf
 from ..tensor.im2col import col2im, conv_output_size
 from ..tensor.ops_conv import conv2d_forward
@@ -335,32 +336,34 @@ class ParallelPredictor:
             messages = 0
             volume = 0
             trajectory = [local]
-            for _ in range(num_steps):
-                if exchanger is not None:
-                    net_input = exchanger.exchange(local)
-                    messages += exchanger.messages_per_exchange
-                    # Each message carries a halo strip of the local block.
-                    volume += sum(
-                        strip_bytes
-                        for strip_bytes in _strip_volumes(local.shape, halo, exchanger)
-                    )
-                elif self.strategy is PaddingStrategy.ZERO or self.strategy is PaddingStrategy.TRANSPOSE:
-                    net_input = local
-                else:  # pragma: no cover - excluded in __init__
-                    raise ConfigurationError(f"strategy {self.strategy} cannot roll out")
-                if plan is not None:
-                    # Allocation-free after the first (warmup) step.
-                    local = plan.run(net_input[None])[0]
-                else:
-                    with no_grad():
-                        prediction = model(Tensor(net_input[None]))
-                    local = prediction.numpy()[0]
-                if local.shape[-2:] != trajectory[0].shape[-2:]:
-                    raise ShapeError(
-                        f"network output {local.shape[-2:]} does not match the "
-                        f"subdomain block {trajectory[0].shape[-2:]}"
-                    )
-                trajectory.append(local)
+            for step in range(num_steps):
+                with trace.span("rollout.step", cat="rollout", step=step):
+                    if exchanger is not None:
+                        net_input = exchanger.exchange(local)
+                        messages += exchanger.messages_per_exchange
+                        # Each message carries a halo strip of the local block.
+                        volume += sum(
+                            strip_bytes
+                            for strip_bytes in _strip_volumes(local.shape, halo, exchanger)
+                        )
+                    elif self.strategy is PaddingStrategy.ZERO or self.strategy is PaddingStrategy.TRANSPOSE:
+                        net_input = local
+                    else:  # pragma: no cover - excluded in __init__
+                        raise ConfigurationError(f"strategy {self.strategy} cannot roll out")
+                    with trace.span("rollout.forward", cat="compute", step=step):
+                        if plan is not None:
+                            # Allocation-free after the first (warmup) step.
+                            local = plan.run(net_input[None])[0]
+                        else:
+                            with no_grad():
+                                prediction = model(Tensor(net_input[None]))
+                            local = prediction.numpy()[0]
+                    if local.shape[-2:] != trajectory[0].shape[-2:]:
+                        raise ShapeError(
+                            f"network output {local.shape[-2:]} does not match the "
+                            f"subdomain block {trajectory[0].shape[-2:]}"
+                        )
+                    trajectory.append(local)
             return np.stack(trajectory), messages, volume
 
         rank_outputs = mpi.run_parallel(program, size, backend=execution)

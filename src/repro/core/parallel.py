@@ -26,7 +26,6 @@ all during training.  Three execution modes are provided:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -35,6 +34,7 @@ import numpy as np
 from ..data.dataset import SnapshotDataset
 from ..domain.decomposition import BlockDecomposition, Subdomain
 from ..exceptions import ConfigurationError
+from ..obs import trace
 from .. import mpi
 from .engine import Callback, Engine
 from .model import CNNConfig, SubdomainCNN
@@ -206,7 +206,7 @@ class ParallelTrainer:
         :class:`~repro.core.engine.EarlyStopping`).
         """
         decomposition = self._decomposition(dataset.field_shape)
-        start = time.perf_counter()
+        start = trace.clock()
         if execution in ("threads", "processes"):
 
             def program(comm: mpi.Communicator) -> RankTrainingResult:
@@ -222,10 +222,14 @@ class ParallelTrainer:
                 program, self.num_ranks, backend=execution
             )
         elif execution == "serial":
-            rank_results = [
-                self._rank_program(dataset, decomposition, rank, validation)
-                for rank in range(self.num_ranks)
-            ]
+            rank_results = []
+            for rank in range(self.num_ranks):
+                # Bind the rank context so spans/log lines from the
+                # sequentialized rank programs stay attributable.
+                with trace.rank_scope(rank):
+                    rank_results.append(
+                        self._rank_program(dataset, decomposition, rank, validation)
+                    )
         else:
             raise ConfigurationError(
                 f"unknown execution mode {execution!r} "
@@ -237,7 +241,7 @@ class ParallelTrainer:
             decomposition=decomposition,
             rank_results=rank_results,
             execution=execution,
-            wall_time=time.perf_counter() - start,
+            wall_time=trace.clock() - start,
         )
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..exceptions import DecompositionError
 from ..mpi.api import Communicator
+from ..obs import trace
 from .decomposition import BlockDecomposition
 
 #: Tag block reserved for halo traffic; offsets encode (axis, direction).
@@ -133,8 +134,11 @@ class HaloExchanger:
                 f"local field shape {local.shape[-2:]} does not match "
                 f"subdomain {self.subdomain.shape}"
             )
-        extended = self._exchange_axis(local, axis=0, phase=0)
-        return self._exchange_axis(extended, axis=1, phase=1)
+        # cat "comm.compound": comm seconds live on the inner send/recv
+        # spans; this span only structures the timeline.
+        with trace.span("halo.exchange", cat="comm.compound", halo=self.halo):
+            extended = self._exchange_axis(local, axis=0, phase=0)
+            return self._exchange_axis(extended, axis=1, phase=1)
 
 
 def gather_blocks(

@@ -8,11 +8,11 @@ pipeline at the calibrated defaults of :mod:`repro.experiments.common`.
 from __future__ import annotations
 
 import dataclasses
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import trace
 from ..core import (
     CNNConfig,
     PaddingStrategy,
@@ -114,9 +114,9 @@ def run_padding_ablation(
     for strategy in strategies:
         cnn = default_cnn_config(strategy)
         trainer = ParallelTrainer(cnn, training, num_ranks=num_ranks, seed=seed)
-        start = time.perf_counter()
+        start = trace.clock()
         result = trainer.train(experiment.train, execution="serial")
-        elapsed = time.perf_counter() - start
+        elapsed = trace.clock() - start
         error = _single_step_error(experiment, result)
         rows.append(
             AblationRow(
@@ -165,9 +165,9 @@ def run_loss_ablation(
             loss_kwargs={"epsilon": 1e-2} if loss == "mape" else {},
         )
         trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
-        start = time.perf_counter()
+        start = trace.clock()
         result = trainer.train(experiment.train, execution="serial")
-        elapsed = time.perf_counter() - start
+        elapsed = trace.clock() - start
         rows.append(AblationRow(loss, _single_step_error(experiment, result), elapsed))
     return AblationResult(
         title=f"Loss-function ablation (P={num_ranks})",
@@ -200,9 +200,9 @@ def run_optimizer_ablation(
     for name, overrides in variants:
         training = default_training_config(epochs=epochs, seed=seed, **overrides)
         trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
-        start = time.perf_counter()
+        start = trace.clock()
         result = trainer.train(experiment.train, execution="serial")
-        elapsed = time.perf_counter() - start
+        elapsed = trace.clock() - start
         rows.append(AblationRow(name, _single_step_error(experiment, result), elapsed))
     return AblationResult(
         title=f"Optimizer ablation (P={num_ranks})",
@@ -235,9 +235,9 @@ def run_augmentation_ablation(
         ("d4_augmented", augment_dataset(experiment.train)),
     ):
         trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
-        start = time.perf_counter()
+        start = trace.clock()
         result = trainer.train(train_set, execution="serial")
-        elapsed = time.perf_counter() - start
+        elapsed = trace.clock() - start
         rows.append(AblationRow(name, _single_step_error(experiment, result), elapsed))
     return AblationResult(
         title=f"D4-augmentation ablation (P={num_ranks})",
@@ -352,9 +352,9 @@ def run_scheme_comparison(
     # serves as the weight-averaging replica architecture).
     seq_cnn = default_cnn_config(PaddingStrategy.ZERO)
     seq_trainer = ParallelTrainer(seq_cnn, training, num_ranks=1, seed=seed)
-    start = time.perf_counter()
+    start = trace.clock()
     seq_result = seq_trainer.train(experiment.train, execution="serial")
-    seq_time = time.perf_counter() - start
+    seq_time = trace.clock() - start
     rows.append(
         SchemeComparisonRow(
             "sequential (1 rank)",
@@ -368,9 +368,9 @@ def run_scheme_comparison(
     par_trainer = ParallelTrainer(
         default_cnn_config(), training, num_ranks=num_ranks, seed=seed
     )
-    start = time.perf_counter()
+    start = trace.clock()
     par_result = par_trainer.train(experiment.train, execution="serial")
-    _ = time.perf_counter() - start
+    _ = trace.clock() - start
     rows.append(
         SchemeComparisonRow(
             f"subdomain networks ({num_ranks} ranks)",

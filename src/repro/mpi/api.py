@@ -23,6 +23,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..obs import trace
 
 #: Wildcard source for :meth:`Communicator.recv`.
 ANY_SOURCE = -1
@@ -34,6 +35,28 @@ ANY_TAG = -1
 MAX_USER_TAG = 1 << 30
 
 _COLLECTIVE_STRIDE = 16  # distinct internal ops per collective round
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort byte size of a message payload (0 when unknown).
+
+    Only used for trace annotation — never for correctness — so the
+    duck typing here is deliberately forgiving.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    data = getattr(payload, "data", None)
+    if isinstance(data, np.ndarray):  # repro Tensor
+        return data.nbytes
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(item) for item in payload.values())
+    return 0
 
 
 class ReduceOp:
@@ -171,7 +194,15 @@ class Communicator:
         """
         self._check_peer(dest, "destination")
         self._check_tag(tag, allow_any=False)
+        if not trace.enabled():
+            self._send(payload, dest, tag)
+            return
+        start = trace.clock()
         self._send(payload, dest, tag)
+        trace.record(
+            "mpi.send", "comm", start,
+            peer=dest, tag=tag, bytes=_payload_nbytes(payload),
+        )
 
     def recv(
         self,
@@ -192,7 +223,16 @@ class Communicator:
         """Blocking receive; returns ``(payload, Status)``."""
         self._check_peer(source, "source")
         self._check_tag(tag, allow_any=True)
-        return self._recv(source, tag, timeout if timeout is not None else self.deadlock_timeout)
+        effective = timeout if timeout is not None else self.deadlock_timeout
+        if not trace.enabled():
+            return self._recv(source, tag, effective)
+        start = trace.clock()
+        payload, status = self._recv(source, tag, effective)
+        trace.record(
+            "mpi.recv", "comm", start,
+            peer=status.source, tag=status.tag, bytes=_payload_nbytes(payload),
+        )
+        return payload, status
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send (completes immediately: sends are buffered)."""
@@ -214,8 +254,18 @@ class Communicator:
         recv_tag: int = ANY_TAG,
     ) -> Any:
         """Combined send+receive, deadlock-free for exchange patterns."""
+        if not trace.enabled():
+            self.send(payload, dest, send_tag)
+            return self.recv(recv_source, recv_tag)
+        # cat "comm.compound": the inner send/recv spans carry the comm
+        # seconds; this wrapper exists for timeline structure only.
+        start = trace.clock()
         self.send(payload, dest, send_tag)
-        return self.recv(recv_source, recv_tag)
+        result = self.recv(recv_source, recv_tag)
+        trace.record(
+            "mpi.sendrecv", "comm.compound", start, dest=dest, source=recv_source
+        )
+        return result
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Non-destructively check whether a matching message is waiting.
@@ -273,8 +323,26 @@ class Communicator:
     # ------------------------------------------------------------------
     # Collectives (generic over point-to-point)
     # ------------------------------------------------------------------
+    def _traced_collective(self, name: str, impl: Callable[[], Any]) -> Any:
+        """Run a primitive collective under a ``comm.collective`` span.
+
+        Only the primitives (barrier/bcast/gather/scatter/alltoall) are
+        traced; composites (allgather/reduce/allreduce) are built from
+        them, so their communication seconds are already accounted for
+        by the inner spans.
+        """
+        if not trace.enabled():
+            return impl()
+        start = trace.clock()
+        result = impl()
+        trace.record(name, "comm.collective", start)
+        return result
+
     def barrier(self) -> None:
         """Block until every rank of the communicator has arrived."""
+        self._traced_collective("mpi.barrier", self._barrier_impl)
+
+    def _barrier_impl(self) -> None:
         tag = self._next_collective_tag(0)
         if self.rank == 0:
             for peer in range(1, self.size):
@@ -287,6 +355,9 @@ class Communicator:
 
     def bcast(self, payload: Any, root: int = 0) -> Any:
         """Broadcast ``payload`` from ``root`` to every rank."""
+        return self._traced_collective("mpi.bcast", lambda: self._bcast_impl(payload, root))
+
+    def _bcast_impl(self, payload: Any, root: int) -> Any:
         self._check_peer(root, "root")
         tag = self._next_collective_tag(2)
         if self.rank == root:
@@ -298,6 +369,9 @@ class Communicator:
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         """Gather one payload per rank at ``root`` (rank order)."""
+        return self._traced_collective("mpi.gather", lambda: self._gather_impl(payload, root))
+
+    def _gather_impl(self, payload: Any, root: int) -> list[Any] | None:
         self._check_peer(root, "root")
         tag = self._next_collective_tag(3)
         if self.rank == root:
@@ -312,6 +386,9 @@ class Communicator:
 
     def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
         """Distribute ``payloads[i]`` to rank ``i`` from ``root``."""
+        return self._traced_collective("mpi.scatter", lambda: self._scatter_impl(payloads, root))
+
+    def _scatter_impl(self, payloads: Sequence[Any] | None, root: int) -> Any:
         self._check_peer(root, "root")
         tag = self._next_collective_tag(4)
         if self.rank == root:
@@ -344,6 +421,9 @@ class Communicator:
 
     def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
         """Exchange ``payloads[j]`` with rank ``j`` for every pair."""
+        return self._traced_collective("mpi.alltoall", lambda: self._alltoall_impl(payloads))
+
+    def _alltoall_impl(self, payloads: Sequence[Any]) -> list[Any]:
         if len(payloads) != self.size:
             raise CommunicatorError(
                 f"alltoall needs exactly {self.size} payloads, got {len(payloads)}"

@@ -32,6 +32,7 @@ import threading
 from typing import Any, Callable, Sequence
 
 from ..exceptions import CommunicatorError
+from ..obs import trace
 from .api import Communicator
 from .router import MessageRouter
 from .world import WorldCommunicator
@@ -125,6 +126,7 @@ def _run_threads(
     errors_lock = threading.Lock()
 
     def worker(rank: int) -> None:
+        trace.set_rank(rank)  # tag this thread's spans with its rank
         comm = WorldCommunicator(router, rank)
         comm.deadlock_timeout = deadlock_timeout
         try:

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..exceptions import CommunicatorError, DeadlockError
+from ..obs import trace
 from .api import ANY_SOURCE, ANY_TAG, Communicator, Request, Status
 from .router import _isolate_payload
 from .shm import ShmArrayHeader, decode_payload, discard_header, encode_payload
@@ -204,12 +205,22 @@ class ProcessCommunicator(Communicator):
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _encode_outcome(rank: int, kind: str, value: Any) -> bytes:
+def _encode_outcome(rank: int, kind: str, value: Any, bundle: Any = None) -> bytes:
     """Pre-pickle the report so an unpicklable result/exception cannot
     die silently in the queue's feeder thread (which would hang the
-    parent's supervision loop)."""
+    parent's supervision loop).
+
+    ``bundle`` is the rank's telemetry (:class:`repro.obs.aggregate.
+    TraceBundle`) riding along with the outcome; if *it* turns out
+    unpicklable it is dropped rather than taking the result with it.
+    """
+    if bundle is not None:
+        try:
+            pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            bundle = None
     try:
-        return pickle.dumps((rank, kind, value), protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps((rank, kind, value, bundle), protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         detail = (
             f"rank {rank} produced an unpicklable "
@@ -220,7 +231,7 @@ def _encode_outcome(rank: int, kind: str, value: Any) -> bytes:
             detail += "\n" + "".join(
                 traceback.format_exception(type(value), value, value.__traceback__)
             )
-        return pickle.dumps((rank, "err", CommunicatorError(detail)))
+        return pickle.dumps((rank, "err", CommunicatorError(detail), bundle))
 
 
 def _worker_main(
@@ -230,17 +241,43 @@ def _worker_main(
     mailboxes: Sequence[Any],
     result_queue: Any,
     deadlock_timeout: float | None,
+    obs_flags: tuple[bool, bool] = (False, False),
 ) -> None:
-    """Entry point of one rank process (module-level for spawn support)."""
+    """Entry point of one rank process (module-level for spawn support).
+
+    ``obs_flags`` is ``(tracing, perf)`` as observed in the parent at
+    launch: module-level enable state does not survive a ``spawn``, and
+    under ``fork`` the child additionally inherits the parent's event
+    buffers, which must be cleared so the rank ships only its own
+    telemetry.
+    """
+    trace_on, perf_on = obs_flags
+    trace.set_rank(rank)
+    if trace_on:
+        trace.reset()
+        trace.enable()
+    if perf_on:
+        from ..tensor import perf
+
+        perf.reset()
+        perf.enable()
     comm = ProcessCommunicator(rank, size, mailboxes, deadlock_timeout)
     try:
         result = fns[rank](comm)
-        report = _encode_outcome(rank, "ok", result)
+        kind: str = "ok"
+        value: Any = result
     except BaseException as exc:  # noqa: BLE001 - must propagate to the parent
-        report = _encode_outcome(rank, "err", exc)
+        kind, value = "err", exc
     finally:
         comm.release_undelivered()
-    result_queue.put(report)
+    bundle = None
+    if trace_on or perf_on:
+        # Captured on the error path too: post-mortem traces must
+        # survive a crashed rank.
+        from ..obs import aggregate
+
+        bundle = aggregate.capture(rank)
+    result_queue.put(_encode_outcome(rank, kind, value, bundle))
 
 
 # ----------------------------------------------------------------------
@@ -264,10 +301,13 @@ def run_parallel_processes(
     ctx = multiprocessing.get_context(method)
     mailboxes = [ctx.Queue() for _ in range(size)]
     result_queue = ctx.Queue()
+    from ..tensor import perf
+
+    obs_flags = (trace.enabled(), perf.perf_enabled())
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, size, fns, mailboxes, result_queue, deadlock_timeout),
+            args=(rank, size, fns, mailboxes, result_queue, deadlock_timeout, obs_flags),
             name=f"repro-rank-{rank}",
             daemon=True,
         )
@@ -327,7 +367,13 @@ def run_parallel_processes(
                         abort_world(str(outcomes[rank][1]))
                 continue
             empty_polls = 0
-            rank, kind, value = pickle.loads(report)
+            rank, kind, value, bundle = pickle.loads(report)
+            if bundle is not None:
+                # Absorb immediately — before any error handling — so
+                # telemetry from a crashed rank survives the re-raise.
+                from ..obs import aggregate
+
+                aggregate.absorb(bundle)
             outcomes[rank] = (kind, value)
             if kind == "err":
                 abort_world(f"{type(value).__name__}: {value}")

@@ -18,6 +18,7 @@ from typing import Any
 import numpy as np
 
 from ..exceptions import DeadlockError
+from ..obs import trace
 from .api import ANY_SOURCE, ANY_TAG, Status
 
 
@@ -131,6 +132,11 @@ class MessageRouter:
     ) -> tuple[Any, Status]:
         """Blocking matching receive with a deadlock watchdog timeout."""
         deadline = None if timeout is None else time.monotonic() + timeout
+        # Blocked-wait accounting: the sum of wait() stretches becomes a
+        # "router.wait" span (cat "comm.wait") on a successful match.
+        # It nests inside the caller's mpi.recv span and is reported as
+        # its own summary column, never added to the comm total.
+        waited = 0.0
         with self._ready:
             while True:
                 if self._failed is not None:
@@ -139,15 +145,24 @@ class MessageRouter:
                     ) from self._failed
                 env = self._match(dest, source, tag)
                 if env is not None:
+                    if waited > 0.0 and trace.enabled():
+                        trace.record(
+                            "router.wait", "comm.wait",
+                            trace.clock() - waited, dur=waited,
+                            source=env.source, dest=dest, tag=env.tag,
+                        )
                     return env.payload, Status(env.source, env.tag)
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     raise DeadlockError(self._timeout_message(dest, source, tag, timeout))
                 self._waiting += 1
+                wait_start = trace.clock() if trace.enabled() else None
                 try:
                     self._ready.wait(remaining)
                 finally:
                     self._waiting -= 1
+                    if wait_start is not None:
+                        waited += trace.clock() - wait_start
 
     def _timeout_message(self, dest: int, source: int, tag: int, timeout: float | None) -> str:
         """Diagnostic for a receive that hit the deadlock watchdog.

@@ -1,0 +1,88 @@
+"""Rank-aware :mod:`logging` for progress and diagnostics.
+
+Replaces the bare ``print`` progress reporting: everything funnels
+through the ``"repro"`` logger so verbosity is one ``--log-level``
+flag, while the *default* output stays byte-identical to the old
+prints — the formatter is a bare ``%(message)s`` at ``INFO``, writing
+to ``sys.stdout``.
+
+Two deliberate quirks:
+
+* The handler resolves ``sys.stdout`` **at emit time** rather than
+  capturing it at configure time, so pytest's capsys redirection (and
+  any other stream swapping) keeps working.
+* The formatter prepends ``[rank N]`` only when the calling thread has
+  a rank bound in :mod:`repro.obs.trace` — driver-side messages are
+  untagged, rank-side messages are attributable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any
+
+from . import trace
+
+__all__ = ["configure", "get_logger", "progress", "LOGGER_NAME"]
+
+LOGGER_NAME = "repro"
+
+_configured = False
+
+
+class _DynamicStdoutHandler(logging.StreamHandler):
+    """A StreamHandler whose stream is whatever ``sys.stdout`` is now."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stdout)
+
+    @property
+    def stream(self) -> Any:
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value: Any) -> None:
+        # StreamHandler.__init__ assigns this; the dynamic lookup wins.
+        pass
+
+
+class _RankFormatter(logging.Formatter):
+    """``%(message)s``, prefixed with ``[rank N]`` inside rank context."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = super().format(record)
+        rank = trace.current_rank()
+        if rank is not None:
+            message = f"[rank {rank}] {message}"
+        return message
+
+
+def configure(level: int | str = logging.INFO, *, force: bool = False) -> logging.Logger:
+    """Set up the ``repro`` logger (idempotent unless ``force``)."""
+    global _configured
+    logger = logging.getLogger(LOGGER_NAME)
+    if _configured and not force:
+        logger.setLevel(level)
+        return logger
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = _DynamicStdoutHandler()
+    handler.setFormatter(_RankFormatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    _configured = True
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A child of the ``repro`` logger, configuring defaults on first
+    use so library callers never see "No handlers could be found"."""
+    configure(logging.getLogger(LOGGER_NAME).level or logging.INFO)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}" if name else LOGGER_NAME)
+
+
+def progress(message: str) -> None:
+    """Emit one progress line (the ``ProgressLogger`` default sink)."""
+    get_logger("progress").info(message)

@@ -17,10 +17,12 @@ check per instrumented call; enable it around a region of interest::
     print(perf.format_report())
 
 Byte accounting from workspaces is recorded whenever collection is on.
-Counters are process-local: ranks running under the process execution
-backend accumulate into their own registry, which dies with the child
-(the ``repro perf`` CLI therefore drives its rollout on the thread
-backend, where every rank shares this registry).
+Counters accumulate per process, but they no longer die with a child:
+ranks running under the process execution backend ship their snapshot
+to the parent at shutdown (and on abort) through
+:mod:`repro.obs.aggregate`, which folds it back in here via
+:func:`merge_snapshot` — so ``snapshot()`` in the driver covers every
+rank on every backend.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ __all__ = [
     "record_bytes",
     "timed",
     "snapshot",
+    "merge_snapshot",
     "format_report",
 ]
 
@@ -151,6 +154,19 @@ def snapshot() -> dict[str, Counter]:
             name: Counter(c.calls, c.seconds, c.bytes_allocated, c.bytes_reused)
             for name, c in _counters.items()
         }
+
+
+def merge_snapshot(counters: dict[str, Counter]) -> None:
+    """Fold another registry's snapshot into this one.
+
+    The cross-process aggregation entry point: the process execution
+    backend ships each rank's ``snapshot()`` to the parent, which
+    merges them here.  Works regardless of the enabled flag (merging
+    happens after the measured region ended).
+    """
+    with _lock:
+        for name, counter in counters.items():
+            _counter(name).merge(counter)
 
 
 def _human_bytes(nbytes: int) -> str:

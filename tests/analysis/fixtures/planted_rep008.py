@@ -1,0 +1,13 @@
+"""Fixture with planted REP008 violations (never imported, only linted)."""
+
+import time
+from time import perf_counter
+
+
+def rogue_timer():
+    # A private perf_counter reading outside the observability layer:
+    # the timestamps cannot be placed on the shared trace timeline.
+    t0 = time.perf_counter()
+    t1 = perf_counter()
+    ns = time.perf_counter_ns()
+    return t1 - t0, ns

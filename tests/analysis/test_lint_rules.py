@@ -434,6 +434,71 @@ class TestRep007:
         assert lint_snippet(source, rules={"REP007"}) == []
 
 
+# ----------------------------------------------------------------------
+# REP008 — raw perf_counter timing outside the observability layer
+# ----------------------------------------------------------------------
+class TestRep008:
+    def test_qualified_call_flagged(self):
+        hits = lint_snippet(
+            "import time\nt0 = time.perf_counter()\n", rules={"REP008"}
+        )
+        assert [v.rule for v in hits] == ["REP008"]
+        assert "trace.clock" in hits[0].message
+
+    def test_bare_call_and_import_flagged(self):
+        source = "from time import perf_counter\nt0 = perf_counter()\n"
+        hits = lint_snippet(source, rules={"REP008"})
+        assert [v.rule for v in hits] == ["REP008", "REP008"]
+
+    def test_ns_variant_flagged(self):
+        hits = lint_snippet(
+            "import time\nt = time.perf_counter_ns()\n", rules={"REP008"}
+        )
+        assert [v.rule for v in hits] == ["REP008"]
+
+    def test_obs_package_sanctioned(self):
+        assert (
+            lint_snippet(
+                "import time\nclock = time.perf_counter\nt = time.perf_counter()\n",
+                path="src/repro/obs/trace.py",
+                rules={"REP008"},
+            )
+            == []
+        )
+
+    def test_perf_registry_sanctioned(self):
+        assert (
+            lint_snippet(
+                "import time\nstart = time.perf_counter()\n",
+                path="src/repro/tensor/perf.py",
+                rules={"REP008"},
+            )
+            == []
+        )
+
+    def test_benchmarks_sanctioned(self):
+        assert (
+            lint_snippet(
+                "import time\nstart = time.perf_counter()\n",
+                path="benchmarks/bench_kernels.py",
+                rules={"REP008"},
+            )
+            == []
+        )
+
+    def test_trace_clock_not_flagged(self):
+        for source in (
+            "from repro.obs import trace\nt0 = trace.clock()\n",
+            "import time\ntime.sleep(0.1)\nt = time.monotonic()\n",
+            "wall = time.time()\n",
+        ):
+            assert lint_snippet(source, rules={"REP008"}) == []
+
+    def test_noqa_suppression(self):
+        source = "import time\nt = time.perf_counter()  # noqa: REP008\n"
+        assert lint_snippet(source, rules={"REP008"}) == []
+
+
 def test_unknown_rule_id_rejected():
     from repro.analysis import lint_paths
 

@@ -30,6 +30,7 @@ def test_planted_fixtures_are_caught(capsys):
     assert "REP005" in output
     assert "REP006" in output
     assert "REP007" in output
+    assert "REP008" in output
 
 
 def test_fixture_report_details():
@@ -48,6 +49,9 @@ def test_fixture_report_details():
     assert report.count("REP007") >= 2  # bare name AND module-qualified
     rep007 = [v for v in report.violations if v.rule == "REP007"]
     assert rep007[0].path.endswith("planted_rep007.py")
+    assert report.count("REP008") >= 3  # from-import, bare call, qualified calls
+    rep008 = [v for v in report.violations if v.rule == "REP008"]
+    assert rep008[0].path.endswith("planted_rep008.py")
 
 
 def test_rule_subset_runs_only_selected():

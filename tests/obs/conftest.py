@@ -1,0 +1,24 @@
+"""Shared fixtures for the observability tests.
+
+The tracer and the perf registry are process-global; every test here
+starts and ends with both disabled and empty so ordering never leaks
+state between tests (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro.obs import trace
+from repro.tensor import perf
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    trace.disable()
+    trace.reset()
+    perf.disable()
+    perf.reset()
+    yield
+    trace.disable()
+    trace.reset()
+    perf.disable()
+    perf.reset()

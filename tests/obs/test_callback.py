@@ -1,0 +1,97 @@
+"""Engine instrumentation: epoch/batch spans and the ObsCallback
+metrics emitter riding a real training run."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNNConfig,
+    Engine,
+    PaddingStrategy,
+    RankDataset,
+    SubdomainCNN,
+    TrainingConfig,
+)
+from repro.obs import ObsCallback, trace
+
+EPOCHS = 2
+BATCHES_PER_EPOCH = 2
+
+
+def fit_toy_engine(**obs_kwargs):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 4, 8, 8))
+    data = RankDataset(rank=0, inputs=x, targets=0.5 * x + 0.1, halo=0, crop=0)
+    config = CNNConfig(channels=(4, 6, 4), kernel_size=3, strategy=PaddingStrategy.ZERO)
+    model = SubdomainCNN(config, rng=rng)
+    obs = ObsCallback(**obs_kwargs)
+    engine = Engine(
+        model,
+        TrainingConfig(epochs=EPOCHS, batch_size=4, loss="mse", seed=0),
+        callbacks=(obs,),
+        model_config=config,
+    )
+    engine.fit(data)
+    return engine, obs
+
+
+class TestEngineSpans:
+    def test_epoch_and_batch_spans_recorded(self):
+        with trace.tracing():
+            fit_toy_engine()
+        spans = trace.spans()
+        epochs = [s for s in spans if s.name == "engine.epoch"]
+        batches = [s for s in spans if s.name == "engine.batch"]
+        assert len(epochs) == EPOCHS
+        assert len(batches) == EPOCHS * BATCHES_PER_EPOCH
+        assert all(s.cat == "train" for s in epochs + batches)
+        assert [s.args["epoch"] for s in epochs] == [0, 1]
+
+    def test_batch_spans_nest_inside_their_epoch(self):
+        with trace.tracing():
+            fit_toy_engine()
+        spans = trace.spans()
+        for epoch_span in (s for s in spans if s.name == "engine.epoch"):
+            inside = [
+                s
+                for s in spans
+                if s.name == "engine.batch"
+                and s.ts >= epoch_span.ts
+                and s.end <= epoch_span.end + 1e-6
+            ]
+            assert len(inside) == BATCHES_PER_EPOCH
+
+    def test_untraced_fit_records_nothing(self):
+        fit_toy_engine()
+        assert trace.spans() == []
+        assert trace.metrics() == []
+
+
+class TestObsCallback:
+    def test_per_epoch_metrics_and_history(self):
+        with trace.tracing():
+            engine, obs = fit_toy_engine()
+        assert len(obs.history) == EPOCHS
+        sample = obs.history[-1]
+        assert sample["train.loss"] == pytest.approx(engine.train_loss)
+        assert sample["train.lr"] == pytest.approx(engine.optimizer.lr)
+        assert sample["train.throughput"] > 0
+        assert sample["train.grad_norm"] > 0
+        recorded = {m.name for m in trace.metrics()}
+        assert {"train.loss", "train.lr", "train.throughput", "train.grad_norm"} <= recorded
+
+    def test_grad_norm_can_be_disabled(self):
+        with trace.tracing():
+            _, obs = fit_toy_engine(grad_norm=False)
+        assert all("train.grad_norm" not in sample for sample in obs.history)
+
+    def test_batch_metrics_opt_in(self):
+        with trace.tracing():
+            fit_toy_engine(batch_metrics=True)
+        batch_losses = [m for m in trace.metrics() if m.name == "train.batch_loss"]
+        assert len(batch_losses) == EPOCHS * BATCHES_PER_EPOCH
+
+    def test_history_collected_even_when_tracer_off(self):
+        _, obs = fit_toy_engine()
+        assert len(obs.history) == EPOCHS
+        assert trace.metrics() == []

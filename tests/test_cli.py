@@ -13,14 +13,26 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("generate", "train", "evaluate", "scaling", "table1", "perf"):
+        for command in ("generate", "train", "evaluate", "scaling", "table1", "perf", "trace"):
             if command == "generate":
                 args = parser.parse_args([command, "out.npz"])
             elif command in ("train", "evaluate"):
                 args = parser.parse_args([command, "ckpt.npz"])
+            elif command == "trace":
+                args = parser.parse_args([command, "out.json"])
             else:
                 args = parser.parse_args([command])
             assert args.command == command
+
+    def test_trace_flag_on_train_evaluate_scaling(self):
+        parser = build_parser()
+        assert parser.parse_args(["train", "c.npz", "--trace", "t.json"]).trace == "t.json"
+        assert parser.parse_args(["evaluate", "c.npz", "--trace", "t.json"]).trace == "t.json"
+        assert parser.parse_args(["scaling", "--trace", "t.json"]).trace == "t.json"
+
+    def test_log_level_is_global(self):
+        args = build_parser().parse_args(["--log-level", "debug", "table1"])
+        assert args.log_level == "debug"
 
 
 class TestTable1Command:
@@ -176,3 +188,111 @@ class TestPerfCommand:
         assert "plan.run" in out
         assert "im2col" in out
         assert "workspace" in out
+
+
+class TestTraceCommand:
+    def test_traced_rollout_writes_all_three_artifacts(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "rollout.json"
+        code = main(
+            [
+                "trace",
+                str(out),
+                "--grid-size",
+                "24",
+                "--steps",
+                "2",
+                "--pgrid",
+                "1",
+                "2",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "trace summary" in printed
+        assert "chrome://tracing" in printed
+        # Chrome trace: valid JSON with per-rank process metadata.
+        events = json.loads(out.read_text())["traceEvents"]
+        process_names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert {"rank 0", "rank 1"} <= process_names
+        assert any(e.get("name") == "rollout.step" for e in events)
+        assert any(e.get("name") == "halo.exchange" for e in events)
+        # Event log and per-rank summary alongside.
+        assert out.with_suffix(".jsonl").exists()
+        summary = json.loads(out.with_suffix(".summary.json").read_text())
+        assert {"0", "1"} <= set(summary)
+        for row in summary.values():
+            assert 0.0 <= row["comm_fraction"] <= 1.0
+
+    def test_from_converts_an_existing_event_log(self, tmp_path, capsys):
+        import json
+
+        first = tmp_path / "first.json"
+        main(["trace", str(first), "--grid-size", "24", "--steps", "1",
+              "--pgrid", "1", "2"])
+        capsys.readouterr()
+        converted = tmp_path / "converted.json"
+        code = main(
+            ["trace", str(converted), "--from", str(first.with_suffix(".jsonl"))]
+        )
+        assert code == 0
+        assert "trace summary" in capsys.readouterr().out
+        assert json.loads(converted.read_text()) == json.loads(first.read_text())
+
+    def test_traced_rollout_over_processes_merges_every_rank(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "proc.json"
+        code = main(
+            [
+                "trace",
+                str(out),
+                "--grid-size",
+                "24",
+                "--steps",
+                "1",
+                "--pgrid",
+                "1",
+                "2",
+                "--execution",
+                "processes",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(out.with_suffix(".summary.json").read_text())
+        assert {"0", "1"} <= set(summary)
+
+
+class TestTraceFlag:
+    def test_scaling_with_trace_writes_merged_timeline(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "scaling.json"
+        code = main(
+            [
+                "scaling",
+                "--grid-size",
+                "24",
+                "--snapshots",
+                "8",
+                "--epochs",
+                "1",
+                "--ranks",
+                "1",
+                "2",
+                "--trace",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Fig. 4" in printed
+        assert "trace summary" in printed
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name") == "engine.epoch" for e in events)
+        summary = json.loads(out.with_suffix(".summary.json").read_text())
+        assert {"0", "1"} <= set(summary)
+        assert out.with_suffix(".jsonl").exists()
