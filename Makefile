@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint check test all
+.PHONY: lint analyze check test all
 
 lint:
 	bash scripts/check.sh
+
+analyze:
+	$(PYTHON) -m repro.cli analyze src/repro
 
 check:
 	$(PYTHON) -m repro.cli check --sanitize
@@ -12,4 +15,4 @@ check:
 test:
 	$(PYTHON) -m pytest -x -q
 
-all: lint check test
+all: lint analyze check test

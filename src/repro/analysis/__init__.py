@@ -7,6 +7,12 @@ catalogue (REP001: in-place tape mutation, REP002: cross-thread
 communicator capture, REP003: unmatched send/recv tags, REP004:
 loop-variable capture in closures) plus optional ``ruff`` / ``mypy``
 baseline passes, exposed as the ``repro lint`` CLI subcommand.
+:func:`analyze_paths` runs the interprocedural, rank-abstracted flow
+rules (REP009: collective divergence, REP010: blocking send/recv
+cycles, REP011: shared-memory lifetimes, REP012: allocation on the
+InferencePlan hot path) over a project call graph, exposed as
+``repro analyze`` with ``# noqa`` suppressions and a committed
+``analysis-baseline.json`` for intentional findings.
 
 **Runtime** — opt-in, zero-cost-when-off sanitizers
 (:class:`FloatSanitizer`, :class:`ShapeContract`, :class:`MpiSanitizer`)
@@ -24,6 +30,15 @@ from .gradcheck import (
     numerical_gradient,
     ops_by_module,
 )
+from .flow import (
+    BASELINE_FILENAME,
+    FLOW_RULES,
+    AnalysisReport,
+    BaselineEntry,
+    analyze_paths,
+    find_baseline,
+    load_baseline,
+)
 from .lint import BaselineResult, LintReport, iter_python_files, lint_paths
 from .mpi_audit import MpiAuditReport, MpiSanitizer, RouterAudit
 from .rules import RULES, FileContext, Violation
@@ -38,6 +53,14 @@ __all__ = [
     "BaselineResult",
     "lint_paths",
     "iter_python_files",
+    # flow analysis
+    "FLOW_RULES",
+    "AnalysisReport",
+    "BaselineEntry",
+    "analyze_paths",
+    "find_baseline",
+    "load_baseline",
+    "BASELINE_FILENAME",
     # gradcheck
     "OP_CASES",
     "GradcheckReport",

@@ -1,0 +1,259 @@
+"""Project call graph over parsed source files.
+
+The flow rules (:mod:`repro.analysis.flow`) need whole-program
+questions answered — "does this call eventually reach a collective?",
+"which functions are reachable from ``InferencePlan.run``?" — so this
+module indexes every function definition in the analyzed file pool and
+links call sites to candidate callees by *name merging*: a call
+``f(...)`` or ``obj.f(...)`` resolves to every function named ``f``
+anywhere in the pool.  That is deliberately over-approximate (two
+unrelated ``apply`` methods merge), which is the safe direction for
+reachability-style rules: the analyzer may follow an impossible edge
+but never misses a real one.  Builtins and third-party calls resolve to
+nothing and terminate the walk.
+
+Nested functions additionally receive a containment edge from their
+enclosing function — a closure defined inside a hot function almost
+always runs there, whether it is invoked by name or handed to a driver.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .rules import FileContext, _dotted_name
+
+__all__ = ["FunctionInfo", "CallRef", "CallGraph", "build_callgraph", "call_leaf"]
+
+#: A function's identity in the graph: (file path, qualified name).
+FuncKey = tuple[str, str]
+
+#: Receiver spellings that are certainly external libraries: calls on
+#: them never resolve to project functions (``np.zeros`` must not merge
+#: with a project function named ``zeros``).
+_EXTERNAL_RECEIVERS = {"np", "numpy"}
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One call site inside a function body."""
+
+    leaf: str  #: rightmost name of the target (``a.b.f(...)`` -> ``f``)
+    receiver: str  #: leaf of the receiver for attribute calls, else ""
+    is_attribute: bool
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) definition in the analyzed pool."""
+
+    name: str  #: bare name (``run``)
+    qualname: str  #: dotted scope path (``InferencePlan.run``)
+    class_name: str | None  #: innermost enclosing class, if a method
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: list[CallRef] = field(default_factory=list)
+
+    @property
+    def key(self) -> FuncKey:
+        return (self.path, self.qualname)
+
+    def describe(self) -> str:
+        return f"{self.qualname} ({self.path}:{self.node.lineno})"
+
+
+def call_leaf(node: ast.Call) -> str:
+    """The rightmost name of a call target (``a.b.f(...)`` -> ``f``)."""
+    name = _dotted_name(node.func)
+    return name.rsplit(".", 1)[-1] if name else ""
+
+
+def _call_ref(node: ast.Call) -> CallRef | None:
+    leaf = call_leaf(node)
+    if not leaf:
+        return None
+    receiver = ""
+    is_attribute = isinstance(node.func, ast.Attribute)
+    if is_attribute:
+        receiver_name = _dotted_name(node.func.value)
+        receiver = receiver_name.rsplit(".", 1)[-1] if receiver_name else ""
+    return CallRef(leaf, receiver, is_attribute, node.lineno, node.col_offset)
+
+
+def _own_calls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[CallRef]:
+    """Call sites in the function body, excluding nested defs' bodies."""
+    calls: list[CallRef] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Call):
+                ref = _call_ref(child)
+                if ref is not None:
+                    calls.append(ref)
+            walk(child)
+
+    for stmt in func.body:
+        walk(stmt)
+    return calls
+
+
+class _Indexer(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.functions: list[FunctionInfo] = []
+        self.containment: list[tuple[FuncKey, FuncKey]] = []
+        self._scope: list[str] = []
+        self._class_stack: list[str] = []
+        self._func_stack: list[FunctionInfo] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._scope.pop()
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        qualname = ".".join(self._scope + [node.name])
+        info = FunctionInfo(
+            name=node.name,
+            qualname=qualname,
+            class_name=self._class_stack[-1] if self._class_stack else None,
+            path=self.path,
+            node=node,
+            calls=_own_calls(node),
+        )
+        self.functions.append(info)
+        if self._func_stack:
+            self.containment.append((self._func_stack[-1].key, info.key))
+        self._scope.append(node.name)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_func  # type: ignore[assignment]
+    visit_AsyncFunctionDef = _visit_func  # type: ignore[assignment]
+
+
+@dataclass
+class CallGraph:
+    """Indexed functions plus name-merged call edges."""
+
+    functions: dict[FuncKey, FunctionInfo]
+    by_name: dict[str, list[FunctionInfo]]
+    #: explicit enclosing-function -> nested-function edges
+    containment: list[tuple[FuncKey, FuncKey]]
+
+    def resolve(self, leaf: str) -> list[FunctionInfo]:
+        """Every function in the pool a call to ``leaf`` might reach."""
+        return self.by_name.get(leaf, [])
+
+    def resolve_ref(self, ref: CallRef, caller: FunctionInfo) -> list[FunctionInfo]:
+        """Candidate callees for one call site, shape-aware.
+
+        Bare calls and generic attribute calls name-merge as
+        :meth:`resolve` does.  Two refinements cut the worst spurious
+        edges: calls on an external-library receiver (``np.zeros``)
+        resolve to nothing, and ``self.f()`` resolves to methods of the
+        caller's own class when that class defines ``f`` (falling back
+        to any *method* named ``f`` — never a free function — so
+        subclass overrides stay reachable).
+        """
+        if ref.is_attribute and ref.receiver in _EXTERNAL_RECEIVERS:
+            return []
+        candidates = self.by_name.get(ref.leaf, [])
+        if ref.is_attribute and ref.receiver in {"self", "cls"} and caller.class_name:
+            same_class = [
+                c for c in candidates if c.class_name == caller.class_name
+            ]
+            if same_class:
+                return same_class
+            return [c for c in candidates if c.class_name is not None]
+        return candidates
+
+    def callees(
+        self,
+        info: FunctionInfo,
+        edge_filter: Callable[[CallRef], bool] | None = None,
+    ) -> Iterable[FunctionInfo]:
+        """Unique callees of ``info`` (call edges plus containment).
+
+        ``edge_filter`` drops call edges it returns false for;
+        containment edges (nested defs) are always followed.
+        """
+        seen: set[FuncKey] = set()
+        for ref in info.calls:
+            if edge_filter is not None and not edge_filter(ref):
+                continue
+            for callee in self.resolve_ref(ref, info):
+                if callee.key not in seen:
+                    seen.add(callee.key)
+                    yield callee
+        for parent, child in self.containment:
+            if parent == info.key and child not in seen:
+                seen.add(child)
+                yield self.functions[child]
+
+    def reachable(
+        self,
+        roots: Iterable[FunctionInfo],
+        stop: Callable[[FunctionInfo], bool] | None = None,
+        edge_filter: Callable[[CallRef], bool] | None = None,
+    ) -> dict[FuncKey, FuncKey | None]:
+        """BFS closure from ``roots``; maps each function to its BFS parent.
+
+        ``stop`` prunes the walk: a function for which it returns true is
+        neither visited nor expanded (used to cut traversal at sanctioned
+        files).  Roots map to ``None``, everything else to the function
+        it was first reached from, so callers can reconstruct a witness
+        call chain for diagnostics.
+        """
+        parents: dict[FuncKey, FuncKey | None] = {}
+        frontier: list[FunctionInfo] = []
+        for root in roots:
+            if stop is not None and stop(root):
+                continue
+            if root.key not in parents:
+                parents[root.key] = None
+                frontier.append(root)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.callees(current, edge_filter):
+                if callee.key in parents:
+                    continue
+                if stop is not None and stop(callee):
+                    continue
+                parents[callee.key] = current.key
+                frontier.append(callee)
+        return parents
+
+    def chain(self, parents: dict[FuncKey, FuncKey | None], key: FuncKey) -> list[str]:
+        """Qualified-name witness path root -> ... -> ``key``."""
+        names: list[str] = []
+        cursor: FuncKey | None = key
+        while cursor is not None:
+            names.append(self.functions[cursor].qualname)
+            cursor = parents.get(cursor)
+        return list(reversed(names))
+
+
+def build_callgraph(contexts: Iterable[FileContext]) -> CallGraph:
+    """Index every function definition across the file pool."""
+    functions: dict[FuncKey, FunctionInfo] = {}
+    by_name: dict[str, list[FunctionInfo]] = {}
+    containment: list[tuple[FuncKey, FuncKey]] = []
+    for ctx in contexts:
+        indexer = _Indexer(ctx.path)
+        indexer.visit(ctx.tree)
+        for info in indexer.functions:
+            functions[info.key] = info
+            by_name.setdefault(info.name, []).append(info)
+        containment.extend(indexer.containment)
+    return CallGraph(functions, by_name, containment)

@@ -1,0 +1,96 @@
+"""Shared machine-readable emitters for ``repro lint`` / ``repro analyze``.
+
+Both CLI subcommands render the same violation shape, so CI consumes
+one schema: a top-level object with ``tool``, ``ok``, ``files_checked``,
+per-rule ``counts``, and a ``violations`` list whose entries carry a
+pre-rendered ``github_annotation`` string — printing that field verbatim
+in a workflow step makes the finding appear inline on the pull-request
+diff (GitHub's ``::error`` workflow command).  ``repro analyze``
+additionally reports ``baselined`` findings (accepted via
+``analysis-baseline.json``) and stale baseline entries; ``repro lint``
+reports its optional ruff/mypy ``baseline_tools`` passes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .rules import Violation
+
+__all__ = [
+    "github_annotation",
+    "violation_payload",
+    "lint_report_payload",
+    "analysis_report_payload",
+    "to_json",
+]
+
+
+def github_annotation(violation: Violation) -> str:
+    """One GitHub Actions ``::error`` workflow command for a finding."""
+    # Properties are comma/newline-delimited; the message ends the line.
+    message = f"{violation.rule} {violation.message}".replace("\n", " ")
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"col={violation.col},title={violation.rule}::{message}"
+    )
+
+
+def violation_payload(violation: Violation) -> dict[str, Any]:
+    return {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+        "github_annotation": github_annotation(violation),
+    }
+
+
+def _counts(violations: list[Violation]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def lint_report_payload(report: Any) -> dict[str, Any]:
+    """JSON payload for a :class:`~repro.analysis.lint.LintReport`."""
+    return {
+        "tool": "repro-lint",
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "counts": _counts(report.violations),
+        "violations": [violation_payload(v) for v in report.violations],
+        "baseline_tools": [
+            {"tool": b.tool, "status": b.status, "detail": b.detail}
+            for b in report.baseline
+        ],
+    }
+
+
+def analysis_report_payload(report: Any) -> dict[str, Any]:
+    """JSON payload for a :class:`~repro.analysis.flow.AnalysisReport`."""
+    return {
+        "tool": "repro-analyze",
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "counts": _counts(report.violations),
+        "violations": [violation_payload(v) for v in report.violations],
+        "baseline": report.baseline_path,
+        "baselined": [violation_payload(v) for v in report.baselined],
+        "stale_baseline_entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "line_text": entry.line_text,
+                "justification": entry.justification,
+            }
+            for entry in report.stale_entries
+        ],
+    }
+
+
+def to_json(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=False)

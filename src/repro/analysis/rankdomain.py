@@ -1,0 +1,118 @@
+"""Rank-dependence abstraction for guard expressions.
+
+The flow analyzer (:mod:`repro.analysis.flow`) reasons about *which
+ranks execute a statement*.  Rather than a full numeric abstract domain,
+guards are classified syntactically: an ``if`` test is **rank-dependent**
+when its outcome can differ between ranks of the same world —
+``rank == 0``, ``rank % 2``, ``comm.rank != root``, ``Get_rank() == 0``,
+and the cartesian-neighbour idiom ``peer is not None`` (whether a rank
+has a neighbour on a given side is itself a function of its grid
+coordinates).  Everything else — data-dependent or configuration
+guards — is treated as taken identically by every rank, which keeps the
+analysis conservative in the right direction: REP009 only fires on
+guards this module *positively* identifies as rank-splitting.
+
+A classified guard is represented by :class:`RankGuard`, which keeps the
+original test expression for diagnostics and supports negation (the
+``else`` branch, or the fall-through after a rank-guarded early
+``return``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["RankGuard", "classify_guard"]
+
+#: Bare variable names conventionally holding this rank's id.
+_RANK_NAMES = {"rank", "my_rank", "rank_id", "world_rank"}
+
+#: Attribute leaves that read a rank id (``comm.rank``, ``self.rank``).
+_RANK_ATTRS = {"rank"}
+
+#: Call leaves that return a rank id (mpi4py spelling included so the
+#: rule keeps working if real-MPI code is ever vendored).
+_RANK_CALLS = {"Get_rank"}
+
+#: Substrings marking a neighbour handle (``lo_peer``, ``neighbour``):
+#: ``x is None`` on such a name splits ranks by grid position.
+_NEIGHBOR_FRAGMENTS = ("peer", "neighbor", "neighbour")
+
+
+@dataclass(frozen=True)
+class RankGuard:
+    """One rank-dependent branch condition (possibly negated)."""
+
+    expr: str  #: source text of the original test expression
+    negated: bool = False
+
+    def complement(self) -> "RankGuard":
+        """The guard governing the ``else`` side of the same test."""
+        return RankGuard(self.expr, not self.negated)
+
+    def describe(self) -> str:
+        return f"not ({self.expr})" if self.negated else self.expr
+
+
+def _is_rank_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _RANK_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _RANK_ATTRS
+    if isinstance(node, ast.Call):
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return leaf in _RANK_CALLS
+    return False
+
+
+def _is_neighbor_name(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        text = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        text = node.attr.lower()
+    else:
+        return False
+    return any(fragment in text for fragment in _NEIGHBOR_FRAGMENTS)
+
+
+def _mentions_rank(test: ast.expr) -> bool:
+    """Does any sub-expression read a rank id?"""
+    return any(_is_rank_expr(node) for node in ast.walk(test))
+
+
+def _is_neighbor_guard(test: ast.expr) -> bool:
+    """``peer is None`` / ``peer is not None`` style membership tests."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    if not isinstance(test.ops[0], (ast.Is, ast.IsNot)):
+        return False
+    comparator = test.comparators[0]
+    none_side = (
+        isinstance(comparator, ast.Constant) and comparator.value is None
+    )
+    return none_side and _is_neighbor_name(test.left)
+
+
+def classify_guard(test: ast.expr) -> RankGuard | None:
+    """Classify an ``if`` test; ``None`` when it is rank-uniform.
+
+    Handles negation (``not <rank test>``) and boolean composition (a
+    ``BoolOp`` is rank-dependent as soon as one operand is).
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner = classify_guard(test.operand)
+        if inner is None:
+            return None
+        return inner.complement()
+    if isinstance(test, ast.BoolOp):
+        for operand in test.values:
+            if classify_guard(operand) is not None:
+                return RankGuard(ast.unparse(test))
+        return None
+    if _mentions_rank(test) or _is_neighbor_guard(test):
+        return RankGuard(ast.unparse(test))
+    return None

@@ -69,7 +69,13 @@ RULES: dict[str, str] = {
     "timers share one clock and one trace timeline",
 }
 
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
+#: ruff-style suppression comment: bare ``# noqa`` (all rules) or
+#: ``# noqa: REP001,REP004`` (specific rules).  The code list may be
+#: separated by commas and/or whitespace and may be followed by prose
+#: (``# noqa: REP003 receiver lives outside the tree``) — parsing stops
+#: at the first token that is not a rule code.
+_NOQA_RE = re.compile(r"#\s*noqa(?P<colon>\s*:\s*(?P<codes>.*))?", re.IGNORECASE)
+_NOQA_CODES_RE = re.compile(r"^\s*(?P<codes>[A-Z]+[0-9]+(?:[,\s]+[A-Z]+[0-9]+)*)", re.IGNORECASE)
 
 
 def _parse_suppressions(source: str) -> dict[int, set[str]]:
@@ -81,11 +87,18 @@ def _parse_suppressions(source: str) -> dict[int, set[str]]:
         match = _NOQA_RE.search(text)
         if match is None:
             continue
-        codes = match.group("codes")
+        if match.group("colon") is None:
+            out[lineno] = {"*"}
+            continue
+        codes = _NOQA_CODES_RE.match(match.group("codes"))
         if codes is None:
+            # ``# noqa:`` with no parseable code list: treat as blanket
+            # suppression, matching ruff's lenient reading.
             out[lineno] = {"*"}
         else:
-            out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+            out[lineno] = {
+                c.upper() for c in re.split(r"[,\s]+", codes.group("codes")) if c
+            }
     return out
 
 

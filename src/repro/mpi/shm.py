@@ -127,6 +127,12 @@ def encode_payload(payload: Any, threshold: int = SHM_THRESHOLD_BYTES) -> Any:
         view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         view[...] = array
         return ShmArrayHeader(segment.name, array.shape, array.dtype.str)
+    except BaseException:
+        # The header never reaches a receiver, so nobody else will
+        # unlink the segment — release it here or it outlives the
+        # process (POSIX shm persists until reboot).
+        _unlink_untracked(segment)
+        raise
     finally:
         segment.close()
 

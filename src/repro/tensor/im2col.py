@@ -91,7 +91,9 @@ def im2col(
                 padded[:, :, ph : ph + h, pw : pw + w] = x
                 x = padded
             else:
-                x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+                # Workspace-less naive fallback: correctness path only,
+                # never taken by a warmed-up InferencePlan.
+                x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))  # noqa: REP012
         # (N, C, H', W') -> (N, C, OH*, OW*, kh, kw) view, strided to OH, OW
         windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
         windows = windows[:, :, ::sh, ::sw, :, :]
@@ -157,7 +159,9 @@ def col2im(
                 f"col2im.padded.{ph}x{pw}", padded_shape, cols.dtype, zero=True
             )
         else:
-            padded = np.zeros(padded_shape, dtype=cols.dtype)
+            # Workspace-less naive fallback: correctness path only,
+            # never taken by a warmed-up InferencePlan.
+            padded = np.zeros(padded_shape, dtype=cols.dtype)  # noqa: REP012
         # Loop only over the kernel footprint; each iteration is a strided
         # vectorized add over all output positions at once.
         for i in range(kh):

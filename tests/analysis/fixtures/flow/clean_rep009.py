@@ -1,0 +1,22 @@
+"""Clean twin of planted_rep009: every rank enters every collective.
+
+The collective is hoisted out of the guard; only rank-local bookkeeping
+stays behind ``if rank == 0``.
+"""
+
+
+def unguarded_bcast(comm, rank, cfg):
+    value = comm.bcast(cfg, root=0)  # all ranks participate: fine
+    if rank == 0:
+        _note_root_payload(cfg)  # guarded, but reaches no collective
+    return value
+
+
+def _note_root_payload(cfg):
+    return f"root sent {len(cfg)} entries"
+
+
+def barrier_after_guard(comm, rank, log):
+    if rank != 0:
+        log.append("worker ready")
+    comm.barrier()  # outside any rank guard: fine

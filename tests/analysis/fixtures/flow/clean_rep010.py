@@ -1,0 +1,21 @@
+"""Clean twin of planted_rep010: sends posted before receives.
+
+Sends are buffered on this runtime, so posting both sends first makes
+either interleaving safe — the analyzer must accept this ordering.
+"""
+
+
+def send_first_exchange(comm, rank, peer, payload):
+    if rank % 2 == 0:
+        comm.send(payload, peer, tag=411)
+        inbox = comm.recv(peer, tag=412)
+    else:
+        comm.send(payload, peer, tag=412)
+        inbox = comm.recv(peer, tag=411)
+    return inbox
+
+
+def post_then_collect(comm, peers, payload):
+    for peer in peers:
+        comm.send(payload, peer, tag=413)
+    return comm.recv(peers[0], tag=413)  # sends already posted: fine

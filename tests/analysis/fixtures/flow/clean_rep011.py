@@ -1,0 +1,32 @@
+"""Clean twin of planted_rep011: correct segment lifecycle.
+
+All ``.buf`` traffic happens while the segment is open, the creator
+unlinks on the exception path before re-raising, and the reader closes
+only after copying out.
+"""
+
+import numpy as np
+
+
+def publish(array):
+    segment = _open_untracked(create=True, size=array.nbytes)
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return segment.name
+    except BaseException:
+        _unlink_untracked(segment)
+        raise
+    finally:
+        segment.close()
+
+
+def consume(name, shape):
+    segment = SharedMemory(name=name)
+    try:
+        view = np.ndarray(shape, dtype="f8", buffer=segment.buf)
+        total = float(view.sum())
+    finally:
+        segment.close()
+        segment.unlink()
+    return total

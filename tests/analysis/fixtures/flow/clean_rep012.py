@@ -1,0 +1,27 @@
+"""Clean twin of planted_rep012: the hot path draws from the arena.
+
+Same call shape (plan -> helper -> helper), but the scratch buffer
+comes from ``workspace.request`` and the write is an in-place
+``np.copyto`` — nothing fresh is allocated after warmup.
+"""
+
+import numpy as np
+
+
+class InferencePlan:
+    def __init__(self, workspace):
+        self.workspace = workspace
+
+    def step(self, state):
+        return _advance_arena(state, self.workspace)
+
+
+def _advance_arena(state, workspace):
+    return _mix_arena(state, workspace)
+
+
+def _mix_arena(state, workspace):
+    scratch = workspace.request("mix.scratch", state.shape, state.dtype)
+    np.copyto(scratch, state)
+    scratch += state
+    return scratch

@@ -1,0 +1,23 @@
+"""Planted REP009: collectives reachable only under rank-dependent guards.
+
+Two shapes: a directly guarded collective, and a rank-guarded call to a
+helper that reaches a collective (interprocedural, via the early-return
+complement: after ``if rank != 0: return`` the rest of the body runs
+only on rank 0).
+"""
+
+
+def guarded_direct_bcast(comm, rank, cfg):
+    if rank == 0:
+        comm.bcast(cfg, root=0)  # REP009: only rank 0 enters the collective
+    return cfg
+
+
+def _sync_everyone(comm):
+    comm.barrier()
+
+
+def guarded_helper_barrier(comm, rank):
+    if rank != 0:
+        return
+    _sync_everyone(comm)  # REP009: reaches barrier() on rank 0 only

@@ -1,0 +1,25 @@
+"""Planted REP010: blocking wait cycles.
+
+``mutual_cycle`` is the classic pairwise exchange written recv-first on
+both sides of a rank parity guard: each side blocks in recv before
+posting the send the other side is waiting for.  ``self_cycle`` makes
+every rank receive a tag whose only sends appear later in the same
+function, so no rank ever reaches the send.
+"""
+
+
+def mutual_cycle(comm, rank, peer, payload):
+    if rank % 2 == 0:
+        inbox = comm.recv(peer, tag=401)  # REP010: blocks before send(402)
+        comm.send(payload, peer, tag=402)
+    else:
+        inbox = comm.recv(peer, tag=402)
+        comm.send(payload, peer, tag=401)
+    return inbox
+
+
+def self_cycle(comm, peers, payload):
+    inbox = comm.recv(peers[0], tag=403)  # REP010: matching sends come later
+    for peer in peers:
+        comm.send(payload, peer, tag=403)
+    return inbox

@@ -1,0 +1,24 @@
+"""Planted REP011: shared-memory lifetime errors.
+
+``read_after_unlink`` touches ``.buf`` after the segment is closed and
+unlinked; ``leaky_create`` creates a segment with ``create=True`` and
+never guards the writes with an exception-path unlink.
+"""
+
+import numpy as np
+
+
+def read_after_unlink(name):
+    segment = SharedMemory(name=name)
+    segment.close()
+    segment.unlink()
+    view = np.ndarray((4,), dtype="f8", buffer=segment.buf)  # REP011: gone
+    return view[0]
+
+
+def leaky_create(array):
+    segment = _open_untracked(create=True, size=array.nbytes)  # REP011: leak
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    segment.close()
+    return segment.name

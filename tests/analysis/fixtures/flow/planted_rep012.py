@@ -1,0 +1,23 @@
+"""Planted REP012: a fresh allocation two calls below InferencePlan.step.
+
+``np.zeros`` sits in ``_mix_buffers``, reached via
+``InferencePlan.step -> _advance_state -> _mix_buffers`` — the analyzer
+must surface the whole witness chain, not just the leaf call.
+"""
+
+import numpy as np
+
+
+class InferencePlan:
+    def step(self, state):
+        return _advance_state(state)
+
+
+def _advance_state(state):
+    return _mix_buffers(state)
+
+
+def _mix_buffers(state):
+    scratch = np.zeros(state.shape, dtype=state.dtype)  # REP012: hot path
+    scratch += state
+    return scratch

@@ -499,6 +499,42 @@ class TestRep008:
         assert lint_snippet(source, rules={"REP008"}) == []
 
 
+# ----------------------------------------------------------------------
+# noqa comment semantics (ruff-compatible)
+# ----------------------------------------------------------------------
+class TestNoqaSemantics:
+    def test_comma_separated_code_list(self):
+        source = "x.data += delta  # noqa: REP001, REP002\n"
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+    def test_listed_codes_do_not_suppress_other_rules(self):
+        source = "x.data += delta  # noqa: REP002\n"
+        hits = lint_snippet(source, rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+
+    def test_codes_followed_by_prose(self):
+        # ruff reads leading code tokens and ignores trailing prose.
+        source = "x.data += delta  # noqa: REP001 receiver lives outside the tree\n"
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+    def test_prose_after_other_code_is_not_a_blanket(self):
+        source = "x.data += delta  # noqa: REP002 explained elsewhere\n"
+        hits = lint_snippet(source, rules={"REP001"})
+        assert [v.rule for v in hits] == ["REP001"]
+
+    def test_colon_with_no_codes_is_blanket(self):
+        source = "x.data += delta  # noqa:\n"
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+    def test_case_insensitive(self):
+        source = "x.data += delta  # NOQA: rep001\n"
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+    def test_space_separated_code_list(self):
+        source = "x.data += delta  # noqa: REP002 REP001\n"
+        assert lint_snippet(source, rules={"REP001"}) == []
+
+
 def test_unknown_rule_id_rejected():
     from repro.analysis import lint_paths
 

@@ -67,6 +67,36 @@ def test_baseline_passes_skip_not_fail_when_tools_missing():
         assert result.status in {"passed", "skipped"}
 
 
+def test_lint_json_format(capsys):
+    import json
+
+    exit_code = main(["lint", str(FIXTURES), "--no-baseline", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["tool"] == "repro-lint"
+    assert payload["ok"] is False
+    assert payload["files_checked"] > 0
+    assert payload["counts"]["REP001"] >= 1
+    first = payload["violations"][0]
+    assert set(first) == {"rule", "path", "line", "col", "message", "github_annotation"}
+    annotation = first["github_annotation"]
+    assert annotation.startswith("::error file=")
+    assert f"title={first['rule']}" in annotation
+    assert "\n" not in annotation
+
+
+def test_lint_json_clean_tree(capsys):
+    import json
+
+    exit_code = main(["lint", str(SRC), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+    assert {b["tool"] for b in payload["baseline_tools"]} == {"ruff", "mypy"}
+    assert all(b["status"] in {"passed", "skipped"} for b in payload["baseline_tools"])
+
+
 def test_suppressed_tree_findings_are_documented():
     """Every # noqa: REPxxx comment in the tree must carry a rationale."""
     import io
