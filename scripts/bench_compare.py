@@ -21,6 +21,27 @@ The default tolerance is deliberately loose (1.5x): this gate exists to
 catch "the fused path silently fell back to the naive one" (2-3x), not
 5% drift.
 
+``--require-order A:B`` (repeatable) adds a **hard** gate on the
+*relative ordering* of two ops::
+
+    python scripts/bench_compare.py \
+        --baseline benchmarks/results/BENCH_kernels.json \
+        --current  /tmp/fresh/BENCH_kernels.json \
+        --require-order test_conv2d_forward_fused_256:test_conv2d_forward_256
+
+The pair fails when ``current_A / current_B`` exceeds
+``(baseline_A / baseline_B) * --order-tolerance`` — i.e. A got slower
+*relative to B* by more than the margin, regardless of how noisy the
+runner's absolute wall-clock is.  Comparing ratios against the
+baseline's own ratio (rather than asserting ``A < B`` outright) makes
+the gate meaningful even for pairs the baseline records as a tie or a
+loss, and self-ratios cancel most machine-speed noise, which is why
+this gate is hard where the per-op gate is soft: ordering violations
+exit with status 2 (per-op regressions alone exit 1), and CI treats
+only exit 2 as fatal.  An op named in ``--require-order`` but missing
+from either file is itself a hard failure — an ordering gate that
+silently stops measuring is worse than one that fails.
+
 A second, independent mode diffs the per-rank communication fraction of
 two ``repro trace`` summary files (the ``<out>.summary.json`` written
 next to every chrome trace)::
@@ -85,6 +106,64 @@ def compare(
     return lines, regressions
 
 
+def parse_order_pairs(raw: list[str]) -> list[tuple[str, str]]:
+    pairs = []
+    for item in raw:
+        parts = item.split(":")
+        if len(parts) != 2 or not all(parts):
+            sys.exit(
+                f"bench_compare: --require-order expects 'opA:opB', got {item!r}"
+            )
+        pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def compare_order(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    pairs: list[tuple[str, str]],
+    tolerance: float,
+) -> tuple[list[str], int]:
+    """Hard gate: each pair's current A/B ratio vs the baseline's.
+
+    Returns (lines, violation_count).  Violations cover both a
+    deteriorated ratio and a pair op missing from either file.
+    """
+    lines = [
+        f"{'ordering pair':<60} {'base A/B':>9} {'cur A/B':>9}  verdict"
+    ]
+    violations = 0
+    for op_a, op_b in pairs:
+        label = f"{op_a} : {op_b}"
+        missing = [
+            f"{op} ({side})"
+            for side, records in (("baseline", baseline), ("current", current))
+            for op in (op_a, op_b)
+            if op not in records
+        ]
+        if missing:
+            lines.append(f"{label:<60} {'-':>9} {'-':>9}  VIOLATION (missing: {', '.join(missing)})")
+            violations += 1
+            continue
+        base_a = float(baseline[op_a]["median_seconds"])
+        base_b = float(baseline[op_b]["median_seconds"])
+        cur_a = float(current[op_a]["median_seconds"])
+        cur_b = float(current[op_b]["median_seconds"])
+        if base_b <= 0 or cur_b <= 0:
+            lines.append(f"{label:<60} {'-':>9} {'-':>9}  VIOLATION (non-positive timing)")
+            violations += 1
+            continue
+        base_ratio = base_a / base_b
+        cur_ratio = cur_a / cur_b
+        if cur_ratio > base_ratio * tolerance:
+            verdict = f"VIOLATION (> {tolerance:.2f}x baseline ratio)"
+            violations += 1
+        else:
+            verdict = "ok"
+        lines.append(f"{label:<60} {base_ratio:>9.3f} {cur_ratio:>9.3f}  {verdict}")
+    return lines, violations
+
+
 def load_summary(path: pathlib.Path) -> dict[str, dict]:
     try:
         summary = json.loads(path.read_text())
@@ -143,6 +222,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=1.5,
                         help="fail when current > baseline * tolerance "
                         "(default: %(default)s)")
+    parser.add_argument("--require-order", action="append", default=[],
+                        metavar="OPA:OPB",
+                        help="hard-gate the A/B median ratio against the "
+                        "baseline's own ratio (repeatable; violations exit 2)")
+    parser.add_argument("--order-tolerance", type=float, default=1.25,
+                        help="fail a --require-order pair when its current "
+                        "ratio exceeds baseline ratio * this factor "
+                        "(default: %(default)s)")
     parser.add_argument("--summary-baseline", type=pathlib.Path,
                         help="baseline repro-trace <out>.summary.json")
     parser.add_argument("--summary-current", type=pathlib.Path,
@@ -153,6 +240,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.tolerance <= 1.0:
         parser.error(f"--tolerance must be > 1.0, got {args.tolerance}")
+    if args.order_tolerance <= 1.0:
+        parser.error(f"--order-tolerance must be > 1.0, got {args.order_tolerance}")
+    if args.require_order and not args.baseline:
+        parser.error("--require-order needs --baseline/--current")
     if not 0.0 < args.comm_tolerance < 1.0:
         parser.error(f"--comm-tolerance must be in (0, 1), got {args.comm_tolerance}")
     if bool(args.baseline) != bool(args.current):
@@ -164,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
                      "--summary-baseline/--summary-current")
 
     regressions = 0
+    violations = 0
     if args.baseline:
         baseline = load_records(args.baseline)
         current = load_records(args.current)
@@ -173,6 +265,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n{bench_regressions} regression(s) beyond "
                   f"{args.tolerance:.2f}x tolerance")
         regressions += bench_regressions
+        if args.require_order:
+            pairs = parse_order_pairs(args.require_order)
+            print()
+            lines, violations = compare_order(
+                baseline, current, pairs, args.order_tolerance
+            )
+            print("\n".join(lines))
+            if violations:
+                print(f"\n{violations} ordering violation(s) beyond "
+                      f"{args.order_tolerance:.2f}x of the baseline ratio")
     if args.summary_baseline:
         if args.baseline:
             print()
@@ -186,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n{comm_regressions} rank(s) with comm_fraction up more "
                   f"than {100 * args.comm_tolerance:.0f} points")
         regressions += comm_regressions
+    if violations:
+        return 2
     if regressions:
         return 1
     print("\nno regressions")

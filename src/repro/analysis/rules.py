@@ -67,6 +67,10 @@ RULES: dict[str, str] = {
     "REP008": "raw time.perf_counter() outside the observability layer — "
     "timing must go through repro.obs.trace.clock so spans and ad-hoc "
     "timers share one clock and one trace timeline",
+    "REP013": "hardcoded equation/IC/BC construction outside "
+    "src/repro/scenarios/ and src/repro/solver/ — physics choices must "
+    "be resolved through the scenario registry (get_scenario + the "
+    "build_* helpers), not rebuilt inline",
 }
 
 #: ruff-style suppression comment: bare ``# noqa`` (all rules) or
@@ -787,6 +791,81 @@ def rule_rep008(ctx: FileContext) -> Iterator[Violation]:
                     yield hit(node, f"'from time import {alias.name}'")
 
 
+# ======================================================================
+# REP013 — physics construction outside the scenario registry
+# ======================================================================
+#: Where instantiating equations / initial conditions / boundary
+#: stencils directly is legitimate: the solver package (which defines
+#: them) and the scenarios package (whose build_* helpers are the one
+#: sanctioned spec-string -> object resolution point).  Everywhere else
+#: — CLI, experiments, data generation, examples — the physics must
+#: come from a :class:`~repro.scenarios.Scenario`, otherwise "many
+#: PDEs, one pipeline" decays back into per-script hardcoded setups
+#: that the registry, the residual evaluator, and ``--scenario`` flags
+#: cannot see.
+_REP013_SANCTIONED_DIRS = ("scenarios", "solver")
+
+#: Concrete physics factories: any direct call is a hardcoded choice.
+_REP013_CONSTRUCTORS = {
+    # equations
+    "LinearizedEuler",
+    "Diffusion2D",
+    "AllenCahn",
+    # initial conditions
+    "paper_initial_condition",
+    "gaussian_pulse",
+    "multiple_pulses",
+    "plane_wave",
+    "scalar_gaussian",
+    "scalar_blobs",
+    "random_phase_field",
+    # boundary stencils
+    "make_sponge",
+}
+
+#: Name-based lookups: sanctioned when fed a spec field
+#: (``get_equation(spec.equation)``), flagged only when the first
+#: argument is a string literal — that is the hardcoded form.
+_REP013_LOOKUPS = {
+    "get_equation",
+    "get_boundary_condition",
+    "get_field_boundary",
+    "local_boundary",
+}
+
+
+def rule_rep013(ctx: FileContext) -> Iterator[Violation]:
+    parts = ctx.path.replace("\\", "/").split("/")
+    if any(fragment in parts for fragment in _REP013_SANCTIONED_DIRS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        leaf = _dotted_name(node.func).rsplit(".", 1)[-1]
+        if leaf in _REP013_CONSTRUCTORS:
+            what = f"direct call to {leaf}()"
+        elif (
+            leaf in _REP013_LOOKUPS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            what = f"{leaf}({node.args[0].value!r}) with a hardcoded name"
+        else:
+            continue
+        yield Violation(
+            "REP013",
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            f"{what}: equation/IC/BC choices outside src/repro/scenarios/ "
+            "and src/repro/solver/ bypass the scenario registry — resolve "
+            "a Scenario (get_scenario / --scenario) and use the "
+            "scenarios.build_* helpers, or suppress with '# noqa: REP013' "
+            "plus a justification",
+        )
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
@@ -796,6 +875,7 @@ _FILE_RULES = {
     "REP006": rule_rep006,
     "REP007": rule_rep007,
     "REP008": rule_rep008,
+    "REP013": rule_rep013,
 }
 
 

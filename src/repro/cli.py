@@ -2,10 +2,14 @@
 
 Subcommands cover the full workflow:
 
-- ``repro generate``  — run the solver and save a snapshot dataset,
+- ``repro generate``  — run a scenario's solver and save a snapshot
+  dataset,
 - ``repro train``     — train the parallel surrogate on a dataset (or
   generate one on the fly) and checkpoint the models,
-- ``repro evaluate``  — single/multi-step accuracy of a checkpoint,
+- ``repro evaluate``  — single/multi-step accuracy of a checkpoint plus
+  the scenario's data-free physics-residual score,
+- ``repro scenarios`` — list the registered PDE scenarios (equation,
+  IC, BC, grid) or dump one spec as JSON,
 - ``repro scaling``   — the Fig.-4 strong-scaling study,
 - ``repro table1``    — print the architecture table,
 - ``repro lint``      — repo-specific static analysis (REP00x rules
@@ -26,6 +30,12 @@ Subcommands cover the full workflow:
 accept ``--trace <path>``, which runs the command under the
 :mod:`repro.obs` tracer and writes the merged timeline (every rank, on
 every backend) next to the command's normal output.
+
+The workflow commands all take ``--scenario <name>`` (any entry of the
+:mod:`repro.scenarios` registry — run ``repro scenarios`` for the
+list).  ``repro train`` records the scenario in the checkpoint;
+``repro evaluate`` resolves it back from there, so physics follow the
+model without being restated.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -69,15 +79,49 @@ def _trace_session(path: str | None) -> Iterator[None]:
     print(f"summary json: {summary}")
 
 
+def _add_scenario_flag(parser, *, resolved_from: str | None = None) -> None:
+    """Add ``--scenario``; default comes from the registry or, for
+    commands that can recover it, from a recorded artifact."""
+    from .scenarios import DEFAULT_SCENARIO
+
+    if resolved_from is None:
+        parser.add_argument(
+            "--scenario",
+            default=DEFAULT_SCENARIO,
+            help=f"registered scenario name (default: {DEFAULT_SCENARIO}; "
+            "run 'repro scenarios' for the catalogue)",
+        )
+    else:
+        parser.add_argument(
+            "--scenario",
+            default=None,
+            help=f"registered scenario name (default: recorded in the "
+            f"{resolved_from}, else {DEFAULT_SCENARIO}; run "
+            "'repro scenarios' for the catalogue)",
+        )
+
+
 def _add_generate(subparsers) -> None:
     parser = subparsers.add_parser(
-        "generate", help="simulate the Gaussian-pulse dataset and save it"
+        "generate", help="simulate a scenario's dataset and save it"
     )
     parser.add_argument("output", help="output .npz path")
+    _add_scenario_flag(parser)
     parser.add_argument("--grid-size", type=int, default=64)
     parser.add_argument("--snapshots", type=int, default=150)
-    parser.add_argument("--steps-per-snapshot", type=int, default=1)
-    parser.add_argument("--cfl", type=float, default=0.5)
+    parser.add_argument(
+        "--steps-per-snapshot",
+        type=int,
+        default=None,
+        help="solver steps between saved snapshots (default: the scenario's)",
+    )
+    parser.add_argument("--cfl", type=float, default=None)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the seed of a randomized initial condition",
+    )
 
 
 def _add_train(subparsers) -> None:
@@ -86,6 +130,7 @@ def _add_train(subparsers) -> None:
     )
     parser.add_argument("checkpoint", help="output model checkpoint (.npz)")
     parser.add_argument("--dataset", help="input dataset (.npz); generated if omitted")
+    _add_scenario_flag(parser, resolved_from="dataset")
     parser.add_argument("--grid-size", type=int, default=64)
     parser.add_argument("--snapshots", type=int, default=150)
     parser.add_argument("--train-fraction", type=float, default=2.0 / 3.0)
@@ -145,6 +190,7 @@ def _add_evaluate(subparsers) -> None:
     )
     parser.add_argument("checkpoint", help="model checkpoint (.npz)")
     parser.add_argument("--dataset", help="dataset (.npz); regenerated if omitted")
+    _add_scenario_flag(parser, resolved_from="checkpoint")
     parser.add_argument("--snapshots", type=int, default=150)
     parser.add_argument("--steps", type=int, default=1, help="rollout depth")
     _add_trace_flag(parser)
@@ -152,6 +198,7 @@ def _add_evaluate(subparsers) -> None:
 
 def _add_scaling(subparsers) -> None:
     parser = subparsers.add_parser("scaling", help="run the Fig.-4 scaling study")
+    _add_scenario_flag(parser)
     parser.add_argument("--grid-size", type=int, default=64)
     parser.add_argument("--snapshots", type=int, default=25)
     parser.add_argument("--epochs", type=int, default=2)
@@ -182,6 +229,23 @@ def _add_trace_flag(parser) -> None:
         help="record a repro.obs trace of this run and write a "
         "chrome://tracing timeline to PATH (plus .jsonl event log and "
         ".summary.json per-rank breakdown alongside)",
+    )
+
+
+def _add_scenarios_cmd(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scenarios",
+        help="list the registered PDE scenarios (equation, IC, BC, grid)",
+    )
+    parser.add_argument(
+        "name", nargs="?", default=None, help="show this scenario's full spec"
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="text table (default) or the spec dict(s) as JSON",
     )
 
 
@@ -270,6 +334,7 @@ def _add_perf(subparsers) -> None:
         help="op-level perf report: naive vs fused conv forward and an "
         "allocation-free InferencePlan rollout",
     )
+    _add_scenario_flag(parser)
     parser.add_argument("--grid-size", type=int, default=128)
     parser.add_argument("--steps", type=int, default=5, help="rollout steps")
     parser.add_argument("--repeats", type=int, default=3, help="forward timing repeats")
@@ -298,6 +363,7 @@ def _add_trace_cmd(subparsers) -> None:
         metavar="EVENTS.JSONL",
         help="convert an existing JSONL event log instead of running a workload",
     )
+    _add_scenario_flag(parser)
     parser.add_argument("--grid-size", type=int, default=64)
     parser.add_argument("--steps", type=int, default=3, help="rollout steps")
     parser.add_argument("--pgrid", type=int, nargs=2, default=(2, 2), metavar=("PY", "PX"))
@@ -328,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(subparsers)
     _add_scaling(subparsers)
     subparsers.add_parser("table1", help="print the Table-I architecture")
+    _add_scenarios_cmd(subparsers)
     _add_lint(subparsers)
     _add_analyze(subparsers)
     _add_check(subparsers)
@@ -340,42 +407,67 @@ def build_parser() -> argparse.ArgumentParser:
 # Command implementations
 # ----------------------------------------------------------------------
 def _cmd_generate(args) -> int:
-    from .data import generate_paper_dataset, save_snapshots
+    from .data import generate_scenario_dataset, save_snapshots
 
-    produced = generate_paper_dataset(
+    produced = generate_scenario_dataset(
+        args.scenario,
         grid_size=args.grid_size,
         num_snapshots=args.snapshots,
-        num_train=max(args.snapshots - 1, 2) - 1 or 2,
+        num_train=args.snapshots - max(args.snapshots // 3, 1),
         steps_per_snapshot=args.steps_per_snapshot,
         cfl=args.cfl,
+        seed=args.seed,
     )
     snapshots = produced.full_snapshots
     save_snapshots(
         args.output,
         snapshots,
+        scenario=produced.scenario,
         grid_size=args.grid_size,
         dt=produced.dt,
-        steps_per_snapshot=args.steps_per_snapshot,
+        steps_per_snapshot=produced.steps_per_snapshot,
+        snapshot_dt=produced.snapshot_dt,
     )
     print(
-        f"wrote {snapshots.shape[0]} snapshots of {args.grid_size}^2 x 4 "
-        f"channels to {args.output}"
+        f"wrote {snapshots.shape[0]} snapshots of {args.grid_size}^2 x "
+        f"{snapshots.shape[1]} channels ({produced.scenario}) to {args.output}"
     )
     return 0
 
 
-def _load_or_generate(dataset_path: str | None, snapshots: int, grid_size: int):
-    from .data import SnapshotDataset, generate_paper_dataset, load_snapshots
+def _load_or_generate(
+    dataset_path: str | None,
+    snapshots: int,
+    grid_size: int,
+    scenario: str | None = None,
+):
+    """Resolve (dataset, scenario name, snapshot spacing).
+
+    An explicit ``scenario`` (the ``--scenario`` flag) wins; a loaded
+    dataset's recorded scenario comes next; the registry default last.
+    ``snapshot_dt`` is ``None`` for datasets without time metadata.
+    """
+    from .data import SnapshotDataset, generate_scenario_dataset, load_snapshots
+    from .scenarios import DEFAULT_SCENARIO
 
     if dataset_path:
-        arrays, _ = load_snapshots(dataset_path)
-        return SnapshotDataset(arrays)
-    produced = generate_paper_dataset(
+        arrays, meta = load_snapshots(dataset_path)
+        name = scenario or str(meta.get("scenario") or "") or DEFAULT_SCENARIO
+        snapshot_dt = meta.get("snapshot_dt")
+        if snapshot_dt is None and meta.get("dt") is not None:
+            snapshot_dt = float(meta["dt"]) * int(meta.get("steps_per_snapshot", 1))
+        return SnapshotDataset(arrays), name, snapshot_dt
+    produced = generate_scenario_dataset(
+        scenario or DEFAULT_SCENARIO,
         grid_size=grid_size,
         num_snapshots=snapshots,
         num_train=snapshots - max(snapshots // 3, 1),
     )
-    return SnapshotDataset(produced.full_snapshots)
+    return (
+        SnapshotDataset(produced.full_snapshots),
+        produced.scenario,
+        produced.snapshot_dt,
+    )
 
 
 def _schedule_kwargs(name: str | None, epochs: int) -> dict:
@@ -389,15 +481,17 @@ def _schedule_kwargs(name: str | None, epochs: int) -> dict:
 
 def _cmd_train(args) -> int:
     from .core import (
-        CNNConfig,
         EarlyStopping,
         ParallelTrainer,
         TrainingConfig,
         parse_strategy,
         save_parallel_models,
     )
+    from .scenarios import cnn_config
 
-    dataset = _load_or_generate(args.dataset, args.snapshots, args.grid_size)
+    dataset, scenario, _ = _load_or_generate(
+        args.dataset, args.snapshots, args.grid_size, args.scenario
+    )
     num_train = max(int(dataset.snapshots.shape[0] * args.train_fraction), 2)
     train, validation = dataset.split(num_train)
     if args.augment:
@@ -406,14 +500,14 @@ def _cmd_train(args) -> int:
         train = augment_dataset(train)
         print("D4 augmentation: 8x training trajectories")
     print(
-        f"dataset: {dataset.snapshots.shape}, training on {train.num_samples} "
-        f"pairs across {args.ranks} ranks"
+        f"dataset: {dataset.snapshots.shape} ({scenario}), training on "
+        f"{train.num_samples} pairs across {args.ranks} ranks"
     )
     callback_factory = None
     if args.patience is not None:
         callback_factory = lambda rank: (EarlyStopping(patience=args.patience),)
     trainer = ParallelTrainer(
-        cnn_config=CNNConfig(strategy=parse_strategy(args.strategy)),
+        cnn_config=cnn_config(scenario, strategy=parse_strategy(args.strategy)),
         training_config=TrainingConfig(
             epochs=args.epochs,
             batch_size=args.batch_size,
@@ -433,7 +527,7 @@ def _cmd_train(args) -> int:
         execution=args.execution,
         validation=validation if args.validate else None,
     )
-    save_parallel_models(args.checkpoint, result)
+    save_parallel_models(args.checkpoint, result, scenario=scenario)
     print(
         f"trained in {result.max_train_time:.2f}s (slowest rank); "
         f"final losses {[f'{l:.4g}' for l in result.final_losses]}"
@@ -446,20 +540,38 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    from .core import ParallelPredictor, load_parallel_models, per_channel, relative_l2
+    from .core import (
+        ParallelPredictor,
+        load_checkpoint_scenario,
+        load_parallel_models,
+        per_channel,
+        relative_l2,
+    )
+    from .scenarios import channels, scenario_residual
 
     models, decomposition, config = load_parallel_models(args.checkpoint)
+    scenario = args.scenario or load_checkpoint_scenario(args.checkpoint)
     grid_size = decomposition.field_shape[0]
-    dataset = _load_or_generate(args.dataset, args.snapshots, grid_size)
+    dataset, scenario, snapshot_dt = _load_or_generate(
+        args.dataset, args.snapshots, grid_size, scenario
+    )
     predictor = ParallelPredictor(models, decomposition)
     initial = dataset.snapshots[0]
     rollout = predictor.rollout(initial, num_steps=args.steps)
     prediction = rollout.trajectory[args.steps]
     target = dataset.snapshots[min(args.steps, dataset.snapshots.shape[0] - 1)]
-    errors = per_channel(relative_l2, prediction, target)
-    print(f"strategy: {config.strategy.value}; rollout depth {args.steps}")
+    errors = per_channel(relative_l2, prediction, target, channels(scenario))
+    print(
+        f"scenario: {scenario}; strategy: {config.strategy.value}; "
+        f"rollout depth {args.steps}"
+    )
     for name, value in errors.items():
         print(f"  {name:>4}: relative L2 = {value:.4f}")
+    if snapshot_dt is not None:
+        trajectory = np.asarray(rollout.trajectory[: args.steps + 1])
+        print(scenario_residual(scenario, trajectory, float(snapshot_dt)).report())
+    else:
+        print("physics residual: skipped (dataset carries no dt metadata)")
     print(
         f"halo messages: {rollout.messages_sent}, "
         f"volume: {rollout.bytes_sent / 1024:.1f} KiB"
@@ -475,6 +587,7 @@ def _cmd_scaling(args) -> int:
             grid_size=args.grid_size,
             num_snapshots=args.snapshots,
             num_train=args.snapshots - max(args.snapshots // 5, 1),
+            scenario=args.scenario,
         ),
         training=default_training_config(epochs=args.epochs),
         rank_counts=tuple(args.ranks),
@@ -489,6 +602,38 @@ def _cmd_table1(_args) -> int:
     from .experiments import render_table1
 
     print(render_table1())
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    import json
+
+    from .exceptions import ConfigurationError
+    from .scenarios import available_scenarios, get_scenario
+
+    names = [args.name] if args.name else list(available_scenarios())
+    try:
+        specs = [get_scenario(name) for name in names]
+    except ConfigurationError as exc:
+        print(f"repro scenarios: error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        payload = specs[0].to_dict() if args.name else [s.to_dict() for s in specs]
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.name:
+        for key, value in specs[0].to_dict().items():
+            print(f"{key}: {value}")
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        summary = (
+            f"{spec.equation}, {spec.initial_condition}, {spec.boundary} BC, "
+            f"{spec.grid_size}^2 grid"
+        )
+        print(f"{spec.name:<{width}}  {summary}")
+        if spec.description:
+            print(f"{'':<{width}}  {spec.description}")
     return 0
 
 
@@ -607,13 +752,18 @@ def _cmd_perf(args) -> int:
     from .core import InferencePlan, ParallelPredictor, build_paper_cnn
     from .domain.decomposition import BlockDecomposition
     from .obs import trace
+    from .scenarios import channels
     from .tensor import no_grad, perf, workspace_disabled
 
     rng = np.random.default_rng(args.seed)
     size = args.grid_size
-    model = build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed))
+    num_channels = len(channels(args.scenario))
+    arch = (num_channels, 6, 16, 6, num_channels)
+    model = build_paper_cnn(
+        args.strategy, rng=np.random.default_rng(args.seed), channels=arch
+    )
     halo = model.input_halo
-    x = rng.standard_normal((1, 4, size + 2 * halo, size + 2 * halo))
+    x = rng.standard_normal((1, num_channels, size + 2 * halo, size + 2 * halo))
 
     def fwd_naive() -> None:
         with no_grad(), workspace_disabled():
@@ -646,11 +796,13 @@ def _cmd_perf(args) -> int:
     # back through the obs aggregation path at shutdown.
     py, px = args.pgrid
     models = [
-        build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed + r))
+        build_paper_cnn(
+            args.strategy, rng=np.random.default_rng(args.seed + r), channels=arch
+        )
         for r in range(py * px)
     ]
     predictor = ParallelPredictor(models, BlockDecomposition((size, size), (py, px)))
-    initial = rng.standard_normal((4, size, size))
+    initial = rng.standard_normal((num_channels, size, size))
     perf.reset()
     with perf.collecting():
         predictor.rollout(initial, num_steps=args.steps, execution=args.execution)
@@ -671,16 +823,21 @@ def _cmd_trace(args) -> int:
 
     from .core import ParallelPredictor, build_paper_cnn
     from .domain.decomposition import BlockDecomposition
+    from .scenarios import channels
 
     rng = np.random.default_rng(args.seed)
     size = args.grid_size
     py, px = args.pgrid
+    num_channels = len(channels(args.scenario))
+    arch = (num_channels, 6, 16, 6, num_channels)
     models = [
-        build_paper_cnn(args.strategy, rng=np.random.default_rng(args.seed + r))
+        build_paper_cnn(
+            args.strategy, rng=np.random.default_rng(args.seed + r), channels=arch
+        )
         for r in range(py * px)
     ]
     predictor = ParallelPredictor(models, BlockDecomposition((size, size), (py, px)))
-    initial = rng.standard_normal((4, size, size))
+    initial = rng.standard_normal((num_channels, size, size))
     trace.reset()
     with trace.tracing():
         predictor.rollout(initial, num_steps=args.steps, execution=args.execution)
@@ -708,6 +865,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "scaling": _cmd_scaling,
     "table1": _cmd_table1,
+    "scenarios": _cmd_scenarios,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
     "check": _cmd_check,

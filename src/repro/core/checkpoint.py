@@ -58,13 +58,18 @@ def _config_from_json(payload: str) -> CNNConfig:
 
 
 def save_parallel_models(
-    path: str | os.PathLike, result: ParallelTrainingResult
+    path: str | os.PathLike,
+    result: ParallelTrainingResult,
+    *,
+    scenario: str | None = None,
 ) -> None:
     """Persist the trained per-rank networks of ``result``.
 
     The file stores, per rank, every parameter array under the key
     ``rank<r>/<param>``, plus the architecture and decomposition
-    metadata.
+    metadata.  ``scenario`` records which registered scenario the
+    models were trained on, so ``repro evaluate`` can resolve the
+    matching physics without being told again.
     """
     arrays: dict[str, np.ndarray] = {}
     for rank_result in result.rank_results:
@@ -78,7 +83,21 @@ def save_parallel_models(
         "field_shape": list(decomp.field_shape),
         "cnn_config": _config_to_json(result.cnn_config),
     }
+    if scenario is not None:
+        meta["scenario"] = str(scenario)
     np.savez_compressed(path, __meta__=json.dumps(meta), **arrays)
+
+
+def load_checkpoint_scenario(path: str | os.PathLike) -> str | None:
+    """The scenario name recorded in a parallel-model checkpoint, or
+    None for checkpoints written before scenarios existed (those are
+    implicitly the paper baseline)."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise DatasetError(f"{path} is not a repro model checkpoint")
+        meta = json.loads(str(archive["__meta__"]))
+    scenario = meta.get("scenario")
+    return None if scenario is None else str(scenario)
 
 
 def load_parallel_models(

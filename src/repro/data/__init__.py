@@ -15,6 +15,7 @@ from .generation import (
     TrainValData,
     generate_multi_pulse_dataset,
     generate_paper_dataset,
+    generate_scenario_dataset,
     synthetic_advection_snapshots,
 )
 from .io import load_dataset, load_snapshots, save_dataset, save_snapshots
@@ -40,6 +41,7 @@ __all__ = [
     "TrainValData",
     "generate_paper_dataset",
     "generate_multi_pulse_dataset",
+    "generate_scenario_dataset",
     "synthetic_advection_snapshots",
     "save_snapshots",
     "load_snapshots",

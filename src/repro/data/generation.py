@@ -1,10 +1,12 @@
 """Training-data generation.
 
-:func:`generate_paper_dataset` reproduces the paper's data pipeline:
-one linearized-Euler simulation of a Gaussian pressure pulse recorded
-for 1500 snapshots, split 1000 / 500 into training and validation
-(Sec. IV-B).  Grid size and snapshot counts are parameters so tests and
-benchmarks can run scaled-down but structurally identical versions.
+:func:`generate_scenario_dataset` is the canonical pipeline: it
+resolves a :class:`~repro.scenarios.Scenario` from the registry, runs
+its solver and splits the snapshots.  :func:`generate_paper_dataset`
+(the paper's Sec. IV-B setup: 1500 snapshots, 1000/500 split) and
+:func:`generate_multi_pulse_dataset` are thin delegations to the
+``euler-gaussian`` / ``euler-multi-pulse`` scenarios, pinned bit-exact
+against their pre-registry implementations by golden tests.
 """
 
 from __future__ import annotations
@@ -14,14 +16,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import DatasetError
-from ..solver import (
-    Background,
-    LinearizedEuler,
-    Simulation,
-    UniformGrid2D,
-    gaussian_pulse,
-    paper_initial_condition,
-)
+from ..scenarios import Scenario, get_scenario, simulate
+from ..scenarios.build import build_grid
+from ..solver import Background, UniformGrid2D
 from .dataset import SnapshotDataset
 
 
@@ -33,6 +30,16 @@ class TrainValData:
     validation: SnapshotDataset
     grid: UniformGrid2D
     dt: float
+    #: registry name of the generating scenario (None for ad-hoc data)
+    scenario: str | None = None
+    #: solver steps between recorded snapshots (snapshot spacing =
+    #: ``dt * steps_per_snapshot``)
+    steps_per_snapshot: int = 1
+
+    @property
+    def snapshot_dt(self) -> float:
+        """Simulation-time spacing between consecutive snapshots."""
+        return self.dt * self.steps_per_snapshot
 
     @property
     def full_snapshots(self) -> np.ndarray:
@@ -40,6 +47,53 @@ class TrainValData:
         return np.concatenate(
             [self.train.snapshots, self.validation.snapshots[1:]], axis=0
         )
+
+
+def generate_scenario_dataset(
+    scenario: str | Scenario = "euler-gaussian",
+    grid_size: int | None = None,
+    num_snapshots: int | None = None,
+    num_train: int | None = None,
+    steps_per_snapshot: int | None = None,
+    cfl: float | None = None,
+    seed: int | None = None,
+) -> TrainValData:
+    """Generate a train/validation dataset for any registered scenario.
+
+    All overrides default to the scenario's own spec values; ``seed``
+    re-seeds randomized initial conditions (per-trajectory variation).
+    This is the single generation path every layer (CLI, experiments,
+    smoke tests) goes through.
+    """
+    spec = get_scenario(scenario)
+    total = num_snapshots if num_snapshots is not None else spec.num_snapshots
+    train_count = num_train if num_train is not None else spec.num_train(total)
+    if train_count >= total:
+        raise DatasetError(
+            f"num_train ({train_count}) must be < num_snapshots ({total})"
+        )
+    spacing = (
+        steps_per_snapshot if steps_per_snapshot is not None else spec.steps_per_snapshot
+    )
+    result = simulate(
+        spec,
+        grid_size=grid_size,
+        num_snapshots=total,
+        steps_per_snapshot=spacing,
+        cfl=cfl,
+        seed=seed,
+    )
+    grid = build_grid(spec, grid_size)
+    dataset = SnapshotDataset(result.snapshots)
+    train, validation = dataset.split(train_count)
+    return TrainValData(
+        train,
+        validation,
+        grid,
+        result.dt,
+        scenario=spec.name,
+        steps_per_snapshot=spacing,
+    )
 
 
 def generate_paper_dataset(
@@ -55,20 +109,27 @@ def generate_paper_dataset(
 
     Defaults are the paper's exact numbers (256² grid, 1500 snapshots,
     1000 train); pass smaller values for fast tests (the physics is
-    identical, only resolution changes).
+    identical, only resolution changes).  Delegates to the
+    ``euler-gaussian`` scenario (bit-exact vs the pre-registry path).
     """
-    if num_train >= num_snapshots:
-        raise DatasetError(
-            f"num_train ({num_train}) must be < num_snapshots ({num_snapshots})"
+    params: dict = {"dissipation": dissipation}
+    if background is not None:
+        params.update(
+            rho_c=background.rho_c,
+            p_c=background.p_c,
+            u_c=background.u_c,
+            v_c=background.v_c,
+            gamma=background.gamma,
         )
-    grid = UniformGrid2D.square(grid_size)
-    equations = LinearizedEuler(background, dissipation=dissipation)
-    sim = Simulation(grid, equations, boundary="outflow", cfl=cfl)
-    initial = paper_initial_condition(grid, background=equations.background)
-    result = sim.run(initial, num_snapshots, steps_per_snapshot)
-    dataset = SnapshotDataset(result.snapshots)
-    train, validation = dataset.split(num_train)
-    return TrainValData(train, validation, grid, result.dt)
+    spec = get_scenario("euler-gaussian").replace(equation_params=params)
+    return generate_scenario_dataset(
+        spec,
+        grid_size=grid_size,
+        num_snapshots=num_snapshots,
+        num_train=num_train,
+        steps_per_snapshot=steps_per_snapshot,
+        cfl=cfl,
+    )
 
 
 def generate_multi_pulse_dataset(
@@ -82,37 +143,21 @@ def generate_multi_pulse_dataset(
     """A richer variant: several random off-centre Gaussian pulses.
 
     Used by the generalization example — the paper's single-pulse set
-    leads to a surrogate specialized to one trajectory; this generator
-    provides the obvious extension.
+    leads to a surrogate specialized to one trajectory; this delegates
+    to the ``euler-multi-pulse`` scenario.
     """
     if num_pulses < 1:
         raise DatasetError("num_pulses must be >= 1")
-    rng = np.random.default_rng(seed)
-    grid = UniformGrid2D.square(grid_size)
-    equations = LinearizedEuler()
-    sim = Simulation(grid, equations, boundary="outflow", cfl=cfl)
-
-    state = None
-    for _ in range(num_pulses):
-        center = tuple(rng.uniform(-0.5, 0.5, size=2))
-        amplitude = rng.uniform(0.25, 0.75) * equations.background.p_c
-        half_width = rng.uniform(0.15, 0.35)
-        pulse = gaussian_pulse(
-            grid, amplitude, half_width, center, equations.background, isentropic=False
-        )
-        state = pulse if state is None else _superpose(state, pulse)
-    result = sim.run(state, num_snapshots)
-    dataset = SnapshotDataset(result.snapshots)
-    train, validation = dataset.split(num_train)
-    return TrainValData(train, validation, grid, result.dt)
-
-
-def _superpose(a, b):
-    a.p += b.p
-    a.rho += b.rho
-    a.u += b.u
-    a.v += b.v
-    return a
+    spec = get_scenario("euler-multi-pulse").replace(
+        ic_params={"num_pulses": num_pulses, "seed": seed}
+    )
+    return generate_scenario_dataset(
+        spec,
+        grid_size=grid_size,
+        num_snapshots=num_snapshots,
+        num_train=num_train,
+        cfl=cfl,
+    )
 
 
 def synthetic_advection_snapshots(

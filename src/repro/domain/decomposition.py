@@ -78,24 +78,41 @@ class BlockDecomposition:
         Process grid ``(Py, Px)``; use :meth:`from_num_ranks` to let the
         library pick a balanced factorization (``MPI_Dims_create``
         style).
+    periodic:
+        Per-axis wrap flags ``(y, x)``.  Along a periodic axis the
+        process grid closes into a ring: :meth:`neighbour` wraps instead
+        of returning ``None``, halo :meth:`extract` pulls data from the
+        opposite side of the domain, and no subdomain reports a
+        physical wall on that axis (see :meth:`physical_sides`).
     """
 
-    def __init__(self, field_shape: tuple[int, int], pgrid: tuple[int, int]) -> None:
+    def __init__(
+        self,
+        field_shape: tuple[int, int],
+        pgrid: tuple[int, int],
+        periodic: tuple[bool, bool] = (False, False),
+    ) -> None:
         height, width = field_shape
         py, px = pgrid
         if py <= 0 or px <= 0:
             raise DecompositionError(f"process grid must be positive, got {pgrid}")
+        if len(periodic) != 2:
+            raise DecompositionError(f"periodic must be (y, x) flags, got {periodic}")
         self.field_shape = (int(height), int(width))
         self.pgrid = (int(py), int(px))
+        self.periodic = (bool(periodic[0]), bool(periodic[1]))
         self._y_ranges = split_extent(height, py)
         self._x_ranges = split_extent(width, px)
 
     @classmethod
     def from_num_ranks(
-        cls, field_shape: tuple[int, int], num_ranks: int
+        cls,
+        field_shape: tuple[int, int],
+        num_ranks: int,
+        periodic: tuple[bool, bool] = (False, False),
     ) -> "BlockDecomposition":
         """Decompose for ``num_ranks`` using a balanced 2-D factorization."""
-        return cls(field_shape, dims_create(num_ranks, 2))
+        return cls(field_shape, dims_create(num_ranks, 2), periodic=periodic)
 
     # ------------------------------------------------------------------
     @property
@@ -128,7 +145,8 @@ class BlockDecomposition:
 
     def neighbour(self, rank: int, axis: int, direction: int) -> int | None:
         """Neighbouring rank along ``axis`` (0 = y, 1 = x) in
-        ``direction`` (-1 or +1); ``None`` at the domain boundary."""
+        ``direction`` (-1 or +1); ``None`` at a non-periodic domain
+        boundary, the wrapped-around rank along a periodic axis."""
         if axis not in (0, 1):
             raise DecompositionError(f"axis must be 0 or 1, got {axis}")
         if direction not in (-1, 1):
@@ -137,8 +155,34 @@ class BlockDecomposition:
         coords[axis] += direction
         py, px = self.pgrid
         if not (0 <= coords[0] < py and 0 <= coords[1] < px):
-            return None
+            if not self.periodic[axis]:
+                return None
+            coords[axis] %= (py, px)[axis]
         return self.rank_of((coords[0], coords[1]))
+
+    def physical_sides(self, rank: int) -> tuple[str, ...]:
+        """The subdomain's local walls that are true physical domain
+        boundaries, named in the solver's canonical side order
+        (``"y_lo", "y_hi", "x_lo", "x_hi"``).
+
+        Interior edges and walls on a periodic axis are excluded — both
+        are closed by the halo exchange, not by a boundary stencil.
+        Feed the result to :func:`repro.solver.local_boundary`.
+        """
+        iy, ix = self.coords_of(rank)
+        py, px = self.pgrid
+        sides = []
+        if not self.periodic[0]:
+            if iy == 0:
+                sides.append("y_lo")
+            if iy == py - 1:
+                sides.append("y_hi")
+        if not self.periodic[1]:
+            if ix == 0:
+                sides.append("x_lo")
+            if ix == px - 1:
+                sides.append("x_hi")
+        return tuple(sides)
 
     # ------------------------------------------------------------------
     def extract(
@@ -169,13 +213,34 @@ class BlockDecomposition:
         height, width = self.field_shape
         y0, y1 = sub.y_range
         x0, x1 = sub.x_range
-        cy0, cy1 = max(y0 - halo, 0), min(y1 + halo, height)
-        cx0, cx1 = max(x0 - halo, 0), min(x1 + halo, width)
-        block = field[..., cy0:cy1, cx0:cx1]
-        pad = (
-            (halo - (y0 - cy0), halo - (cy1 - y1)),
-            (halo - (x0 - cx0), halo - (cx1 - x1)),
-        )
+        if any(self.periodic):
+            # Wrapped axes take their halo lines from the opposite side
+            # of the global field; non-periodic axes fall through to the
+            # clamp-and-pad below via an empty pad contribution here.
+            if self.periodic[0]:
+                ys = np.arange(y0 - halo, y1 + halo) % height
+                pad_y = (0, 0)
+            else:
+                cy0, cy1 = max(y0 - halo, 0), min(y1 + halo, height)
+                ys = np.arange(cy0, cy1)
+                pad_y = (halo - (y0 - cy0), halo - (cy1 - y1))
+            if self.periodic[1]:
+                xs = np.arange(x0 - halo, x1 + halo) % width
+                pad_x = (0, 0)
+            else:
+                cx0, cx1 = max(x0 - halo, 0), min(x1 + halo, width)
+                xs = np.arange(cx0, cx1)
+                pad_x = (halo - (x0 - cx0), halo - (cx1 - x1))
+            block = field[..., ys[:, None], xs[None, :]]
+            pad = (pad_y, pad_x)
+        else:
+            cy0, cy1 = max(y0 - halo, 0), min(y1 + halo, height)
+            cx0, cx1 = max(x0 - halo, 0), min(x1 + halo, width)
+            block = field[..., cy0:cy1, cx0:cx1]
+            pad = (
+                (halo - (y0 - cy0), halo - (cy1 - y1)),
+                (halo - (x0 - cx0), halo - (cx1 - x1)),
+            )
         if all(lo == 0 and hi == 0 for lo, hi in pad):
             return np.ascontiguousarray(block)
         pad_width = ((0, 0),) * (field.ndim - 2) + pad

@@ -72,15 +72,20 @@ class HaloExchanger:
         self.halo = halo
         self.fill = fill
         self.subdomain = sub
-        # Axis neighbours (None at physical boundaries).
+        # Axis neighbours (None at physical boundaries; along a
+        # periodic axis the decomposition wraps, possibly onto this
+        # rank itself when the axis has a single rank).
         self.neighbours = {
             (axis, direction): decomposition.neighbour(comm.rank, axis, direction)
             for axis in (0, 1)
             for direction in (-1, +1)
         }
         #: number of messages this rank sends (== receives) per exchange
+        #: (self-wraps are local copies, not messages)
         self.messages_per_exchange = sum(
-            1 for peer in self.neighbours.values() if peer is not None
+            1
+            for peer in self.neighbours.values()
+            if peer is not None and peer != comm.rank
         )
 
     # ------------------------------------------------------------------
@@ -98,12 +103,17 @@ class HaloExchanger:
             return np.ascontiguousarray(local[tuple(index)])
 
         # Post all sends first (buffered), then receive: deadlock-free.
-        if lo_peer is not None:
+        # A periodic axis with a single rank wraps onto itself — that is
+        # a local copy of the opposite strip, not a message.
+        me = self.comm.rank
+        if lo_peer is not None and lo_peer != me:
             self.comm.send(strip(-1), dest=lo_peer, tag=_halo_tag(phase, -1))
-        if hi_peer is not None:
+        if hi_peer is not None and hi_peer != me:
             self.comm.send(strip(+1), dest=hi_peer, tag=_halo_tag(phase, +1))
 
         def received_or_fill(peer: int | None, direction: int) -> np.ndarray:
+            if peer == me:
+                return strip(-direction)
             if peer is not None:
                 # The neighbour on our low side sent with tag(+1) (its
                 # high-side strip), and vice versa.

@@ -17,6 +17,7 @@ from .cost_model import ScalingModel, analyse_fig4, fit_scaling_model
 from .common import (
     DataConfig,
     ExperimentData,
+    adapt_cnn_to_scenario,
     default_cnn_config,
     default_training_config,
     paper_faithful_training_config,
@@ -31,6 +32,7 @@ __all__ = [
     "DataConfig",
     "ExperimentData",
     "prepare_data",
+    "adapt_cnn_to_scenario",
     "default_cnn_config",
     "default_training_config",
     "paper_faithful_training_config",

@@ -112,7 +112,7 @@ def run_padding_ablation(
     experiment = prepare_data(data)
     rows = []
     for strategy in strategies:
-        cnn = default_cnn_config(strategy)
+        cnn = default_cnn_config(strategy, scenario=data.scenario)
         trainer = ParallelTrainer(cnn, training, num_ranks=num_ranks, seed=seed)
         start = trace.clock()
         result = trainer.train(experiment.train, execution="serial")
@@ -164,7 +164,7 @@ def run_loss_ablation(
             seed=seed,
             loss_kwargs={"epsilon": 1e-2} if loss == "mape" else {},
         )
-        trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
+        trainer = ParallelTrainer(default_cnn_config(scenario=data.scenario), training, num_ranks=num_ranks, seed=seed)
         start = trace.clock()
         result = trainer.train(experiment.train, execution="serial")
         elapsed = trace.clock() - start
@@ -199,7 +199,7 @@ def run_optimizer_ablation(
     rows = []
     for name, overrides in variants:
         training = default_training_config(epochs=epochs, seed=seed, **overrides)
-        trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
+        trainer = ParallelTrainer(default_cnn_config(scenario=data.scenario), training, num_ranks=num_ranks, seed=seed)
         start = trace.clock()
         result = trainer.train(experiment.train, execution="serial")
         elapsed = trace.clock() - start
@@ -234,7 +234,7 @@ def run_augmentation_ablation(
         ("baseline", experiment.train),
         ("d4_augmented", augment_dataset(experiment.train)),
     ):
-        trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
+        trainer = ParallelTrainer(default_cnn_config(scenario=data.scenario), training, num_ranks=num_ranks, seed=seed)
         start = trace.clock()
         result = trainer.train(train_set, execution="serial")
         elapsed = trace.clock() - start
@@ -292,7 +292,7 @@ def run_rollout_study(
             f"validation set has {experiment.validation.num_samples} samples, "
             f"need >= {num_steps}"
         )
-    trainer = ParallelTrainer(default_cnn_config(), training, num_ranks=num_ranks, seed=seed)
+    trainer = ParallelTrainer(default_cnn_config(scenario=data.scenario), training, num_ranks=num_ranks, seed=seed)
     result = trainer.train(experiment.train, execution="serial")
     predictor = ParallelPredictor(result.build_models(), result.decomposition)
     initial = experiment.validation.snapshots[0]
@@ -350,7 +350,7 @@ def run_scheme_comparison(
 
     # Sequential baseline (P = 1, ZERO padding so the same network also
     # serves as the weight-averaging replica architecture).
-    seq_cnn = default_cnn_config(PaddingStrategy.ZERO)
+    seq_cnn = default_cnn_config(PaddingStrategy.ZERO, scenario=data.scenario)
     seq_trainer = ParallelTrainer(seq_cnn, training, num_ranks=1, seed=seed)
     start = trace.clock()
     seq_result = seq_trainer.train(experiment.train, execution="serial")
@@ -366,7 +366,7 @@ def run_scheme_comparison(
 
     # Paper scheme.
     par_trainer = ParallelTrainer(
-        default_cnn_config(), training, num_ranks=num_ranks, seed=seed
+        default_cnn_config(scenario=data.scenario), training, num_ranks=num_ranks, seed=seed
     )
     start = trace.clock()
     par_result = par_trainer.train(experiment.train, execution="serial")

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core import CNNConfig, PaddingStrategy, TrainingConfig, parse_strategy
-from ..data import SnapshotDataset, StandardNormalizer, generate_paper_dataset
+from ..data import SnapshotDataset, StandardNormalizer, generate_scenario_dataset
 from ..exceptions import ConfigurationError
+from ..scenarios import DEFAULT_SCENARIO, channels, get_scenario
 
 
 @dataclass(frozen=True)
@@ -18,6 +20,10 @@ class ExperimentData:
     train: SnapshotDataset
     validation: SnapshotDataset
     normalizer: StandardNormalizer | None
+    #: registry name of the generating scenario (None for ad-hoc data)
+    scenario: str | None = None
+    #: snapshot spacing in simulation time (solver dt × steps/snapshot)
+    dt: float | None = None
 
     def denormalize(self, array: np.ndarray) -> np.ndarray:
         if self.normalizer is None:
@@ -33,21 +39,27 @@ class ExperimentData:
 class DataConfig:
     """Dataset generation settings (defaults are scaled-down paper
     values; pass ``grid_size=256, num_snapshots=1500, num_train=1000``
-    for the full Sec. IV configuration)."""
+    for the full Sec. IV configuration).  ``scenario`` selects any
+    registered problem — equation, IC and BC come from the registry."""
 
     grid_size: int = 64
     num_snapshots: int = 150
     num_train: int = 100
-    steps_per_snapshot: int = 1
+    #: None picks the scenario spec's own snapshot spacing
+    steps_per_snapshot: int | None = None
     normalize: bool = True
+    scenario: str = DEFAULT_SCENARIO
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_train >= self.num_snapshots:
             raise ConfigurationError("num_train must be < num_snapshots")
+        get_scenario(self.scenario)  # fail fast on unknown names
 
 
 def prepare_data(config: DataConfig) -> ExperimentData:
-    """Generate the paper's dataset and optionally standardize channels.
+    """Generate the configured scenario's dataset and optionally
+    standardize channels.
 
     Normalization is fit on the training split only.  The paper trains
     on raw fields; with the bar-unit background both variants work — the
@@ -55,19 +67,29 @@ def prepare_data(config: DataConfig) -> ExperimentData:
     and is the experiment default (see EXPERIMENTS.md for the
     raw-field/MAPE ablation).
     """
-    produced = generate_paper_dataset(
+    produced = generate_scenario_dataset(
+        config.scenario,
         grid_size=config.grid_size,
         num_snapshots=config.num_snapshots,
         num_train=config.num_train,
         steps_per_snapshot=config.steps_per_snapshot,
+        seed=config.seed,
     )
     if not config.normalize:
-        return ExperimentData(produced.train, produced.validation, None)
+        return ExperimentData(
+            produced.train,
+            produced.validation,
+            None,
+            produced.scenario,
+            produced.snapshot_dt,
+        )
     normalizer = StandardNormalizer().fit(produced.train.snapshots)
     return ExperimentData(
         SnapshotDataset(normalizer.transform(produced.train.snapshots)),
         SnapshotDataset(normalizer.transform(produced.validation.snapshots)),
         normalizer,
+        produced.scenario,
+        produced.snapshot_dt,
     )
 
 
@@ -101,7 +123,26 @@ def paper_faithful_training_config(epochs: int = 40, seed: int = 0) -> TrainingC
 
 
 def default_cnn_config(
-    strategy: PaddingStrategy | str = PaddingStrategy.NEIGHBOR_FIRST, **overrides
+    strategy: PaddingStrategy | str = PaddingStrategy.NEIGHBOR_FIRST,
+    scenario: str | None = None,
+    **overrides,
 ) -> CNNConfig:
-    """Table-I architecture under ``strategy``."""
+    """Table-I architecture under ``strategy``; with ``scenario`` the
+    in/out channel counts follow the scenario's equation (4 for Euler,
+    1 for the scalar equations)."""
+    if scenario is not None and "channels" not in overrides:
+        num = len(channels(scenario))
+        overrides["channels"] = (num, 6, 16, 6, num)
     return CNNConfig(strategy=parse_strategy(strategy), **overrides)
+
+
+def adapt_cnn_to_scenario(cnn: CNNConfig, scenario: str) -> CNNConfig:
+    """Make ``cnn``'s in/out channel counts match the scenario's state.
+
+    The hidden layers are kept; only the first/last channel counts are
+    replaced when they disagree with the scenario's equation (they
+    *must* agree — the network maps a state to the next state)."""
+    num = len(channels(scenario))
+    if cnn.channels[0] == num and cnn.channels[-1] == num:
+        return cnn
+    return dataclasses.replace(cnn, channels=(num, *cnn.channels[1:-1], num))

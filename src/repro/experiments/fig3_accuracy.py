@@ -25,8 +25,15 @@ from ..core import (
     rmse,
 )
 from ..exceptions import ConfigurationError
-from ..solver.state import CHANNELS
-from .common import DataConfig, ExperimentData, default_cnn_config, default_training_config, prepare_data
+from ..scenarios import ResidualReport, channels, scenario_residual
+from .common import (
+    DataConfig,
+    ExperimentData,
+    adapt_cnn_to_scenario,
+    default_cnn_config,
+    default_training_config,
+    prepare_data,
+)
 from .reporting import ascii_heatmap, format_table, side_by_side
 
 
@@ -59,6 +66,10 @@ class Fig3Result:
     identity_relative_l2: dict[str, float]
     training_result: ParallelTrainingResult
     experiment_data: ExperimentData
+    #: channel names of the scenario's state
+    channel_names: tuple[str, ...] = ("p", "rho", "u", "v")
+    #: data-free physics-residual score of the predicted step
+    residual: ResidualReport | None = None
 
     def report(self, heatmaps: bool = True) -> str:
         """Human-readable summary (table + optional ASCII heatmaps)."""
@@ -83,8 +94,10 @@ class Fig3Result:
                 ),
             )
         ]
+        if self.residual is not None:
+            parts.append(self.residual.report())
         if heatmaps:
-            for index, name in enumerate(CHANNELS):
+            for index, name in enumerate(self.channel_names):
                 block = side_by_side(
                     ascii_heatmap(self.prediction[index]),
                     ascii_heatmap(self.target[index]),
@@ -105,7 +118,7 @@ def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
         )
 
     trainer = ParallelTrainer(
-        cnn_config=config.cnn,
+        cnn_config=adapt_cnn_to_scenario(config.cnn, config.data.scenario),
         training_config=config.training,
         num_ranks=config.num_ranks,
         seed=config.seed,
@@ -120,14 +133,26 @@ def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
     target = experiment.denormalize(target_n)
     input_field = experiment.denormalize(model_input)
 
+    names = channels(config.data.scenario)
+    residual = None
+    if experiment.dt is not None:
+        residual = scenario_residual(
+            config.data.scenario,
+            np.stack([input_field, prediction]),
+            experiment.dt,
+            grid_size=config.data.grid_size,
+        )
+
     return Fig3Result(
         config=config,
         input_field=input_field,
         prediction=prediction,
         target=target,
-        per_channel_relative_l2=per_channel(relative_l2, prediction, target),
-        per_channel_rmse=per_channel(rmse, prediction, target),
-        identity_relative_l2=per_channel(relative_l2, input_field, target),
+        per_channel_relative_l2=per_channel(relative_l2, prediction, target, names),
+        per_channel_rmse=per_channel(rmse, prediction, target, names),
+        identity_relative_l2=per_channel(relative_l2, input_field, target, names),
         training_result=result,
         experiment_data=experiment,
+        channel_names=names,
+        residual=residual,
     )

@@ -27,7 +27,13 @@ import numpy as np
 
 from ..core import CNNConfig, ParallelTrainer, TrainingConfig
 from ..exceptions import ConfigurationError
-from .common import DataConfig, default_cnn_config, default_training_config, prepare_data
+from .common import (
+    DataConfig,
+    adapt_cnn_to_scenario,
+    default_cnn_config,
+    default_training_config,
+    prepare_data,
+)
 from .reporting import format_scaling_plot, format_table
 
 #: The paper's core counts.
@@ -119,12 +125,13 @@ def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
     """Measure training time for every rank count in the configuration."""
     config = config if config is not None else Fig4Config()
     experiment = prepare_data(config.data)
+    cnn = adapt_cnn_to_scenario(config.cnn, config.data.scenario)
 
     # Untimed warm-up: the very first training run pays one-off costs
     # (allocator growth, BLAS thread pool, page faults) that would
     # otherwise inflate the P=1 time and fake super-linear speedups.
     warmup = ParallelTrainer(
-        cnn_config=config.cnn,
+        cnn_config=cnn,
         training_config=config.training.replace(epochs=1),
         num_ranks=config.rank_counts[0],
         seed=config.seed,
@@ -138,7 +145,7 @@ def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
         best_mean = np.inf
         for _ in range(config.repeats):
             trainer = ParallelTrainer(
-                cnn_config=config.cnn,
+                cnn_config=cnn,
                 training_config=config.training,
                 num_ranks=num_ranks,
                 seed=config.seed,

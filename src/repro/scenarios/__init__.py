@@ -1,0 +1,46 @@
+"""Scenario registry: many PDEs, many ICs/BCs, one pipeline.
+
+Quick start::
+
+    from repro import scenarios
+
+    spec = scenarios.get_scenario("allen-cahn")
+    result = scenarios.simulate(spec, grid_size=64, num_snapshots=50)
+    report = scenarios.scenario_residual(spec, result.snapshots, result.dt)
+
+Adding a scenario is pure data — see DESIGN.md §11.
+"""
+
+from .build import (
+    available_initial_conditions,
+    build_equation,
+    build_grid,
+    build_initial_state,
+    build_simulation,
+    channels,
+    cnn_config,
+    simulate,
+)
+from .builtin import DEFAULT_SCENARIO
+from .registry import available_scenarios, get_scenario, register_scenario
+from .residual import ResidualReport, physics_residual, scenario_residual
+from .spec import Scenario
+
+__all__ = [
+    "Scenario",
+    "DEFAULT_SCENARIO",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "available_initial_conditions",
+    "build_grid",
+    "build_equation",
+    "build_initial_state",
+    "build_simulation",
+    "channels",
+    "cnn_config",
+    "simulate",
+    "physics_residual",
+    "scenario_residual",
+    "ResidualReport",
+]

@@ -1,0 +1,207 @@
+"""Build concrete solver objects from a :class:`Scenario` spec.
+
+This module is the only place that turns spec *strings* into equation /
+IC / boundary / simulation objects — everything downstream (dataset
+generation, CLI, experiments) goes through these helpers, which is what
+the REP013 lint rule enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..solver import (
+    Equation,
+    EulerState,
+    FieldSimulation,
+    LinearizedEuler,
+    Simulation,
+    SimulationResult,
+    UniformGrid2D,
+    gaussian_pulse,
+    get_equation,
+    multiple_pulses,
+    paper_initial_condition,
+    plane_wave,
+    random_phase_field,
+    scalar_blobs,
+    scalar_gaussian,
+)
+from .registry import get_scenario
+from .spec import Scenario
+
+
+def build_grid(spec: str | Scenario, grid_size: int | None = None) -> UniformGrid2D:
+    """The scenario's grid, optionally overriding the point count."""
+    spec = get_scenario(spec)
+    return UniformGrid2D.square(grid_size or spec.grid_size, spec.half_extent)
+
+
+def build_equation(spec: str | Scenario) -> Equation:
+    """Instantiate the scenario's equation."""
+    spec = get_scenario(spec)
+    return get_equation(spec.equation, **spec.equation_params)
+
+
+def channels(spec: str | Scenario) -> tuple[str, ...]:
+    """Channel names of the scenario's state."""
+    return build_equation(spec).channels
+
+
+def _euler_multi_pulse(
+    grid: UniformGrid2D, equation: LinearizedEuler, num_pulses: int = 3, seed: int = 0
+) -> EulerState:
+    """Random superposed pulses; draw order matches the pre-registry
+    ``generate_multi_pulse_dataset`` exactly (pinned by goldens)."""
+    if num_pulses < 1:
+        raise ConfigurationError(f"num_pulses must be >= 1, got {num_pulses}")
+    rng = np.random.default_rng(seed)
+    state = None
+    for _ in range(num_pulses):
+        center = tuple(rng.uniform(-0.5, 0.5, size=2))
+        amplitude = rng.uniform(0.25, 0.75) * equation.background.p_c
+        half_width = rng.uniform(0.15, 0.35)
+        pulse = gaussian_pulse(
+            grid, amplitude, half_width, center, equation.background, isentropic=False
+        )
+        if state is None:
+            state = pulse
+        else:
+            state.p += pulse.p
+            state.rho += pulse.rho
+            state.u += pulse.u
+            state.v += pulse.v
+    return state
+
+
+def _euler_gaussian(grid, equation, amplitude=None, half_width=0.3, center=(0.0, 0.0)):
+    return gaussian_pulse(
+        grid,
+        amplitude=amplitude,
+        half_width=half_width,
+        center=tuple(center),
+        background=equation.background,
+        isentropic=False,
+    )
+
+
+_EULER_ICS = {
+    "paper_pulse": lambda grid, eq: paper_initial_condition(grid, background=eq.background),
+    "gaussian_pulse": _euler_gaussian,
+    "multi_pulse_random": _euler_multi_pulse,
+    "multiple_pulses": lambda grid, eq, centers, **kw: multiple_pulses(
+        grid, [tuple(c) for c in centers], background=eq.background, **kw
+    ),
+    "plane_wave": lambda grid, eq, **kw: plane_wave(grid, background=eq.background, **kw),
+}
+
+_SCALAR_ICS = {
+    "scalar_gaussian": lambda grid, eq, **kw: scalar_gaussian(grid, **kw),
+    "scalar_blobs": lambda grid, eq, **kw: scalar_blobs(grid, **kw),
+    "random_phase": lambda grid, eq, **kw: random_phase_field(grid, **kw),
+}
+
+#: ICs whose ``seed`` parameter may be overridden per-trajectory
+_SEEDED_ICS = ("multi_pulse_random", "scalar_blobs", "random_phase")
+
+
+def available_initial_conditions() -> tuple[str, ...]:
+    return tuple(sorted({**_EULER_ICS, **_SCALAR_ICS}))
+
+
+def build_initial_state(
+    spec: str | Scenario,
+    grid: UniformGrid2D,
+    equation: Equation | None = None,
+    seed: int | None = None,
+):
+    """The scenario's initial state on ``grid``.
+
+    Returns an :class:`EulerState` for the Euler family and a
+    ``(C, ny, nx)`` array for scalar equations.  ``seed`` overrides the
+    spec's seed for randomized ICs (per-trajectory variation).
+    """
+    spec = get_scenario(spec)
+    equation = equation if equation is not None else build_equation(spec)
+    params = dict(spec.ic_params)
+    if seed is not None:
+        if spec.initial_condition not in _SEEDED_ICS:
+            raise ConfigurationError(
+                f"initial condition {spec.initial_condition!r} is deterministic; "
+                f"seed overrides apply only to {_SEEDED_ICS}"
+            )
+        params["seed"] = seed
+
+    registry = _EULER_ICS if isinstance(equation, LinearizedEuler) else _SCALAR_ICS
+    try:
+        factory = registry[spec.initial_condition]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initial condition {spec.initial_condition!r} for equation "
+            f"{spec.equation!r}; choose from {sorted(registry)}"
+        ) from None
+    try:
+        return factory(grid, equation, **params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad ic_params for {spec.initial_condition!r}: {exc}"
+        ) from None
+
+
+def build_simulation(
+    spec: str | Scenario,
+    grid: UniformGrid2D | None = None,
+    equation: Equation | None = None,
+    cfl: float | None = None,
+):
+    """The scenario's simulation driver on ``grid``.
+
+    Euler scenarios get the paper-baseline :class:`Simulation` (the
+    exact pre-registry code path, keeping goldens bit-identical); every
+    other equation gets the channel-agnostic :class:`FieldSimulation`.
+    """
+    spec = get_scenario(spec)
+    grid = grid if grid is not None else build_grid(spec)
+    equation = equation if equation is not None else build_equation(spec)
+    cfl = spec.cfl if cfl is None else cfl
+    if isinstance(equation, LinearizedEuler):
+        return Simulation(
+            grid, equation, boundary=spec.boundary, integrator=spec.integrator, cfl=cfl
+        )
+    return FieldSimulation(
+        grid, equation, boundary=spec.boundary, integrator=spec.integrator, cfl=cfl
+    )
+
+
+def simulate(
+    spec: str | Scenario,
+    *,
+    grid_size: int | None = None,
+    num_snapshots: int | None = None,
+    steps_per_snapshot: int | None = None,
+    cfl: float | None = None,
+    seed: int | None = None,
+) -> SimulationResult:
+    """Run the scenario's solver and record its snapshot trajectory."""
+    spec = get_scenario(spec)
+    grid = build_grid(spec, grid_size)
+    equation = build_equation(spec)
+    sim = build_simulation(spec, grid, equation, cfl)
+    initial = build_initial_state(spec, grid, equation, seed)
+    return sim.run(
+        initial,
+        num_snapshots if num_snapshots is not None else spec.num_snapshots,
+        steps_per_snapshot if steps_per_snapshot is not None else spec.steps_per_snapshot,
+    )
+
+
+def cnn_config(spec: str | Scenario, **overrides):
+    """The paper's CNN architecture adapted to the scenario's channel
+    count: ``(C, 6, 16, 6, C)``."""
+    from ..core.model import CNNConfig  # lazy: keep scenarios import-light
+
+    spec = get_scenario(spec)
+    num = len(channels(spec))
+    defaults = {"channels": (num, 6, 16, 6, num)}
+    return CNNConfig(**{**defaults, **overrides})

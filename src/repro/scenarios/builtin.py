@@ -1,0 +1,136 @@
+"""The shipped scenario catalogue.
+
+``euler-gaussian`` is the paper's Sec. IV-A baseline — its generated
+data is pinned bit-exactly against the pre-registry pipeline by golden
+tests.  The rest are genuinely new problems reachable purely through
+``--scenario``: IC variants (multi-pulse, off-center), boundary
+variants (reflecting, periodic, absorbing sponge) and two non-Euler
+equations (diffusion, Allen-Cahn).
+"""
+
+from __future__ import annotations
+
+from .registry import register_scenario
+from .spec import Scenario
+
+#: the paper's baseline — used wherever no ``--scenario`` is given
+DEFAULT_SCENARIO = "euler-gaussian"
+
+register_scenario(
+    Scenario(
+        name="euler-gaussian",
+        description=(
+            "Paper baseline (Sec. IV-A): Gaussian pressure pulse, linearized "
+            "Euler, outflow walls"
+        ),
+        equation="linearized_euler",
+        equation_params={"dissipation": 0.02},
+        initial_condition="paper_pulse",
+        boundary="outflow",
+        grid_size=256,
+        num_snapshots=1500,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="euler-multi-pulse",
+        description="Several random superposed pulses (richer training set)",
+        equation="linearized_euler",
+        equation_params={"dissipation": 0.02},
+        initial_condition="multi_pulse_random",
+        ic_params={"num_pulses": 3, "seed": 0},
+        boundary="outflow",
+        grid_size=128,
+        num_snapshots=300,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="euler-off-center",
+        description="Single pulse launched off-center (breaks the baseline's symmetry)",
+        equation="linearized_euler",
+        equation_params={"dissipation": 0.02},
+        initial_condition="gaussian_pulse",
+        ic_params={"center": [0.35, -0.2], "half_width": 0.25},
+        boundary="outflow",
+        grid_size=128,
+        num_snapshots=300,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="euler-reflecting",
+        description="Rigid walls: the pulse reflects and interferes with itself",
+        equation="linearized_euler",
+        equation_params={"dissipation": 0.02},
+        initial_condition="gaussian_pulse",
+        ic_params={"center": [0.3, 0.3]},
+        boundary="reflecting",
+        grid_size=128,
+        num_snapshots=300,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="euler-periodic",
+        description="Wrap-around domain: the pulse re-enters from the opposite wall",
+        equation="linearized_euler",
+        equation_params={"dissipation": 0.02},
+        initial_condition="gaussian_pulse",
+        ic_params={"center": [0.4, 0.0], "half_width": 0.2},
+        boundary="periodic",
+        grid_size=128,
+        num_snapshots=300,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="euler-absorbing",
+        description="Sponge-layer walls absorb the outgoing wave instead of reflecting it",
+        equation="linearized_euler",
+        equation_params={"dissipation": 0.02},
+        initial_condition="paper_pulse",
+        boundary="sponge",
+        grid_size=128,
+        num_snapshots=300,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="diffusion",
+        description="Scalar heat equation: random signed blobs relaxing under nu=0.05",
+        equation="diffusion",
+        equation_params={"nu": 0.05},
+        initial_condition="scalar_blobs",
+        ic_params={"num_blobs": 4, "seed": 0},
+        boundary="neumann",
+        grid_size=64,
+        num_snapshots=300,
+        steps_per_snapshot=2,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="allen-cahn",
+        description=(
+            "Allen-Cahn phase separation from smoothed noise (Strang-split "
+            "stepper, exact cubic reaction)"
+        ),
+        equation="allen_cahn",
+        equation_params={"epsilon": 0.01},
+        initial_condition="random_phase",
+        ic_params={"amplitude": 0.2, "smoothing": 2, "seed": 0},
+        boundary="periodic",
+        integrator="strang",
+        grid_size=64,
+        num_snapshots=300,
+        steps_per_snapshot=10,
+    )
+)

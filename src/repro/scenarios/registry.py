@@ -1,0 +1,42 @@
+"""The scenario registry: name -> :class:`Scenario`.
+
+The registry is the single resolution point for every pipeline layer —
+``--scenario <name>`` on the CLI, dataset generation, experiment
+configs and checkpoints all go through :func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .spec import Scenario
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry under its own name."""
+    if scenario.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered "
+            f"(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str | Scenario) -> Scenario:
+    """Resolve a scenario by name; a :class:`Scenario` passes through
+    unchanged so APIs can accept either."""
+    if isinstance(name, Scenario):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Sorted names of all registered scenarios."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,148 @@
+"""Data-free physics-residual metric.
+
+Following the distributed data-free PDE literature (arXiv 2007.12792),
+a rollout is scored directly against the PDE instead of against stored
+solver snapshots: for consecutive states ``q_t, q_{t+1}`` spaced ``dt``
+apart, the midpoint (Crank-Nicolson) defect
+
+.. math::
+    r_t = (q_{t+1} - q_t)/dt - \\mathrm{rhs}\\big((q_t + q_{t+1})/2\\big)
+
+vanishes to second order for a trajectory of the discretized PDE, so
+its RMS — normalized by the RMS of the discrete time derivative — is a
+scale-free "how physical is this rollout" number: solver output scores
+~1e-3, an untrained network scores ~1.  Wall bands of ``margin`` cells
+are excluded because boundary conditions replace the PDE there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..solver import Equation, UniformGrid2D
+from .registry import get_scenario
+from .spec import Scenario
+
+
+@dataclass(frozen=True)
+class ResidualReport:
+    """Physics-residual scores of one trajectory."""
+
+    #: the headline score: RMS(residual) / RMS(dq/dt), all channels
+    normalized: float
+    #: per-channel normalized scores, keyed by channel name
+    per_channel: dict
+    #: raw RMS of the residual (problem units / time)
+    residual_rms: float
+    #: RMS of the discrete time derivative (the normalizer)
+    rate_rms: float
+    #: number of snapshot transitions scored
+    num_transitions: int
+    #: wall cells excluded per side
+    margin: int
+
+    def to_dict(self) -> dict:
+        return {
+            "normalized": self.normalized,
+            "per_channel": dict(self.per_channel),
+            "residual_rms": self.residual_rms,
+            "rate_rms": self.rate_rms,
+            "num_transitions": self.num_transitions,
+            "margin": self.margin,
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"physics residual (normalized): {self.normalized:.4e}",
+            f"  residual RMS {self.residual_rms:.4e} / rate RMS {self.rate_rms:.4e} "
+            f"over {self.num_transitions} transitions (margin {self.margin})",
+        ]
+        per = ", ".join(f"{name}={value:.3e}" for name, value in self.per_channel.items())
+        lines.append(f"  per channel: {per}")
+        return "\n".join(lines)
+
+
+def physics_residual(
+    snapshots: np.ndarray,
+    equation: Equation,
+    grid: UniformGrid2D,
+    dt: float,
+    margin: int = 2,
+) -> ResidualReport:
+    """Score a ``(T, C, ny, nx)`` trajectory against ``equation``.
+
+    ``dt`` is the *snapshot spacing* (solver dt × steps per snapshot).
+    """
+    snapshots = np.asarray(snapshots, dtype=float)
+    if snapshots.ndim != 4:
+        raise ConfigurationError(
+            f"expected snapshots of shape (T, C, ny, nx), got {snapshots.shape}"
+        )
+    num_steps, num_channels, ny, nx = snapshots.shape
+    if num_steps < 2:
+        raise ConfigurationError("physics residual needs at least 2 snapshots")
+    if num_channels != equation.num_channels:
+        raise ConfigurationError(
+            f"snapshot channel count {num_channels} does not match equation "
+            f"{type(equation).__name__} ({equation.num_channels} channels)"
+        )
+    if (ny, nx) != grid.shape:
+        raise ConfigurationError(
+            f"snapshot grid {ny}x{nx} does not match grid {grid.shape}"
+        )
+    if dt <= 0:
+        raise ConfigurationError(f"dt must be positive, got {dt}")
+    if margin < 0 or 2 * margin >= min(ny, nx):
+        raise ConfigurationError(
+            f"margin {margin} leaves no interior on a {ny}x{nx} grid"
+        )
+
+    interior = (slice(None), slice(margin, ny - margin), slice(margin, nx - margin))
+    residual_sq = np.zeros(num_channels)
+    rate_sq = np.zeros(num_channels)
+    for t in range(num_steps - 1):
+        before, after = snapshots[t], snapshots[t + 1]
+        rate = (after - before) / dt
+        midpoint_rhs = equation.rhs_array(0.5 * (before + after), grid.dx, grid.dy)
+        defect = (rate - midpoint_rhs)[interior]
+        residual_sq += np.mean(defect**2, axis=(1, 2))
+        rate_sq += np.mean(rate[interior] ** 2, axis=(1, 2))
+
+    transitions = num_steps - 1
+    residual_rms_c = np.sqrt(residual_sq / transitions)
+    rate_rms_c = np.sqrt(rate_sq / transitions)
+    floor = max(float(rate_rms_c.max()), 1e-300) * 1e-12
+    per_channel = {
+        name: float(residual_rms_c[i] / max(rate_rms_c[i], floor))
+        for i, name in enumerate(equation.channels)
+    }
+    residual_rms = float(np.sqrt(residual_sq.sum() / (transitions * num_channels)))
+    rate_rms = float(np.sqrt(rate_sq.sum() / (transitions * num_channels)))
+    return ResidualReport(
+        normalized=float(residual_rms / max(rate_rms, 1e-300)),
+        per_channel=per_channel,
+        residual_rms=residual_rms,
+        rate_rms=rate_rms,
+        num_transitions=transitions,
+        margin=margin,
+    )
+
+
+def scenario_residual(
+    spec: str | Scenario,
+    snapshots: np.ndarray,
+    dt: float,
+    grid_size: int | None = None,
+) -> ResidualReport:
+    """Score ``snapshots`` under a scenario's own equation, grid and
+    residual margin — the form ``repro evaluate`` uses."""
+    from .build import build_equation, build_grid  # local: avoid import cycle
+
+    spec = get_scenario(spec)
+    grid = build_grid(spec, grid_size or np.asarray(snapshots).shape[-1])
+    return physics_residual(
+        snapshots, build_equation(spec), grid, dt, margin=spec.residual_margin
+    )

@@ -1,0 +1,153 @@
+"""The :class:`Scenario` spec — one PDE problem as plain data.
+
+A scenario bundles everything the pipeline needs to reproduce a
+problem end to end: the equation and its parameters, the grid, the
+initial and boundary conditions, the time integration, the
+train/validation split, normalization, the rollout horizon, and the
+physics-residual margin.  Every layer (dataset generation, the
+training-config factory, rollouts, experiments, the CLI) resolves a
+scenario by name from the registry instead of hardcoding the paper's
+single setup.
+
+Specs are immutable and JSON-serializable by construction: every
+parameter value is canonicalized to plain dict/list/scalar form at
+creation, so ``Scenario.from_dict(json.loads(json.dumps(s.to_dict())))``
+round-trips exactly — the contract the future job broker (ROADMAP
+item 1) relies on to ship scenarios over the wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import ConfigurationError
+
+
+def _canonical(value: Any, where: str) -> Any:
+    """Deep-convert ``value`` to JSON-plain form (dicts, lists,
+    scalars); reject anything that would not survive a JSON round
+    trip."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item, where) for item in value]
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"{where}: parameter keys must be strings, got {key!r}"
+                )
+            out[key] = _canonical(item, where)
+        return out
+    raise ConfigurationError(
+        f"{where}: value {value!r} of type {type(value).__name__} is not "
+        f"JSON-serializable (use dicts, lists and scalars)"
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, serializable PDE problem specification."""
+
+    #: registry key, e.g. ``"euler-gaussian"``
+    name: str
+    #: one-line human description (shown by ``repro scenarios``)
+    description: str = ""
+    #: equation registry key (``repro.solver.get_equation``)
+    equation: str = "linearized_euler"
+    #: constructor parameters forwarded to the equation
+    equation_params: dict = field(default_factory=dict)
+    #: initial-condition key (resolved by ``repro.scenarios.build``)
+    initial_condition: str = "paper_pulse"
+    #: parameters forwarded to the initial condition
+    ic_params: dict = field(default_factory=dict)
+    #: boundary-condition name (Euler or field registry, per equation)
+    boundary: str = "outflow"
+    #: default grid points per side
+    grid_size: int = 256
+    #: half extent of the square domain ``[-L, L]^2``
+    half_extent: float = 1.0
+    #: time integrator name (``rk4``/``heun``/``euler`` or ``strang``)
+    integrator: str = "rk4"
+    #: CFL number used to pick the stable time step
+    cfl: float = 0.5
+    #: default number of recorded snapshots
+    num_snapshots: int = 1500
+    #: fraction of snapshots that form the training set
+    train_fraction: float = 2.0 / 3.0
+    #: solver steps between recorded snapshots
+    steps_per_snapshot: int = 1
+    #: whether training normalizes channels (paper: yes)
+    normalize: bool = True
+    #: default rollout horizon for evaluation
+    rollout_steps: int = 10
+    #: wall cells excluded from the physics-residual metric
+    residual_margin: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if self.grid_size < 8:
+            raise ConfigurationError(f"grid_size must be >= 8, got {self.grid_size}")
+        if self.half_extent <= 0:
+            raise ConfigurationError(f"half_extent must be positive, got {self.half_extent}")
+        if self.cfl <= 0:
+            raise ConfigurationError(f"cfl must be positive, got {self.cfl}")
+        if self.num_snapshots < 2:
+            raise ConfigurationError(f"num_snapshots must be >= 2, got {self.num_snapshots}")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ConfigurationError(
+                f"train_fraction must be in (0, 1), got {self.train_fraction}"
+            )
+        if self.steps_per_snapshot < 1:
+            raise ConfigurationError(
+                f"steps_per_snapshot must be >= 1, got {self.steps_per_snapshot}"
+            )
+        if self.rollout_steps < 1:
+            raise ConfigurationError(f"rollout_steps must be >= 1, got {self.rollout_steps}")
+        if self.residual_margin < 0:
+            raise ConfigurationError(
+                f"residual_margin must be >= 0, got {self.residual_margin}"
+            )
+        for attr in ("equation_params", "ic_params"):
+            object.__setattr__(
+                self, attr, _canonical(getattr(self, attr), f"scenario {self.name!r} {attr}")
+            )
+
+    def num_train(self, num_snapshots: int | None = None) -> int:
+        """Training-set size for ``num_snapshots`` (default: the spec's
+        own count) under this scenario's split fraction, clamped so both
+        splits are non-empty."""
+        total = self.num_snapshots if num_snapshots is None else num_snapshots
+        if total < 2:
+            raise ConfigurationError(f"need at least 2 snapshots to split, got {total}")
+        return min(max(int(round(self.train_fraction * total)), 1), total - 1)
+
+    def replace(self, **overrides) -> "Scenario":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, safe to ``json.dumps`` as-is."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; unknown keys are an error so
+        wire-format typos fail loudly."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"scenario dict must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields {unknown}; known fields: {sorted(known)}"
+            )
+        if "name" not in data:
+            raise ConfigurationError("scenario dict is missing the 'name' field")
+        return cls(**dict(data))

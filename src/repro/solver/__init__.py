@@ -12,22 +12,41 @@ Quick start::
 """
 
 from .boundary import (
+    SIDES,
+    apply_field_dirichlet,
+    apply_field_neumann,
+    apply_field_periodic,
     apply_outflow,
+    apply_outflow_side,
     apply_periodic,
     apply_reflecting,
+    apply_reflecting_side,
     get_boundary_condition,
+    get_field_boundary,
+    local_boundary,
     make_sponge,
 )
 from .derivatives import ddx, ddy, divergence, laplacian
-from .equations import Background, LinearizedEuler
+from .equations import (
+    AllenCahn,
+    Background,
+    Diffusion2D,
+    Equation,
+    LinearizedEuler,
+    available_equations,
+    get_equation,
+)
 from .grid import UniformGrid2D
 from .initial_conditions import (
     gaussian_pulse,
     multiple_pulses,
     paper_initial_condition,
     plane_wave,
+    random_phase_field,
+    scalar_blobs,
+    scalar_gaussian,
 )
-from .simulation import Simulation, SimulationResult
+from .simulation import FieldSimulation, Simulation, SimulationResult
 from .state import CHANNELS, NUM_CHANNELS, EulerState
 from .time_integrators import euler_step, get_integrator, heun_step, rk4_step
 
@@ -37,17 +56,34 @@ __all__ = [
     "CHANNELS",
     "NUM_CHANNELS",
     "Background",
+    "Equation",
     "LinearizedEuler",
+    "Diffusion2D",
+    "AllenCahn",
+    "get_equation",
+    "available_equations",
     "Simulation",
+    "FieldSimulation",
     "SimulationResult",
     "gaussian_pulse",
     "paper_initial_condition",
     "plane_wave",
     "multiple_pulses",
+    "scalar_gaussian",
+    "scalar_blobs",
+    "random_phase_field",
+    "SIDES",
     "apply_outflow",
+    "apply_outflow_side",
     "apply_periodic",
     "apply_reflecting",
+    "apply_reflecting_side",
+    "apply_field_periodic",
+    "apply_field_neumann",
+    "apply_field_dirichlet",
     "get_boundary_condition",
+    "get_field_boundary",
+    "local_boundary",
     "make_sponge",
     "ddx",
     "ddy",

@@ -1,4 +1,14 @@
-"""The 2-D linearized Euler equations (Eq. 8 of the paper).
+"""PDE right-hand sides: linearized Euler (Eq. 8 of the paper) plus the
+scenario-registry extensions (2-D diffusion, Allen-Cahn).
+
+All equations implement the array-level :class:`Equation` interface —
+``rhs_array`` on channel-stacked ``(C, ny, nx)`` fields — which is what
+:class:`~repro.solver.simulation.FieldSimulation`, the physics-residual
+evaluator and the scenario registry consume.  The original
+``EulerState``-typed ``rhs`` on :class:`LinearizedEuler` is untouched so
+the paper's baseline pipeline stays bit-exact.
+
+The 2-D linearized Euler equations:
 
 Linearization of the compressible Euler equations around a constant
 background ``(rho_c, u_c, v_c, p_c)``:
@@ -20,9 +30,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import SolverError
+from ..exceptions import ConfigurationError, SolverError
 from .derivatives import ddx, ddy, laplacian
-from .state import EulerState
+from .state import CHANNELS, EulerState
+
+
+class Equation:
+    """Array-level PDE interface used by the scenario registry.
+
+    Implementations advance channel-stacked ``(C, ny, nx)`` fields; the
+    channel names are exposed so datasets, CNN configs and reports can
+    adapt to the equation (4 channels for Euler, 1 for the scalar
+    equations).
+    """
+
+    #: channel names, e.g. ``("p", "rho", "u", "v")`` or ``("u",)``
+    channels: tuple[str, ...] = ()
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+    def rhs_array(self, fields: np.ndarray, dx: float, dy: float) -> np.ndarray:
+        """Time derivative of the channel-stacked ``fields``."""
+        raise NotImplementedError
+
+    def stable_dt(self, dx: float, dy: float, cfl: float = 0.5) -> float:
+        """A stable explicit time step for the default integrator."""
+        raise NotImplementedError
+
+    def energy(self, fields: np.ndarray, dx: float, dy: float) -> float:
+        """A monitored scalar (energy-like diagnostic) of ``fields``."""
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -65,7 +104,7 @@ class Background:
         return math.hypot(self.u_c, self.v_c) + self.sound_speed
 
 
-class LinearizedEuler:
+class LinearizedEuler(Equation):
     """Right-hand side of the linearized Euler system on a uniform grid.
 
     Parameters
@@ -80,6 +119,8 @@ class LinearizedEuler:
         playing the role of the DG scheme's inherent dissipation in
         Ateles.  Set to 0 for the pure central scheme.
     """
+
+    channels = CHANNELS
 
     def __init__(
         self,
@@ -149,3 +190,137 @@ class LinearizedEuler:
         kinetic = 0.5 * bg.rho_c * (state.u**2 + state.v**2)
         potential = state.p**2 / (2.0 * bg.rho_c * c2)
         return float(np.sum(kinetic + potential) * dx * dy)
+
+    # -- array-level Equation interface (scenario registry) ------------
+
+    def rhs_array(self, fields: np.ndarray, dx: float, dy: float) -> np.ndarray:
+        state = EulerState(p=fields[0], rho=fields[1], u=fields[2], v=fields[3])
+        return self.rhs(state, dx, dy).to_array()
+
+    def energy(self, fields: np.ndarray, dx: float, dy: float) -> float:
+        state = EulerState(p=fields[0], rho=fields[1], u=fields[2], v=fields[3])
+        return self.acoustic_energy(state, dx, dy)
+
+
+class Diffusion2D(Equation):
+    """Scalar heat equation  ∂t u = ν Δu  on a uniform grid.
+
+    The simplest genuinely different physics for the scenario registry:
+    parabolic (diffusive dt ~ dx² instead of the hyperbolic dt ~ dx),
+    single channel, monotone decay of the L2 norm.
+    """
+
+    channels = ("u",)
+
+    def __init__(self, nu: float = 0.1) -> None:
+        if nu <= 0:
+            raise SolverError(f"diffusivity nu must be positive, got {nu}")
+        self.nu = float(nu)
+
+    def rhs_array(self, fields: np.ndarray, dx: float, dy: float) -> np.ndarray:
+        return self.nu * laplacian(fields[0], dx, dy)[None]
+
+    def stable_dt(self, dx: float, dy: float, cfl: float = 0.5) -> float:
+        """Explicit diffusion limit  dt ≤ cfl / (2 ν (1/dx² + 1/dy²))."""
+        if cfl <= 0:
+            raise SolverError(f"cfl must be positive, got {cfl}")
+        return cfl * 0.5 / (self.nu * (1.0 / dx**2 + 1.0 / dy**2))
+
+    def energy(self, fields: np.ndarray, dx: float, dy: float) -> float:
+        """Thermal L2 energy  ∫ u² dV — strictly decaying under diffusion."""
+        return float(np.sum(fields[0] ** 2) * dx * dy)
+
+
+class AllenCahn(Equation):
+    """Allen-Cahn phase-field equation  ∂t u = ε Δu + u − u³.
+
+    Nonlinear reaction-diffusion dynamics: the cubic reaction drives u
+    toward the wells ±1 while ε Δu smooths the interfaces between
+    phases.  Besides the generic RK4 path (``rhs_array``), the equation
+    ships its own stable stepper, :meth:`strang_step`: Strang splitting
+    with the *exact* closed-form solution of the stiff cubic reaction
+
+    .. math:: u(t) = u_0 / \\sqrt{u_0^2 + (1 - u_0^2)\\,e^{-2t}}
+
+    so only the (non-stiff) diffusion half constrains the time step and
+    |u| ≤ 1 is preserved unconditionally.
+    """
+
+    channels = ("u",)
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if epsilon <= 0:
+            raise SolverError(f"interface coefficient epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def rhs_array(self, fields: np.ndarray, dx: float, dy: float) -> np.ndarray:
+        u = fields[0]
+        return (self.epsilon * laplacian(u, dx, dy) + u - u**3)[None]
+
+    def stable_dt(self, dx: float, dy: float, cfl: float = 0.5) -> float:
+        """Diffusion limit, additionally capped at a quarter of the O(1)
+        reaction time scale so the phase dynamics stay resolved."""
+        if cfl <= 0:
+            raise SolverError(f"cfl must be positive, got {cfl}")
+        diffusive = 0.5 / (self.epsilon * (1.0 / dx**2 + 1.0 / dy**2))
+        return cfl * min(diffusive, 0.25)
+
+    def _react_exact(self, u: np.ndarray, t: float) -> np.ndarray:
+        """Exact solution of  du/dt = u − u³  after time ``t`` (the
+        logistic flow of w = u²; stable for every u and t > 0)."""
+        decay = math.exp(-2.0 * t)
+        return u / np.sqrt(u**2 + (1.0 - u**2) * decay)
+
+    def strang_step(self, fields: np.ndarray, dx: float, dy: float, dt: float) -> np.ndarray:
+        """One Strang-split step: exact half reaction, explicit full
+        diffusion, exact half reaction."""
+        u = self._react_exact(fields[0], 0.5 * dt)
+        u = u + dt * self.epsilon * laplacian(u, dx, dy)
+        u = self._react_exact(u, 0.5 * dt)
+        return u[None]
+
+    def energy(self, fields: np.ndarray, dx: float, dy: float) -> float:
+        """Ginzburg-Landau free energy  ∫ ε/2 |∇u|² + (1−u²)²/4 dV —
+        a Lyapunov functional of the Allen-Cahn flow."""
+        u = fields[0]
+        grad2 = ddx(u, dx) ** 2 + ddy(u, dy) ** 2
+        well = 0.25 * (1.0 - u**2) ** 2
+        return float(np.sum(0.5 * self.epsilon * grad2 + well) * dx * dy)
+
+
+def _make_linearized_euler(
+    dissipation: float = 0.02, order: int = 2, **background: float
+) -> LinearizedEuler:
+    bg = Background(**background) if background else None
+    return LinearizedEuler(background=bg, dissipation=dissipation, order=order)
+
+
+_EQUATIONS: dict[str, type | object] = {
+    "linearized_euler": _make_linearized_euler,
+    "diffusion": Diffusion2D,
+    "allen_cahn": AllenCahn,
+}
+
+
+def get_equation(name: str, **params) -> Equation:
+    """Instantiate a registered equation by name.
+
+    ``params`` are forwarded to the equation constructor; for
+    ``linearized_euler`` the background fields (``p_c``, ``rho_c``,
+    ``u_c``, ``v_c``, ``gamma``) may be passed flat next to
+    ``dissipation``/``order``.
+    """
+    try:
+        factory = _EQUATIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown equation {name!r}; choose from {sorted(_EQUATIONS)}"
+        ) from None
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad parameters for equation {name!r}: {exc}") from None
+
+
+def available_equations() -> tuple[str, ...]:
+    return tuple(sorted(_EQUATIONS))

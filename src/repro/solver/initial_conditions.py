@@ -1,4 +1,10 @@
-"""Initial conditions for the linearized Euler solver."""
+"""Initial conditions: Euler states and scalar fields.
+
+The Euler constructors return :class:`EulerState`; the scalar ones
+(``scalar_gaussian``, ``scalar_blobs``, ``random_phase_field``) return
+channel-stacked ``(1, ny, nx)`` arrays for the registry's diffusion and
+Allen-Cahn scenarios.
+"""
 
 from __future__ import annotations
 
@@ -118,3 +124,75 @@ def multiple_pulses(
         )
         state.p += pulse.p
     return state
+
+
+# -- scalar fields (diffusion, Allen-Cahn) ------------------------------
+
+
+def scalar_gaussian(
+    grid: UniformGrid2D,
+    amplitude: float = 1.0,
+    half_width: float = 0.3,
+    center: tuple[float, float] = (0.0, 0.0),
+) -> np.ndarray:
+    """Single Gaussian bump, returned as a ``(1, ny, nx)`` stack."""
+    if amplitude == 0:
+        raise SolverError("scalar_gaussian amplitude must be nonzero")
+    if half_width <= 0:
+        raise SolverError(f"half_width must be positive, got {half_width}")
+    X, Y = grid.meshgrid()
+    cx, cy = center
+    r2 = (X - cx) ** 2 + (Y - cy) ** 2
+    return (amplitude * np.exp(-np.log(2.0) * r2 / half_width**2))[None]
+
+
+def scalar_blobs(
+    grid: UniformGrid2D,
+    num_blobs: int = 4,
+    amplitude: float = 1.0,
+    half_width: float = 0.2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Superposition of random Gaussian bumps with alternating signs —
+    a richer diffusion initial condition than a single pulse."""
+    if num_blobs < 1:
+        raise SolverError(f"num_blobs must be >= 1, got {num_blobs}")
+    rng = np.random.default_rng(seed)
+    field = np.zeros((1,) + grid.shape)
+    for index in range(num_blobs):
+        center = tuple(rng.uniform(-0.6, 0.6, size=2))
+        scale = rng.uniform(0.5, 1.0) * amplitude
+        sign = 1.0 if index % 2 == 0 else -1.0
+        field += scalar_gaussian(grid, sign * scale, half_width, center)
+    return field
+
+
+def random_phase_field(
+    grid: UniformGrid2D,
+    amplitude: float = 0.1,
+    smoothing: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Small smoothed noise around the unstable u = 0 state — the
+    classic Allen-Cahn start: spinodal decomposition into ±1 domains.
+
+    ``smoothing`` rounds of 4-neighbour averaging give the noise a
+    correlation length of a few cells so the emerging phase pattern is
+    grid-resolved.
+    """
+    if not 0.0 < amplitude <= 1.0:
+        raise SolverError(f"amplitude must be in (0, 1], got {amplitude}")
+    if smoothing < 0:
+        raise SolverError(f"smoothing must be >= 0, got {smoothing}")
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(-amplitude, amplitude, size=grid.shape)
+    for _ in range(smoothing):
+        padded = np.pad(u, 1, mode="edge")
+        u = 0.2 * (
+            padded[1:-1, 1:-1]
+            + padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+        )
+    return u[None]

@@ -12,8 +12,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import SolverError
-from .boundary import BoundaryCondition, get_boundary_condition
-from .equations import LinearizedEuler
+from .boundary import (
+    BoundaryCondition,
+    FieldBoundaryCondition,
+    get_boundary_condition,
+    get_field_boundary,
+)
+from .equations import Equation, LinearizedEuler
 from .grid import UniformGrid2D
 from .state import EulerState
 from .time_integrators import Integrator, get_integrator
@@ -23,7 +28,8 @@ from .time_integrators import Integrator, get_integrator
 class SimulationResult:
     """Output of a simulation run."""
 
-    #: snapshots of shape ``(T, 4, ny, nx)`` in channel order (p, rho, u, v)
+    #: snapshots of shape ``(T, C, ny, nx)`` — Euler runs have C = 4 in
+    #: channel order (p, rho, u, v); scalar equations have C = 1
     snapshots: np.ndarray
     #: simulation time of each snapshot
     times: np.ndarray
@@ -120,4 +126,96 @@ class Simulation:
             energies[index] = self.equations.acoustic_energy(
                 state, self.grid.dx, self.grid.dy
             )
+        return SimulationResult(snapshots, times, energies, self.dt)
+
+
+@dataclass
+class FieldSimulation:
+    """Channel-agnostic run of any :class:`~repro.solver.Equation`.
+
+    The array twin of :class:`Simulation`: states are plain
+    ``(C, ny, nx)`` stacks, the boundary condition is one of the field
+    conditions (``periodic`` / ``neumann`` / ``dirichlet``) and the
+    integrator is either a generic explicit scheme (``rk4`` etc. — they
+    are duck-typed and advance arrays unchanged) or ``"strang"``, which
+    delegates to the equation's own split stepper (Allen-Cahn).
+
+    :class:`Simulation` remains the paper-baseline Euler driver; this
+    class is what the scenario registry uses for every non-Euler
+    equation.
+    """
+
+    grid: UniformGrid2D
+    equation: Equation
+    boundary: str = "periodic"
+    integrator: str = "rk4"
+    cfl: float = 0.5
+
+    def __post_init__(self) -> None:
+        self._bc: FieldBoundaryCondition = get_field_boundary(self.boundary)
+        if self.integrator == "strang":
+            stepper = getattr(self.equation, "strang_step", None)
+            if stepper is None:
+                raise SolverError(
+                    f"integrator 'strang' needs a strang_step method on the "
+                    f"equation, which {type(self.equation).__name__} lacks"
+                )
+            self._step = None
+        else:
+            self._step = get_integrator(self.integrator)
+        self.dt = self.equation.stable_dt(self.grid.dx, self.grid.dy, self.cfl)
+
+    def _rhs(self, fields: np.ndarray) -> np.ndarray:
+        return self.equation.rhs_array(fields, self.grid.dx, self.grid.dy)
+
+    def advance(self, fields: np.ndarray, num_steps: int = 1) -> np.ndarray:
+        """Advance ``fields`` by ``num_steps`` time steps (not in place)."""
+        current = fields
+        for _ in range(num_steps):
+            if self._step is None:
+                current = self.equation.strang_step(
+                    current, self.grid.dx, self.grid.dy, self.dt
+                )
+            else:
+                current = self._step(current, self._rhs, self.dt)
+            self._bc(current)
+        return current
+
+    def run(
+        self,
+        initial: np.ndarray,
+        num_snapshots: int,
+        steps_per_snapshot: int = 1,
+        check_stability: bool = True,
+    ) -> SimulationResult:
+        """Record ``num_snapshots`` channel-stacked states, mirroring
+        :meth:`Simulation.run` (including the blow-up guard)."""
+        if num_snapshots < 1:
+            raise SolverError("num_snapshots must be >= 1")
+        if steps_per_snapshot < 1:
+            raise SolverError("steps_per_snapshot must be >= 1")
+        initial = np.asarray(initial, dtype=float)
+        expected = (self.equation.num_channels,) + self.grid.shape
+        if initial.shape != expected:
+            raise SolverError(
+                f"initial fields shape {initial.shape} does not match "
+                f"(channels,) + grid shape {expected}"
+            )
+        num_channels, ny, nx = expected
+        snapshots = np.empty((num_snapshots, num_channels, ny, nx))
+        times = np.empty(num_snapshots)
+        energies = np.empty(num_snapshots)
+
+        fields = self._bc(initial.copy())
+        for index in range(num_snapshots):
+            if index > 0:
+                fields = self.advance(fields, steps_per_snapshot)
+            if check_stability and not np.isfinite(fields).all():
+                raise SolverError(
+                    f"solution blew up at snapshot {index} "
+                    f"(dt={self.dt:.3e}, cfl={self.cfl}); reduce the CFL number"
+                )
+            snapshots[index] = fields
+            times[index] = index * steps_per_snapshot * self.dt
+            energies[index] = self.equation.energy(fields, self.grid.dx, self.grid.dy)
         return SimulationResult(snapshots, times, energies, self.dt)

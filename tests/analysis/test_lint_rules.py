@@ -540,3 +540,66 @@ def test_unknown_rule_id_rejected():
 
     with pytest.raises(AnalysisError, match="unknown rule"):
         lint_paths(["src/repro"], rules=["REP999"])
+
+
+# ----------------------------------------------------------------------
+# REP013 — physics construction outside the scenario registry
+# ----------------------------------------------------------------------
+class TestRep013:
+    def test_equation_constructor_flagged(self):
+        hits = lint_snippet("eq = LinearizedEuler(dissipation=0.02)\n", rules={"REP013"})
+        assert [v.rule for v in hits] == ["REP013"]
+        assert "scenario registry" in hits[0].message
+
+    def test_qualified_constructor_flagged(self):
+        hits = lint_snippet("eq = solver.Diffusion2D(nu=0.1)\n", rules={"REP013"})
+        assert [v.rule for v in hits] == ["REP013"]
+
+    def test_ic_factory_flagged(self):
+        hits = lint_snippet("ic = gaussian_pulse(grid, 1.0, 0.3)\n", rules={"REP013"})
+        assert [v.rule for v in hits] == ["REP013"]
+
+    def test_hardcoded_bc_lookup_flagged(self):
+        hits = lint_snippet('bc = get_boundary_condition("outflow")\n', rules={"REP013"})
+        assert [v.rule for v in hits] == ["REP013"]
+        assert "'outflow'" in hits[0].message
+
+    def test_hardcoded_equation_lookup_flagged(self):
+        hits = lint_snippet('eq = get_equation("diffusion", nu=0.1)\n', rules={"REP013"})
+        assert [v.rule for v in hits] == ["REP013"]
+
+    def test_spec_driven_lookup_ok(self):
+        # A name that comes from a Scenario field is the sanctioned
+        # pattern — only string literals are "hardcoded".
+        source = """
+        spec = get_scenario(name)
+        bc = get_boundary_condition(spec.boundary)
+        eq = get_equation(spec.equation, **spec.equation_params)
+        """
+        assert lint_snippet(source, rules={"REP013"}) == []
+
+    def test_registry_helpers_ok(self):
+        source = """
+        spec = get_scenario("diffusion")
+        eq = build_equation(spec)
+        state = build_initial_state(spec, grid)
+        """
+        assert lint_snippet(source, rules={"REP013"}) == []
+
+    def test_scenarios_package_sanctioned(self):
+        source = "eq = AllenCahn(epsilon=0.01)\n"
+        assert (
+            lint_snippet(source, path="src/repro/scenarios/build.py", rules={"REP013"})
+            == []
+        )
+
+    def test_solver_package_sanctioned(self):
+        source = 'bc = get_boundary_condition("outflow")\n'
+        assert (
+            lint_snippet(source, path="src/repro/solver/simulation.py", rules={"REP013"})
+            == []
+        )
+
+    def test_noqa_suppression(self):
+        source = "eq = Diffusion2D(nu=0.5)  # noqa: REP013 convergence study\n"
+        assert lint_snippet(source, rules={"REP013"}) == []

@@ -1,0 +1,111 @@
+"""Periodic wrap in the decomposition and halo exchange."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.domain import BlockDecomposition, HaloExchanger
+from repro.exceptions import DecompositionError
+
+
+def test_neighbour_wraps_on_periodic_axes():
+    d = BlockDecomposition((8, 8), (2, 2), periodic=(True, False))
+    # y wraps: rank 0's low-y neighbour is rank 2 (the bottom row).
+    assert d.neighbour(0, 0, -1) == 2
+    assert d.neighbour(2, 0, +1) == 0
+    # x does not wrap.
+    assert d.neighbour(0, 1, -1) is None
+    assert d.neighbour(1, 1, +1) is None
+
+
+def test_neighbour_wraps_onto_self_for_single_rank_axis():
+    d = BlockDecomposition((8, 8), (1, 2), periodic=(True, True))
+    assert d.neighbour(0, 0, -1) == 0
+    assert d.neighbour(0, 0, +1) == 0
+    assert d.neighbour(0, 1, -1) == 1
+    assert d.neighbour(1, 1, +1) == 0
+
+
+def test_default_is_non_periodic():
+    d = BlockDecomposition((8, 8), (2, 2))
+    assert d.periodic == (False, False)
+    assert d.neighbour(0, 0, -1) is None
+
+
+def test_from_num_ranks_forwards_periodic():
+    d = BlockDecomposition.from_num_ranks((8, 8), 4, periodic=(True, False))
+    assert d.periodic == (True, False)
+
+
+def test_bad_periodic_flags_rejected():
+    with pytest.raises(DecompositionError):
+        BlockDecomposition((8, 8), (2, 2), periodic=(True,))
+
+
+@pytest.mark.parametrize("periodic", [(True, True), (True, False), (False, True)])
+@pytest.mark.parametrize("pgrid", [(1, 1), (2, 2), (3, 2)])
+def test_extract_halo_wraps_like_np_pad(periodic, pgrid):
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal((2, 12, 12))
+    d = BlockDecomposition((12, 12), pgrid, periodic=periodic)
+    halo = 2
+    height = width = 12
+    for rank in range(d.num_subdomains):
+        sub = d.subdomain(rank)
+        got = d.extract(field, rank, halo=halo)
+        # Reference built cell by cell with modular indexing along
+        # periodic axes, zero fill outside non-periodic walls.
+        y_idx = np.arange(sub.y_range[0] - halo, sub.y_range[1] + halo)
+        x_idx = np.arange(sub.x_range[0] - halo, sub.x_range[1] + halo)
+        expected = np.zeros((2, len(y_idx), len(x_idx)))
+        for i, gy in enumerate(y_idx):
+            for j, gx in enumerate(x_idx):
+                yy = gy % height if periodic[0] else gy
+                xx = gx % width if periodic[1] else gx
+                if 0 <= yy < height and 0 <= xx < width:
+                    expected[:, i, j] = field[:, yy, xx]
+        np.testing.assert_array_equal(got, expected)
+
+
+def test_exchange_matches_periodic_extract_across_backends():
+    rng = np.random.default_rng(1)
+    field = rng.standard_normal((4, 16, 16))
+    d = BlockDecomposition((16, 16), (2, 2), periodic=(True, True))
+
+    def program(comm):
+        local = d.extract(field, comm.rank)
+        return HaloExchanger(comm, d, halo=2).exchange(local)
+
+    for rank, extended in enumerate(mpi.run_parallel(program, 4)):
+        np.testing.assert_array_equal(extended, d.extract(field, rank, halo=2))
+
+
+def test_self_wrap_is_a_local_copy_not_a_message():
+    d = BlockDecomposition((8, 8), (1, 2), periodic=(True, False))
+
+    def program(comm):
+        exchanger = HaloExchanger(comm, d, halo=1)
+        local = d.extract(np.zeros((1, 8, 8)), comm.rank)
+        exchanger.exchange(local)
+        return exchanger.messages_per_exchange
+
+    # Each rank has one x neighbour (the axis is not periodic); the y
+    # wrap onto itself costs no message.
+    assert mpi.run_parallel(program, 2) == [1, 1]
+
+
+def test_two_rank_periodic_ring_disambiguates_directions():
+    """With two ranks on a periodic axis the same peer is both the low
+    and the high neighbour; tags must keep the strips apart."""
+    rng = np.random.default_rng(2)
+    field = rng.standard_normal((1, 8, 8))
+    d = BlockDecomposition((8, 8), (2, 1), periodic=(True, False))
+    assert d.neighbour(0, 0, -1) == 1
+    assert d.neighbour(0, 0, +1) == 1
+
+    def program(comm):
+        local = d.extract(field, comm.rank)
+        return HaloExchanger(comm, d, halo=2).exchange(local)
+
+    for rank, extended in enumerate(mpi.run_parallel(program, 2)):
+        np.testing.assert_array_equal(extended, d.extract(field, rank, halo=2))

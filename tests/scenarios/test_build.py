@@ -1,0 +1,110 @@
+"""Spec -> solver objects: grids, equations, ICs, simulations, CNNs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    Scenario,
+    available_initial_conditions,
+    build_equation,
+    build_grid,
+    build_initial_state,
+    build_simulation,
+    channels,
+    cnn_config,
+    simulate,
+)
+from repro.solver import EulerState, FieldSimulation, LinearizedEuler, Simulation
+
+
+def test_build_grid_uses_spec_size_and_override():
+    assert build_grid("diffusion").shape == (64, 64)
+    assert build_grid("diffusion", grid_size=24).shape == (24, 24)
+
+
+def test_build_equation_applies_params():
+    euler = build_equation("euler-gaussian")
+    assert isinstance(euler, LinearizedEuler)
+    assert euler.dissipation == pytest.approx(0.02)
+    assert build_equation("diffusion").nu == pytest.approx(0.05)
+    assert build_equation("allen-cahn").epsilon == pytest.approx(0.01)
+
+
+def test_channels_per_family():
+    assert channels("euler-gaussian") == ("p", "rho", "u", "v")
+    assert channels("diffusion") == ("u",)
+    assert channels("allen-cahn") == ("u",)
+
+
+def test_available_initial_conditions_covers_both_families():
+    names = available_initial_conditions()
+    assert "paper_pulse" in names
+    assert "scalar_blobs" in names
+    assert list(names) == sorted(names)
+
+
+def test_euler_ic_is_a_state_scalar_ic_is_an_array():
+    grid = build_grid("euler-gaussian", grid_size=16)
+    assert isinstance(build_initial_state("euler-gaussian", grid), EulerState)
+    scalar = build_initial_state("diffusion", build_grid("diffusion", grid_size=16))
+    assert isinstance(scalar, np.ndarray)
+    assert scalar.shape == (1, 16, 16)
+
+
+def test_seed_override_only_for_randomized_ics():
+    grid = build_grid("diffusion", grid_size=16)
+    a = build_initial_state("diffusion", grid, seed=1)
+    b = build_initial_state("diffusion", grid, seed=2)
+    assert not np.array_equal(a, b)
+    with pytest.raises(ConfigurationError, match="deterministic"):
+        build_initial_state("euler-gaussian", build_grid("euler-gaussian", 16), seed=1)
+
+
+def test_unknown_ic_and_bad_params_are_configuration_errors():
+    grid = build_grid("diffusion", grid_size=16)
+    wrong_family = Scenario(
+        name="t", equation="diffusion", initial_condition="paper_pulse", grid_size=16
+    )
+    with pytest.raises(ConfigurationError, match="unknown initial condition"):
+        build_initial_state(wrong_family, grid)
+    bad_params = Scenario(
+        name="t",
+        equation="diffusion",
+        initial_condition="scalar_gaussian",
+        ic_params={"no_such_arg": 1},
+        grid_size=16,
+    )
+    with pytest.raises(ConfigurationError, match="bad ic_params"):
+        build_initial_state(bad_params, grid)
+
+
+def test_build_simulation_picks_the_driver_by_equation():
+    assert isinstance(build_simulation("euler-gaussian"), Simulation)
+    assert isinstance(build_simulation("diffusion"), FieldSimulation)
+    assert isinstance(build_simulation("allen-cahn"), FieldSimulation)
+
+
+def test_simulate_smoke_shapes_and_finiteness():
+    result = simulate("diffusion", grid_size=16, num_snapshots=4)
+    assert result.snapshots.shape == (4, 1, 16, 16)
+    assert np.all(np.isfinite(result.snapshots))
+    assert result.dt > 0
+
+    result = simulate("euler-off-center", grid_size=16, num_snapshots=3)
+    assert result.snapshots.shape == (3, 4, 16, 16)
+    assert np.all(np.isfinite(result.snapshots))
+
+
+def test_simulate_seed_varies_randomized_trajectories():
+    a = simulate("allen-cahn", grid_size=16, num_snapshots=3, seed=1).snapshots
+    b = simulate("allen-cahn", grid_size=16, num_snapshots=3, seed=2).snapshots
+    assert not np.array_equal(a, b)
+
+
+def test_cnn_config_adapts_channel_count():
+    assert cnn_config("euler-gaussian").channels == (4, 6, 16, 6, 4)
+    assert cnn_config("diffusion").channels == (1, 6, 16, 6, 1)
+    # Overrides are merged on top of the adapted defaults.
+    custom = cnn_config("diffusion", channels=(1, 8, 1))
+    assert custom.channels == (1, 8, 1)

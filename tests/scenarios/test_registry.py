@@ -1,0 +1,71 @@
+"""Registry behaviour: lookup, registration, the shipped catalogue."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    DEFAULT_SCENARIO,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios import registry as registry_module
+
+EXPECTED_BUILTINS = {
+    "euler-gaussian",
+    "euler-multi-pulse",
+    "euler-off-center",
+    "euler-reflecting",
+    "euler-periodic",
+    "euler-absorbing",
+    "diffusion",
+    "allen-cahn",
+}
+
+
+def test_catalogue_ships_the_issue_matrix():
+    names = set(available_scenarios())
+    assert EXPECTED_BUILTINS <= names
+    assert DEFAULT_SCENARIO in names
+
+
+def test_available_scenarios_is_sorted():
+    names = available_scenarios()
+    assert list(names) == sorted(names)
+
+
+def test_get_scenario_by_name_and_passthrough():
+    spec = get_scenario("diffusion")
+    assert spec.equation == "diffusion"
+    # A Scenario instance passes through untouched — callers can accept
+    # either a registry name or an ad-hoc spec.
+    ad_hoc = Scenario(name="ad-hoc", grid_size=32)
+    assert get_scenario(ad_hoc) is ad_hoc
+
+
+def test_unknown_scenario_lists_the_registry():
+    with pytest.raises(ConfigurationError, match="unknown scenario 'nope'"):
+        get_scenario("nope")
+
+
+def test_register_rejects_duplicates_unless_overwrite(monkeypatch):
+    monkeypatch.setattr(
+        registry_module, "_REGISTRY", dict(registry_module._REGISTRY)
+    )
+    spec = Scenario(name="tmp-test-scenario", grid_size=32)
+    register_scenario(spec)
+    assert get_scenario("tmp-test-scenario") == spec
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_scenario(spec)
+    replacement = spec.replace(grid_size=64)
+    register_scenario(replacement, overwrite=True)
+    assert get_scenario("tmp-test-scenario").grid_size == 64
+
+
+def test_default_scenario_is_the_paper_baseline():
+    spec = get_scenario(DEFAULT_SCENARIO)
+    assert spec.equation == "linearized_euler"
+    assert spec.initial_condition == "paper_pulse"
+    assert spec.boundary == "outflow"
+    assert (spec.grid_size, spec.num_snapshots) == (256, 1500)

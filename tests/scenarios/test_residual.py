@@ -1,0 +1,98 @@
+"""Physics-residual metric: solver output scores low, junk scores high."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    get_scenario,
+    physics_residual,
+    scenario_residual,
+    simulate,
+)
+
+
+def _solver_trajectory(name, grid_size=24, num_snapshots=6):
+    result = simulate(name, grid_size=grid_size, num_snapshots=num_snapshots)
+    return result.snapshots, result.dt
+
+
+@pytest.mark.parametrize("name", ["euler-gaussian", "diffusion", "allen-cahn"])
+def test_solver_trajectories_have_small_residual(name):
+    snapshots, dt = _solver_trajectory(name)
+    spec = get_scenario(name)
+    steps = spec.steps_per_snapshot
+    report = scenario_residual(spec, snapshots, dt * steps, grid_size=24)
+    assert np.isfinite(report.normalized)
+    # The solver itself satisfies its own equation to discretization
+    # accuracy; a midpoint defect over one snapshot interval stays well
+    # under the O(1) score of unrelated data.
+    assert report.normalized < 0.2
+
+
+def test_random_data_has_order_one_residual():
+    spec = get_scenario("diffusion")
+    rng = np.random.default_rng(0)
+    junk = rng.standard_normal((5, 1, 24, 24))
+    report = scenario_residual(spec, junk, 0.01, grid_size=24)
+    assert report.normalized > 0.5
+
+
+def test_residual_orders_solver_below_junk():
+    """The metric must rank a consistent trajectory below a shuffled one
+    of identical marginals — that is what makes it an evaluator."""
+    snapshots, dt = _solver_trajectory("diffusion")
+    spec = get_scenario("diffusion")
+    good = scenario_residual(spec, snapshots, dt * spec.steps_per_snapshot, grid_size=24)
+    shuffled = snapshots[::-1].copy()
+    bad = scenario_residual(spec, shuffled, dt * spec.steps_per_snapshot, grid_size=24)
+    assert good.normalized < bad.normalized
+
+
+def test_report_contents_and_text():
+    snapshots, dt = _solver_trajectory("euler-gaussian", num_snapshots=4)
+    spec = get_scenario("euler-gaussian")
+    report = scenario_residual(spec, snapshots, dt, grid_size=24)
+    assert report.num_transitions == 3
+    assert set(report.per_channel) == {"p", "rho", "u", "v"}
+    assert report.margin == spec.residual_margin
+    text = report.report()
+    assert text.startswith("physics residual (normalized):")
+    payload = report.to_dict()
+    assert payload["normalized"] == pytest.approx(report.normalized)
+    assert set(payload["per_channel"]) == {"p", "rho", "u", "v"}
+
+
+def _equation_and_grid():
+    from repro.scenarios import build_equation, build_grid
+
+    return build_equation("diffusion"), build_grid("diffusion", grid_size=16)
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"dt": 0.0}, "dt must be positive"),
+        ({"dt": -1.0}, "dt must be positive"),
+        ({"margin": -1}, "leaves no interior"),
+        ({"margin": 8}, "leaves no interior"),
+    ],
+)
+def test_physics_residual_rejects_bad_inputs(kwargs, match):
+    equation, grid = _equation_and_grid()
+    snapshots = np.zeros((3, 1, 16, 16))
+    params = {"dt": 0.1, "margin": 2, **kwargs}
+    with pytest.raises(ConfigurationError, match=match):
+        physics_residual(snapshots, equation, grid, **params)
+
+
+def test_physics_residual_shape_validation():
+    equation, grid = _equation_and_grid()
+    with pytest.raises(ConfigurationError, match="at least 2"):
+        physics_residual(np.zeros((1, 1, 16, 16)), equation, grid, dt=0.1)
+    with pytest.raises(ConfigurationError, match="channel count"):
+        physics_residual(np.zeros((3, 2, 16, 16)), equation, grid, dt=0.1)
+    with pytest.raises(ConfigurationError, match="shape"):
+        physics_residual(np.zeros((3, 16, 16)), equation, grid, dt=0.1)
+    with pytest.raises(ConfigurationError, match="does not match grid"):
+        physics_residual(np.zeros((3, 1, 12, 12)), equation, grid, dt=0.1)

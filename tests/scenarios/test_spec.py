@@ -1,0 +1,96 @@
+"""Scenario spec: validation, canonicalization, dict round-trip."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import Scenario, available_scenarios, get_scenario
+
+
+def test_defaults_are_the_paper_problem():
+    spec = Scenario(name="t")
+    assert spec.equation == "linearized_euler"
+    assert spec.initial_condition == "paper_pulse"
+    assert spec.boundary == "outflow"
+    assert spec.grid_size == 256
+    assert spec.num_snapshots == 1500
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"name": ""},
+        {"grid_size": 4},
+        {"half_extent": 0.0},
+        {"cfl": 0.0},
+        {"num_snapshots": 1},
+        {"train_fraction": 0.0},
+        {"train_fraction": 1.0},
+        {"steps_per_snapshot": 0},
+        {"rollout_steps": 0},
+        {"residual_margin": -1},
+    ],
+)
+def test_validation_rejects(overrides):
+    with pytest.raises(ConfigurationError):
+        Scenario(**{"name": "t", **overrides})
+
+
+def test_params_are_canonicalized_at_construction():
+    spec = Scenario(name="t", ic_params={"center": (0.3, -0.2), "n": 3})
+    assert spec.ic_params == {"center": [0.3, -0.2], "n": 3}
+
+
+def test_non_json_params_rejected():
+    with pytest.raises(ConfigurationError):
+        Scenario(name="t", ic_params={"f": object()})
+    with pytest.raises(ConfigurationError):
+        Scenario(name="t", equation_params={1: "x"})
+
+
+def test_dict_round_trip_through_json():
+    spec = Scenario(
+        name="t",
+        equation="diffusion",
+        equation_params={"nu": 0.05},
+        initial_condition="scalar_blobs",
+        ic_params={"num_blobs": 2, "seed": 1},
+        boundary="neumann",
+        grid_size=64,
+    )
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert Scenario.from_dict(wire) == spec
+
+
+def test_every_registered_scenario_round_trips():
+    for name in available_scenarios():
+        spec = get_scenario(name)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert Scenario.from_dict(wire) == spec
+
+
+def test_from_dict_rejects_unknown_and_missing_fields():
+    with pytest.raises(ConfigurationError, match="unknown scenario fields"):
+        Scenario.from_dict({"name": "t", "equatoin": "typo"})
+    with pytest.raises(ConfigurationError, match="missing the 'name'"):
+        Scenario.from_dict({"equation": "diffusion"})
+    with pytest.raises(ConfigurationError):
+        Scenario.from_dict(["not", "a", "mapping"])
+
+
+def test_replace_revalidates():
+    spec = Scenario(name="t")
+    assert spec.replace(grid_size=64).grid_size == 64
+    with pytest.raises(ConfigurationError):
+        spec.replace(grid_size=2)
+
+
+def test_num_train_clamps_to_nonempty_splits():
+    spec = Scenario(name="t", train_fraction=0.99, num_snapshots=10)
+    assert spec.num_train() == 9
+    assert spec.num_train(3) == 2
+    spec = Scenario(name="t", train_fraction=0.01, num_snapshots=10)
+    assert spec.num_train() == 1
+    with pytest.raises(ConfigurationError):
+        spec.num_train(1)

@@ -1,0 +1,152 @@
+"""Boundary conditions compose with domain decomposition.
+
+The pinned property: applying a wall-writing condition to the whole
+domain gives bit-identical fields to decomposing the domain, applying
+:func:`local_boundary` on each rank's *physical* walls only
+(:meth:`BlockDecomposition.physical_sides`), and reassembling.
+Interior block edges are never written — those lines belong to the
+halo exchange.  Periodic walls have no local stencil at all: they are
+closed by the periodic halo wrap.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.domain import BlockDecomposition, HaloExchanger
+from repro.solver import (
+    EulerState,
+    apply_periodic,
+    apply_reflecting,
+    get_boundary_condition,
+    local_boundary,
+)
+
+
+def _random_state(shape=(12, 14), seed=7):
+    rng = np.random.default_rng(seed)
+    return EulerState(*(rng.standard_normal(shape) for _ in range(4)))
+
+
+def _decompose_apply_assemble(state, name, decomposition, **kwargs):
+    """Apply ``name`` per rank on physical sides only; reassemble."""
+    global_field = state.to_array()
+    pieces = []
+    for rank in range(decomposition.num_subdomains):
+        sub = decomposition.subdomain(rank)
+        local = EulerState.from_array(decomposition.extract(global_field, rank))
+        bc = local_boundary(
+            name,
+            decomposition.physical_sides(rank),
+            y_range=sub.y_range,
+            x_range=sub.x_range,
+            global_shape=decomposition.field_shape,
+            **kwargs,
+        )
+        pieces.append(bc(local).to_array())
+    return decomposition.assemble(pieces)
+
+
+@pytest.mark.parametrize("name", ["outflow", "reflecting", "sponge"])
+@pytest.mark.parametrize("pgrid", [(1, 1), (2, 2), (3, 2), (1, 4)])
+def test_local_boundary_matches_global(name, pgrid):
+    reference = get_boundary_condition(name)(_random_state()).to_array()
+    assembled = _decompose_apply_assemble(
+        _random_state(), name, BlockDecomposition((12, 14), pgrid)
+    )
+    np.testing.assert_array_equal(assembled, reference)
+
+
+def test_interior_rank_is_untouched():
+    """A rank with no physical wall (3x3 centre) must not be written."""
+    decomposition = BlockDecomposition((12, 12), (3, 3))
+    assert decomposition.physical_sides(4) == ()
+    state = _random_state(shape=(4, 4))
+    before = state.to_array().copy()
+    local_boundary("reflecting", decomposition.physical_sides(4))(state)
+    np.testing.assert_array_equal(state.to_array(), before)
+
+
+def test_periodic_has_no_physical_sides():
+    decomposition = BlockDecomposition((12, 12), (2, 2), periodic=(True, True))
+    assert all(
+        decomposition.physical_sides(rank) == ()
+        for rank in range(decomposition.num_subdomains)
+    )
+    state = _random_state()
+    before = state.to_array().copy()
+    local_boundary("periodic", ())(state)
+    np.testing.assert_array_equal(state.to_array(), before)
+
+
+def test_periodic_wrap_halo_supplies_the_bc_lines():
+    """On a state satisfying the periodic identification (i.e. after
+    ``apply_periodic``), the wrapped halo delivers exactly the lines the
+    global BC maintains: the top rank's low-y halo row is the bottom
+    wall row, which the global BC pins to the first interior row."""
+    state = apply_periodic(_random_state(shape=(12, 12)))
+    field = state.to_array()
+    decomposition = BlockDecomposition((12, 12), (2, 2), periodic=(True, True))
+    extended = decomposition.extract(field, rank=0, halo=1)
+    np.testing.assert_array_equal(extended[:, 0, 1:-1], field[:, -1, : 12 // 2])
+    np.testing.assert_array_equal(extended[:, 0, 1:-1], field[:, 1, : 12 // 2])
+
+
+def test_mixed_periodic_reflecting_composition():
+    """Periodic in x, reflecting walls in y: only the y walls get a
+    stencil; the x wrap is the halo's job."""
+    decomposition = BlockDecomposition((12, 14), (2, 2), periodic=(False, True))
+    sides = [decomposition.physical_sides(rank) for rank in range(4)]
+    assert sides == [("y_lo",), ("y_lo",), ("y_hi",), ("y_hi",)]
+
+    # Reference: reflecting applied to the y walls of the whole domain.
+    reference = _random_state()
+    for side in ("y_lo", "y_hi"):
+        from repro.solver import apply_reflecting_side
+
+        apply_reflecting_side(reference, side)
+    assembled = _decompose_apply_assemble(
+        _random_state(), "reflecting", decomposition
+    )
+    np.testing.assert_array_equal(assembled, reference.to_array())
+
+
+def test_halo_exchange_respects_physical_walls():
+    """End to end over the threads backend: halo-extended blocks carry
+    neighbour data on interior edges, wrap data on periodic walls and
+    fill on physical walls — exactly :meth:`extract` with a halo."""
+    rng = np.random.default_rng(3)
+    field = rng.standard_normal((4, 12, 12))
+    decomposition = BlockDecomposition((12, 12), (2, 2), periodic=(True, False))
+
+    def program(comm):
+        local = decomposition.extract(field, comm.rank)
+        return HaloExchanger(comm, decomposition, halo=2).exchange(local)
+
+    for rank, extended in enumerate(mpi.run_parallel(program, 4)):
+        np.testing.assert_array_equal(
+            extended, decomposition.extract(field, rank, halo=2)
+        )
+
+
+def test_reflecting_walls_then_halo_is_order_independent():
+    """BC on physical walls and halo exchange touch disjoint lines, so
+    global-BC-then-extract equals extract-then-local-BC (with halos
+    taken from the BC'd global field in both cases)."""
+    decomposition = BlockDecomposition((12, 14), (2, 2))
+    reference = apply_reflecting(_random_state()).to_array()
+
+    state = _random_state()
+    for rank in range(4):
+        sub = decomposition.subdomain(rank)
+        local = EulerState.from_array(
+            decomposition.extract(state.to_array(), rank)
+        )
+        bc = local_boundary("reflecting", decomposition.physical_sides(rank))
+        interior = bc(local).to_array()
+        # Halo lines come from the globally-BC'd field: interior edges
+        # of `interior` must match it exactly for the exchange to be
+        # consistent.
+        np.testing.assert_array_equal(
+            interior, reference[:, sub.y_slice, sub.x_slice]
+        )

@@ -1,0 +1,174 @@
+"""New non-Euler physics: Diffusion2D, AllenCahn, FieldSimulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SolverError
+from repro.solver import (
+    AllenCahn,
+    Diffusion2D,
+    FieldSimulation,
+    LinearizedEuler,
+    UniformGrid2D,
+    available_equations,
+    get_equation,
+    get_field_boundary,
+    random_phase_field,
+    scalar_blobs,
+    scalar_gaussian,
+)
+
+
+@pytest.fixture
+def grid():
+    return UniformGrid2D.square(32, 1.0)
+
+
+class TestEquationLookup:
+    def test_catalogue(self):
+        assert available_equations() == ("allen_cahn", "diffusion", "linearized_euler")
+
+    def test_instantiation_with_params(self):
+        assert get_equation("diffusion", nu=0.3).nu == pytest.approx(0.3)
+        assert get_equation("allen_cahn", epsilon=0.02).epsilon == pytest.approx(0.02)
+        euler = get_equation("linearized_euler", dissipation=0.05, p_c=2.0)
+        assert isinstance(euler, LinearizedEuler)
+        assert euler.dissipation == pytest.approx(0.05)
+        assert euler.background.p_c == pytest.approx(2.0)
+
+    def test_unknown_name_and_bad_params(self):
+        with pytest.raises(ConfigurationError, match="unknown equation"):
+            get_equation("burgers")
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            get_equation("diffusion", viscosity=0.1)
+
+    def test_invalid_coefficients(self):
+        with pytest.raises(SolverError):
+            Diffusion2D(nu=0.0)
+        with pytest.raises(SolverError):
+            AllenCahn(epsilon=-1.0)
+
+
+class TestDiffusion2D:
+    def test_rhs_is_the_scaled_laplacian_of_a_quadratic(self, grid):
+        # u = x^2 + y^2 has Laplacian 4 everywhere (exact for the
+        # second-order stencil on interior points).
+        X, Y = grid.meshgrid()
+        fields = (X**2 + Y**2)[None]
+        rhs = Diffusion2D(nu=0.25).rhs_array(fields, grid.dx, grid.dy)
+        np.testing.assert_allclose(rhs[0, 2:-2, 2:-2], 0.25 * 4.0, rtol=1e-10)
+
+    def test_stable_dt_scales_like_dx_squared(self):
+        eq = Diffusion2D(nu=0.1)
+        coarse = eq.stable_dt(0.1, 0.1)
+        fine = eq.stable_dt(0.05, 0.05)
+        assert fine == pytest.approx(coarse / 4)
+
+    def test_l2_energy_decays(self, grid):
+        sim = FieldSimulation(grid, Diffusion2D(nu=0.1), boundary="neumann")
+        result = sim.run(scalar_blobs(grid, seed=1), num_snapshots=10)
+        energies = result.energies
+        assert np.all(np.diff(energies) <= 1e-12)
+        assert energies[-1] < energies[0]
+
+
+class TestAllenCahn:
+    def test_react_exact_flows_toward_the_wells(self):
+        eq = AllenCahn()
+        u = np.array([-0.5, -0.01, 0.0, 0.01, 0.5])
+        later = eq._react_exact(u, 10.0)
+        np.testing.assert_allclose(later, np.sign(u), atol=1e-3)
+        # u = 0 is the (unstable) fixed point.
+        assert later[2] == 0.0
+
+    def test_strang_step_preserves_the_invariant_band(self, grid):
+        eq = AllenCahn(epsilon=0.01)
+        u = random_phase_field(grid, amplitude=0.9, seed=3)
+        dt = eq.stable_dt(grid.dx, grid.dy)
+        for _ in range(5):
+            u = eq.strang_step(u, grid.dx, grid.dy, dt)
+        assert np.max(np.abs(u)) <= 1.0 + 1e-12
+
+    def test_ginzburg_landau_energy_decreases(self, grid):
+        sim = FieldSimulation(
+            grid, AllenCahn(epsilon=0.01), boundary="periodic", integrator="strang"
+        )
+        result = sim.run(
+            random_phase_field(grid, seed=2), num_snapshots=6, steps_per_snapshot=5
+        )
+        energies = result.energies
+        assert energies[-1] < energies[0]
+
+    def test_phases_separate_from_small_noise(self, grid):
+        """Spinodal decomposition: |u| grows from ~0.1 toward ~1."""
+        sim = FieldSimulation(
+            grid, AllenCahn(epsilon=0.01), boundary="periodic", integrator="strang"
+        )
+        initial = random_phase_field(grid, amplitude=0.1, seed=0)
+        result = sim.run(initial, num_snapshots=2, steps_per_snapshot=80)
+        assert np.mean(np.abs(result.snapshots[-1])) > 5 * np.mean(np.abs(initial))
+
+
+class TestFieldSimulation:
+    def test_snapshot_shapes_and_dt(self, grid):
+        sim = FieldSimulation(grid, Diffusion2D(nu=0.1), boundary="neumann")
+        result = sim.run(scalar_gaussian(grid), num_snapshots=4, steps_per_snapshot=3)
+        assert result.snapshots.shape == (4, 1, 32, 32)
+        assert result.dt == pytest.approx(sim.dt)
+        np.testing.assert_allclose(np.diff(result.times), 3 * sim.dt)
+
+    def test_strang_requires_a_split_stepper(self, grid):
+        with pytest.raises(SolverError, match="strang"):
+            FieldSimulation(grid, Diffusion2D(nu=0.1), integrator="strang")
+
+    def test_channel_mismatch_raises(self, grid):
+        sim = FieldSimulation(grid, Diffusion2D(nu=0.1))
+        with pytest.raises(SolverError):
+            sim.run(np.zeros((2, 32, 32)), num_snapshots=2)
+
+    def test_advance_is_not_in_place(self, grid):
+        sim = FieldSimulation(grid, Diffusion2D(nu=0.1), boundary="neumann")
+        fields = scalar_gaussian(grid)
+        before = fields.copy()
+        sim.advance(fields, num_steps=2)
+        np.testing.assert_array_equal(fields, before)
+
+    def test_periodic_boundary_wraps_edges(self, grid):
+        sim = FieldSimulation(grid, Diffusion2D(nu=0.1), boundary="periodic")
+        out = sim.advance(scalar_blobs(grid, seed=4), num_steps=1)
+        np.testing.assert_array_equal(out[:, 0, :], out[:, -2, :])
+        np.testing.assert_array_equal(out[:, -1, :], out[:, 1, :])
+
+
+class TestScalarInitialConditions:
+    def test_scalar_gaussian_peak_and_shape(self, grid):
+        field = scalar_gaussian(grid, amplitude=2.0, half_width=0.3)
+        assert field.shape == (1, 32, 32)
+        assert np.max(field) <= 2.0
+        assert field[0, 16, 16] == pytest.approx(2.0, rel=0.05)
+
+    def test_scalar_blobs_seeded_and_signed(self, grid):
+        a = scalar_blobs(grid, num_blobs=4, seed=5)
+        assert np.array_equal(a, scalar_blobs(grid, num_blobs=4, seed=5))
+        assert a.min() < 0 < a.max()
+
+    def test_random_phase_amplitude_band(self, grid):
+        field = random_phase_field(grid, amplitude=0.2, seed=0)
+        assert np.max(np.abs(field)) <= 0.2 + 1e-12
+        assert np.max(np.abs(field)) > 0.01
+
+    def test_validation(self, grid):
+        with pytest.raises(SolverError):
+            scalar_gaussian(grid, half_width=0.0)
+        with pytest.raises(SolverError):
+            scalar_blobs(grid, num_blobs=0)
+
+
+class TestFieldBoundaryLookup:
+    def test_known_names(self):
+        for name in ("periodic", "neumann", "dirichlet"):
+            assert callable(get_field_boundary(name))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_field_boundary("outflow-typo")

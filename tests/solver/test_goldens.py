@@ -1,0 +1,81 @@
+"""Bit-exactness goldens pinning the paper's default scenario.
+
+These hashes were captured from the pre-scenario-registry code (PR 6
+tree).  The scenario-registry refactor must keep every one of them
+byte-identical: the registry may *add* physics, but the paper's
+baseline pipeline (Gaussian pulse, linearized Euler, outflow walls,
+RK4, CFL 0.5) must not drift by a single ULP.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.data.generation import generate_multi_pulse_dataset, generate_paper_dataset
+from repro.solver import EulerState, get_boundary_condition
+
+
+def _sha(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _random_state() -> EulerState:
+    rng = np.random.default_rng(42)
+    fields = [rng.standard_normal((9, 7)) for _ in range(4)]
+    return EulerState(p=fields[0], rho=fields[1], u=fields[2], v=fields[3])
+
+
+class TestPaperDatasetGolden:
+    def test_paper_dataset_bit_exact(self):
+        data = generate_paper_dataset(grid_size=24, num_snapshots=8, num_train=5)
+        assert _sha(data.train.snapshots) == (
+            "bd4295167449407e0e200a3d7e2fc40f49403edece08ab4b82b39dca30a1a374"
+        )
+        assert _sha(data.validation.snapshots) == (
+            "bd5c48c39bf799d4d8f378cd6b67da976ce77875d04f8fbde4b823d49d0f7d6d"
+        )
+        assert data.dt == 0.025983230637704212
+
+    def test_multi_pulse_dataset_bit_exact(self):
+        data = generate_multi_pulse_dataset(
+            grid_size=24, num_snapshots=8, num_train=5, num_pulses=2, seed=3
+        )
+        assert _sha(data.train.snapshots) == (
+            "f7a87827126edb2de16cbd2db8bbd717616aaf402a494cd8db5f53a56644ac8e"
+        )
+
+
+class TestBoundaryGoldens:
+    """The per-side decomposition of boundary.py must reproduce the
+    original whole-domain application exactly, corners included."""
+
+    def _check(self, name: str, expected: str):
+        state = _random_state()
+        get_boundary_condition(name)(state)
+        assert _sha(state.to_array()) == expected, name
+
+    def test_outflow(self):
+        self._check(
+            "outflow",
+            "0b7bf4756ce56ad419ffe10fc4c0cfe25de4ccb766ad72d98c6e59a708a5836a",
+        )
+
+    def test_reflecting(self):
+        self._check(
+            "reflecting",
+            "9191932840da0a75cc0c7142b93ee594d3c70f6b7615a69028f9486b587e771b",
+        )
+
+    def test_periodic(self):
+        self._check(
+            "periodic",
+            "cf5ebf41bf0ea8ae00f8e1ceda37d718a6a703997f7c69cb56b5bdf56b5e9329",
+        )
+
+    def test_sponge(self):
+        self._check(
+            "sponge",
+            "8402dbc99500723b444450b31daea0b940c68c6169a756095942d4f00bb4066c",
+        )

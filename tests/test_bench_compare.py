@@ -1,0 +1,127 @@
+"""The bench_compare script: soft per-op gate, hard ordering gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parents[1] / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _records(**medians):
+    return [{"op": op, "median_seconds": value} for op, value in medians.items()]
+
+
+def _write(path, records):
+    path.write_text(json.dumps(records))
+    return str(path)
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return _write(
+        tmp_path / "base.json", _records(fused=0.029, plain=0.026, naive=0.052)
+    )
+
+
+def test_identical_runs_are_clean(tmp_path, baseline, capsys):
+    status = bench_compare.main(
+        ["--baseline", baseline, "--current", baseline, "--require-order", "fused:plain"]
+    )
+    assert status == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_uniform_slowdown_trips_soft_gate_only(tmp_path, baseline, capsys):
+    """A slower machine shifts every op but not their ratios: the per-op
+    gate regresses (exit 1) while the hard ordering gate stays green."""
+    current = _write(
+        tmp_path / "cur.json",
+        _records(fused=0.029 * 1.6, plain=0.026 * 1.6, naive=0.052 * 1.6),
+    )
+    status = bench_compare.main(
+        [
+            "--baseline", baseline, "--current", current,
+            "--tolerance", "1.5", "--require-order", "fused:plain",
+        ]
+    )
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "VIOLATION" not in out
+
+
+def test_fused_fallback_trips_hard_gate(tmp_path, baseline, capsys):
+    """Only the fused op degrading (the silent-fallback failure mode)
+    deteriorates the fused/plain ratio: hard violation, exit 2."""
+    current = _write(
+        tmp_path / "cur.json", _records(fused=0.058, plain=0.026, naive=0.052)
+    )
+    status = bench_compare.main(
+        ["--baseline", baseline, "--current", current, "--require-order", "fused:plain"]
+    )
+    assert status == 2
+    assert "VIOLATION" in capsys.readouterr().out
+
+
+def test_ordering_gate_works_when_baseline_loses(tmp_path, capsys):
+    """The gate is baseline-relative: it stays meaningful for pairs the
+    baseline records as a loss (fused slower than plain), where an
+    absolute A < B assertion would already fail on the committed data."""
+    base = _write(tmp_path / "base.json", _records(fused=0.029, plain=0.026))
+    ok = _write(tmp_path / "ok.json", _records(fused=0.030, plain=0.026))
+    bad = _write(tmp_path / "bad.json", _records(fused=0.045, plain=0.026))
+    assert bench_compare.main(
+        ["--baseline", base, "--current", ok, "--require-order", "fused:plain"]
+    ) == 0
+    assert bench_compare.main(
+        ["--baseline", base, "--current", bad, "--require-order", "fused:plain"]
+    ) == 2
+
+
+def test_missing_pair_op_is_hard_failure(tmp_path, baseline, capsys):
+    current = _write(tmp_path / "cur.json", _records(plain=0.026, naive=0.052))
+    status = bench_compare.main(
+        ["--baseline", baseline, "--current", current, "--require-order", "fused:plain"]
+    )
+    assert status == 2
+    assert "missing" in capsys.readouterr().out
+
+
+def test_order_tolerance_is_configurable(tmp_path, baseline):
+    current = _write(
+        tmp_path / "cur.json", _records(fused=0.029 * 1.4, plain=0.026, naive=0.052)
+    )
+    args = ["--baseline", baseline, "--current", current, "--require-order", "fused:plain"]
+    assert bench_compare.main(args + ["--order-tolerance", "1.5"]) == 0
+    assert bench_compare.main(args + ["--order-tolerance", "1.25"]) == 2
+
+
+def test_malformed_pair_exits(tmp_path, baseline):
+    with pytest.raises(SystemExit):
+        bench_compare.main(
+            ["--baseline", baseline, "--current", baseline, "--require-order", "fused"]
+        )
+
+
+def test_require_order_needs_records(tmp_path):
+    with pytest.raises(SystemExit):
+        bench_compare.main(["--require-order", "fused:plain"])
+
+
+def test_compare_order_ratio_math():
+    baseline = {op: {"median_seconds": s} for op, s in [("a", 1.0), ("b", 2.0)]}
+    current = {op: {"median_seconds": s} for op, s in [("a", 1.2), ("b", 2.0)]}
+    _, violations = bench_compare.compare_order(
+        baseline, current, [("a", "b")], tolerance=1.25
+    )
+    assert violations == 0
+    current["a"]["median_seconds"] = 1.3
+    _, violations = bench_compare.compare_order(
+        baseline, current, [("a", "b")], tolerance=1.25
+    )
+    assert violations == 1
