@@ -13,32 +13,15 @@ measures the region wall-clock.  Two claims are checked:
    :func:`available_cores`.
 """
 
-import os
 import time
 
-from conftest import run_once
+from conftest import available_cores, run_once
 
 from repro.core import CNNConfig, ParallelTrainer, TrainingConfig
 from repro.data import SnapshotDataset, synthetic_advection_snapshots
 
 NUM_RANKS = 2
 BACKENDS = ("serial", "threads", "processes")
-
-
-def available_cores() -> int:
-    """Cores this process may actually run on.
-
-    ``os.cpu_count()`` reports the host's cores, which inside a
-    cgroup/affinity-limited container (CI runners, ``taskset``) is a
-    lie — a 64-core host pinned to one core would enable the scaling
-    assertion and then fail it.  ``os.sched_getaffinity(0)`` reports
-    the schedulable set; it is Linux-only, so everywhere else we fall
-    back to ``os.cpu_count()`` (macOS/Windows runners are not
-    affinity-restricted in our CI).
-    """
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _setup():

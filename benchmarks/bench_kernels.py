@@ -16,7 +16,22 @@ from repro import mpi
 from repro.core import InferencePlan, build_paper_cnn
 from repro.domain import BlockDecomposition, HaloExchanger
 from repro.solver import LinearizedEuler, Simulation, UniformGrid2D, paper_initial_condition
-from repro.tensor import Tensor, conv2d, im2col, leaky_relu, no_grad, workspace_disabled
+from repro.tensor import (
+    Tensor,
+    conv2d,
+    im2col,
+    leaky_relu,
+    no_grad,
+    precision,
+    workspace_disabled,
+)
+
+#: Rounds for the InferencePlan step benchmarks.  One step is ~10² ms,
+#: so pytest-benchmark's calibrated default lands at rounds=5 — too few
+#: for a stable median on a shared host.  Fixed pedantic rounds keep
+#: the float32-vs-float64 ordering gate out of scheduler-noise
+#: territory and make the recorded stddev meaningful.
+PLAN_STEP_ROUNDS = 12
 
 
 def test_im2col_256(benchmark):
@@ -30,6 +45,8 @@ def test_im2col_256(benchmark):
 def test_conv2d_forward_256(benchmark):
     benchmark.extra_info["grid"] = 256
     benchmark.extra_info["kernel"] = 5
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float64"
     rng = np.random.default_rng(0)
     x = Tensor(rng.standard_normal((1, 4, 256, 256)))
     w = Tensor(rng.standard_normal((6, 4, 5, 5)))
@@ -49,6 +66,8 @@ def test_conv2d_forward_fused_256(benchmark):
     benchmark.extra_info["grid"] = 256
     benchmark.extra_info["kernel"] = 5
     benchmark.extra_info["variant"] = "fused+workspace"
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float64"
     rng = np.random.default_rng(0)
     x = Tensor(rng.standard_normal((1, 4, 256, 256)))
     w = Tensor(rng.standard_normal((6, 4, 5, 5)))
@@ -62,6 +81,32 @@ def test_conv2d_forward_fused_256(benchmark):
     assert out.shape == (1, 6, 256, 256)
 
 
+def test_conv2d_forward_plain_epilogue_256(benchmark):
+    """Composed-ops path doing the *identical work* as the fused
+    variant — conv + bias by the op, then a separate ``leaky_relu``
+    op — with the workspace arena ON.  This is the honest B side of
+    the ``fused <= plain`` ordering gate: both sides add the bias and
+    apply the activation, so the only difference is fusion (the bare
+    ``test_conv2d_forward_256`` does strictly less work and would make
+    that comparison meaningless)."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["kernel"] = 5
+    benchmark.extra_info["variant"] = "plain+workspace"
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float64"
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+    w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+    b = Tensor(rng.standard_normal(6))
+
+    def forward():
+        with no_grad():
+            return leaky_relu(conv2d(x, w, b, padding=2), 0.01)
+
+    out = benchmark(forward)
+    assert out.shape == (1, 6, 256, 256)
+
+
 def test_conv2d_forward_naive_epilogue_256(benchmark):
     """The allocate-per-call baseline for the fused variant above:
     conv, then bias is added by the op, then a separate leaky ReLU —
@@ -69,6 +114,8 @@ def test_conv2d_forward_naive_epilogue_256(benchmark):
     benchmark.extra_info["grid"] = 256
     benchmark.extra_info["kernel"] = 5
     benchmark.extra_info["variant"] = "naive"
+    benchmark.extra_info["kernel_path"] = "monolithic"
+    benchmark.extra_info["precision"] = "float64"
     rng = np.random.default_rng(0)
     x = Tensor(rng.standard_normal((1, 4, 256, 256)))
     w = Tensor(rng.standard_normal((6, 4, 5, 5)))
@@ -120,11 +167,61 @@ def test_fused_conv_speedup_256():
     )
 
 
+def test_conv2d_forward_float32_256(benchmark):
+    """The bare 256x256 convolution under the ``float32`` compute
+    mode — half the bytes through every stage of the blocked kernel,
+    so this is the current run's A side of the ``float32 <= float64``
+    ordering gate."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["kernel"] = 5
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float32"
+    with precision("float32"):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+        w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+        assert x.dtype == np.float32  # policy cast at the Tensor boundary
+
+        def forward():
+            with no_grad():
+                return conv2d(x, w, padding=2)
+
+        out = benchmark(forward)
+    assert out.shape == (1, 6, 256, 256)
+    assert out.dtype == np.float32
+
+
+def test_conv2d_forward_fused_float32_256(benchmark):
+    """The fused/workspace path at ``float32``: the arena hands back
+    float32 slots (dtype is part of the slot key), so epilogue scratch
+    shrinks along with the GEMM."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["kernel"] = 5
+    benchmark.extra_info["variant"] = "fused+workspace"
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float32"
+    with precision("float32"):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((1, 4, 256, 256)))
+        w = Tensor(rng.standard_normal((6, 4, 5, 5)))
+        b = Tensor(rng.standard_normal(6))
+
+        def forward():
+            with no_grad():
+                return conv2d(x, w, b, padding=2, activation="leaky_relu")
+
+        out = benchmark(forward)
+    assert out.shape == (1, 6, 256, 256)
+    assert out.dtype == np.float32
+
+
 def test_inference_plan_step_256(benchmark):
     """One rollout step of the compiled InferencePlan on the paper's
     full network at 256x256 — allocation-free after the warmup run."""
     benchmark.extra_info["grid"] = 256
     benchmark.extra_info["variant"] = "plan"
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float64"
     rng = np.random.default_rng(0)
     model = build_paper_cnn("zero", rng=np.random.default_rng(0))
     plan = InferencePlan(model)
@@ -132,8 +229,35 @@ def test_inference_plan_step_256(benchmark):
     plan.run(x)  # warm the arena so the timed runs are steady-state
     created = plan.workspace.stats.buffers_created
 
-    out = benchmark(lambda: plan.run(x))
+    out = benchmark.pedantic(
+        lambda: plan.run(x), rounds=PLAN_STEP_ROUNDS, iterations=1, warmup_rounds=2
+    )
     assert out.shape == (1, 4, 256, 256)
+    assert plan.workspace.stats.buffers_created == created  # zero-alloc
+
+
+def test_inference_plan_step_float32_256(benchmark):
+    """The same compiled rollout step under the ``float32`` compute
+    mode: parameters, arena slots, and the step output all run at
+    float32 (the plan resolves its dtype from the parameters at build
+    time), still allocation-free after warmup."""
+    benchmark.extra_info["grid"] = 256
+    benchmark.extra_info["variant"] = "plan"
+    benchmark.extra_info["kernel_path"] = "blocked"
+    benchmark.extra_info["precision"] = "float32"
+    with precision("float32"):
+        rng = np.random.default_rng(0)
+        model = build_paper_cnn("zero", rng=np.random.default_rng(0))
+        plan = InferencePlan(model)
+        x = rng.standard_normal((1, 4, 256, 256))
+        plan.run(x)  # warm the arena so the timed runs are steady-state
+        created = plan.workspace.stats.buffers_created
+
+        out = benchmark.pedantic(
+            lambda: plan.run(x), rounds=PLAN_STEP_ROUNDS, iterations=1, warmup_rounds=2
+        )
+    assert out.shape == (1, 4, 256, 256)
+    assert out.dtype == np.float32
     assert plan.workspace.stats.buffers_created == created  # zero-alloc
 
 

@@ -15,11 +15,28 @@ perf regressions can be diffed across commits without parsing text.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which inside a
+    cgroup/affinity-limited container (CI runners, ``taskset``) is a
+    lie — a 64-core host pinned to one core would enable a scaling
+    assertion and then fail it.  ``os.sched_getaffinity(0)`` reports
+    the schedulable set; it is Linux-only, so everywhere else we fall
+    back to ``os.cpu_count()`` (macOS/Windows runners are not
+    affinity-restricted in our CI).
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 #: Warmup iterations applied to every timed benchmark (see
 #: ``pytest_configure``).  The first call pays one-off costs — BLAS
@@ -66,10 +83,16 @@ def pytest_sessionfinish(session, exitstatus):
         record = {
             "op": bench.name,
             "median_seconds": float(bench.stats.median),
+            # stddev across rounds: a regression diff against a record
+            # whose stddev rivals its median is noise, not a verdict.
+            "stddev_seconds": float(bench.stats.stddev),
             "rounds": int(bench.stats.rounds),
             "iterations": int(bench.iterations),
             # warmup iterations applied before timing (0 = cold start)
             "warmup": int(getattr(bench, "options", {}).get("warmup") or 0),
+            # schedulable cores (affinity-aware) — timings from a pinned
+            # 1-core CI runner are not comparable to a desktop run.
+            "cores": available_cores(),
         }
         for key in sorted(bench.extra_info):
             record.setdefault(key, bench.extra_info[key])

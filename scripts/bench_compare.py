@@ -21,25 +21,38 @@ The default tolerance is deliberately loose (1.5x): this gate exists to
 catch "the fused path silently fell back to the naive one" (2-3x), not
 5% drift.
 
-``--require-order A:B`` (repeatable) adds a **hard** gate on the
-*relative ordering* of two ops::
+``--require-order`` (repeatable) adds a **hard** gate on the ordering
+of two ops, in one of two forms::
 
     python scripts/bench_compare.py \
         --baseline benchmarks/results/BENCH_kernels.json \
         --current  /tmp/fresh/BENCH_kernels.json \
-        --require-order test_conv2d_forward_fused_256:test_conv2d_forward_256
+        --require-order test_conv2d_forward_fused_256:test_conv2d_forward_256 \
+        --require-order 'test_conv2d_forward_float32_256<=test_conv2d_forward_256'
 
-The pair fails when ``current_A / current_B`` exceeds
-``(baseline_A / baseline_B) * --order-tolerance`` — i.e. A got slower
-*relative to B* by more than the margin, regardless of how noisy the
-runner's absolute wall-clock is.  Comparing ratios against the
-baseline's own ratio (rather than asserting ``A < B`` outright) makes
-the gate meaningful even for pairs the baseline records as a tie or a
-loss, and self-ratios cancel most machine-speed noise, which is why
-this gate is hard where the per-op gate is soft: ordering violations
+The **relative** form ``A:B`` fails when ``current_A / current_B``
+exceeds ``(baseline_A / baseline_B) * --order-tolerance`` — i.e. A got
+slower *relative to B* by more than the margin, regardless of how
+noisy the runner's absolute wall-clock is.  Comparing ratios against
+the baseline's own ratio (rather than asserting ``A < B`` outright)
+makes the gate meaningful even for pairs the baseline records as a tie
+or a loss, and self-ratios cancel most machine-speed noise.
+
+The **absolute** form ``A<=B`` fails when the *current* run alone has
+``current_A > current_B * --order-slack``: use it for orderings that
+must hold outright on every machine — the fused conv must not lose to
+the plain composed-op path doing the same work, float32 must not lose
+to float64.  The slack (default 1.05) absorbs run-to-run jitter
+between two separately-measured medians, nothing more; a genuine
+inversion (the failure modes these gates exist for: the fused epilogue
+regressing to a masked multiply, a float32 graph silently computing in
+float64) overshoots it several times over.  The baseline file is not
+consulted for absolute pairs.
+
+Both forms are hard where the per-op gate is soft: ordering violations
 exit with status 2 (per-op regressions alone exit 1), and CI treats
 only exit 2 as fatal.  An op named in ``--require-order`` but missing
-from either file is itself a hard failure — an ordering gate that
+from a consulted file is itself a hard failure — an ordering gate that
 silently stops measuring is worse than one that fails.
 
 A second, independent mode diffs the per-rank communication fraction of
@@ -106,38 +119,51 @@ def compare(
     return lines, regressions
 
 
-def parse_order_pairs(raw: list[str]) -> list[tuple[str, str]]:
+def parse_order_pairs(raw: list[str]) -> list[tuple[str, str, str]]:
+    """Parse ``A:B`` (relative) / ``A<=B`` (absolute) into
+    ``(op_a, op_b, mode)`` triples."""
     pairs = []
     for item in raw:
-        parts = item.split(":")
+        if "<=" in item:
+            parts, mode = item.split("<="), "absolute"
+        else:
+            parts, mode = item.split(":"), "relative"
         if len(parts) != 2 or not all(parts):
             sys.exit(
-                f"bench_compare: --require-order expects 'opA:opB', got {item!r}"
+                "bench_compare: --require-order expects 'opA:opB' or "
+                f"'opA<=opB', got {item!r}"
             )
-        pairs.append((parts[0], parts[1]))
+        pairs.append((parts[0], parts[1], mode))
     return pairs
 
 
 def compare_order(
     baseline: dict[str, dict],
     current: dict[str, dict],
-    pairs: list[tuple[str, str]],
+    pairs: list[tuple[str, str, str]],
     tolerance: float,
+    slack: float = 1.05,
 ) -> tuple[list[str], int]:
-    """Hard gate: each pair's current A/B ratio vs the baseline's.
+    """Hard ordering gates; returns (lines, violation_count).
 
-    Returns (lines, violation_count).  Violations cover both a
-    deteriorated ratio and a pair op missing from either file.
+    Relative (``A:B``) pairs compare the current A/B median ratio
+    against the baseline's own ratio times ``tolerance``.  Absolute
+    (``A<=B``) pairs assert ``current_A <= current_B * slack`` with no
+    baseline involved.  Violations cover a deteriorated/inverted
+    ordering and a pair op missing from a consulted file.
     """
     lines = [
         f"{'ordering pair':<60} {'base A/B':>9} {'cur A/B':>9}  verdict"
     ]
     violations = 0
-    for op_a, op_b in pairs:
-        label = f"{op_a} : {op_b}"
+    for op_a, op_b, mode in pairs:
+        relative = mode == "relative"
+        label = f"{op_a} {':' if relative else '<='} {op_b}"
+        sides = (("baseline", baseline), ("current", current)) if relative \
+            else (("current", current),)
         missing = [
             f"{op} ({side})"
-            for side, records in (("baseline", baseline), ("current", current))
+            for side, records in sides
             for op in (op_a, op_b)
             if op not in records
         ]
@@ -145,22 +171,31 @@ def compare_order(
             lines.append(f"{label:<60} {'-':>9} {'-':>9}  VIOLATION (missing: {', '.join(missing)})")
             violations += 1
             continue
-        base_a = float(baseline[op_a]["median_seconds"])
-        base_b = float(baseline[op_b]["median_seconds"])
         cur_a = float(current[op_a]["median_seconds"])
         cur_b = float(current[op_b]["median_seconds"])
-        if base_b <= 0 or cur_b <= 0:
+        if cur_b <= 0 or (relative and float(baseline[op_b]["median_seconds"]) <= 0):
             lines.append(f"{label:<60} {'-':>9} {'-':>9}  VIOLATION (non-positive timing)")
             violations += 1
             continue
-        base_ratio = base_a / base_b
         cur_ratio = cur_a / cur_b
-        if cur_ratio > base_ratio * tolerance:
-            verdict = f"VIOLATION (> {tolerance:.2f}x baseline ratio)"
+        if relative:
+            base_ratio = (
+                float(baseline[op_a]["median_seconds"])
+                / float(baseline[op_b]["median_seconds"])
+            )
+            base_text = f"{base_ratio:>9.3f}"
+            bound = base_ratio * tolerance
+            verdict_text = f"VIOLATION (> {tolerance:.2f}x baseline ratio)"
+        else:
+            base_text = f"{'-':>9}"
+            bound = slack
+            verdict_text = f"VIOLATION (A > B * {slack:.2f} slack)"
+        if cur_ratio > bound:
+            verdict = verdict_text
             violations += 1
         else:
             verdict = "ok"
-        lines.append(f"{label:<60} {base_ratio:>9.3f} {cur_ratio:>9.3f}  {verdict}")
+        lines.append(f"{label:<60} {base_text} {cur_ratio:>9.3f}  {verdict}")
     return lines, violations
 
 
@@ -223,12 +258,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail when current > baseline * tolerance "
                         "(default: %(default)s)")
     parser.add_argument("--require-order", action="append", default=[],
-                        metavar="OPA:OPB",
-                        help="hard-gate the A/B median ratio against the "
-                        "baseline's own ratio (repeatable; violations exit 2)")
+                        metavar="OPA:OPB|OPA<=OPB",
+                        help="hard ordering gate (repeatable; violations exit "
+                        "2): 'A:B' gates the current A/B median ratio against "
+                        "the baseline's own ratio; 'A<=B' asserts A <= "
+                        "B * --order-slack in the current run alone")
     parser.add_argument("--order-tolerance", type=float, default=1.25,
-                        help="fail a --require-order pair when its current "
+                        help="fail a relative (A:B) pair when its current "
                         "ratio exceeds baseline ratio * this factor "
+                        "(default: %(default)s)")
+    parser.add_argument("--order-slack", type=float, default=1.05,
+                        help="jitter headroom for absolute (A<=B) pairs: fail "
+                        "when current A > current B * this factor "
                         "(default: %(default)s)")
     parser.add_argument("--summary-baseline", type=pathlib.Path,
                         help="baseline repro-trace <out>.summary.json")
@@ -242,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--tolerance must be > 1.0, got {args.tolerance}")
     if args.order_tolerance <= 1.0:
         parser.error(f"--order-tolerance must be > 1.0, got {args.order_tolerance}")
+    if args.order_slack < 1.0:
+        parser.error(f"--order-slack must be >= 1.0, got {args.order_slack}")
     if args.require_order and not args.baseline:
         parser.error("--require-order needs --baseline/--current")
     if not 0.0 < args.comm_tolerance < 1.0:
@@ -269,12 +312,12 @@ def main(argv: list[str] | None = None) -> int:
             pairs = parse_order_pairs(args.require_order)
             print()
             lines, violations = compare_order(
-                baseline, current, pairs, args.order_tolerance
+                baseline, current, pairs, args.order_tolerance,
+                slack=args.order_slack,
             )
             print("\n".join(lines))
             if violations:
-                print(f"\n{violations} ordering violation(s) beyond "
-                      f"{args.order_tolerance:.2f}x of the baseline ratio")
+                print(f"\n{violations} ordering violation(s)")
     if args.summary_baseline:
         if args.baseline:
             print()

@@ -42,7 +42,7 @@ from .flow import (
 from .lint import BaselineResult, LintReport, iter_python_files, lint_paths
 from .mpi_audit import MpiAuditReport, MpiSanitizer, RouterAudit
 from .rules import RULES, FileContext, Violation
-from .sanitizers import FloatSanitizer, ShapeContract
+from .sanitizers import FloatSanitizer, PrecisionSanitizer, ShapeContract
 
 __all__ = [
     # static
@@ -72,6 +72,7 @@ __all__ = [
     "missing_cases",
     # sanitizers
     "FloatSanitizer",
+    "PrecisionSanitizer",
     "ShapeContract",
     "MpiSanitizer",
     "MpiAuditReport",

@@ -71,6 +71,10 @@ RULES: dict[str, str] = {
     "src/repro/scenarios/ and src/repro/solver/ — physics choices must "
     "be resolved through the scenario registry (get_scenario + the "
     "build_* helpers), not rebuilt inline",
+    "REP014": "np.float64 / np.float32 dtype literal outside "
+    "src/repro/tensor/ — compute dtypes must come from the precision "
+    "policy (repro.tensor.default_dtype / the Tensor boundary), not be "
+    "pinned inline",
 }
 
 #: ruff-style suppression comment: bare ``# noqa`` (all rules) or
@@ -866,6 +870,59 @@ def rule_rep013(ctx: FileContext) -> Iterator[Violation]:
         )
 
 
+# ======================================================================
+# REP014 — hardcoded float dtype literals outside the precision policy
+# ======================================================================
+#: Where ``np.float64`` / ``np.float32`` literals are legitimate: the
+#: tensor package, which *defines* the precision policy (the two-member
+#: mode table in ``tensor/precision.py``) and casts at the Tensor
+#: boundary.  Everywhere else a pinned dtype either silently up-casts a
+#: float32 graph back to float64 (the exact leak PrecisionSanitizer
+#: hunts at runtime — this rule is its static twin) or freezes a buffer
+#: out of the ``--precision`` flag's reach.  Documented exceptions
+#: (solver goldens that must stay bit-exact float64, tolerance-tier
+#: comparisons) carry ``# noqa: REP014`` with a rationale.
+_REP014_SANCTIONED_DIRS = ("tensor",)
+
+#: Attribute spellings of the two policy-managed float dtypes.
+_REP014_DTYPE_ATTRS = {"float64", "float32"}
+
+
+def rule_rep014(ctx: FileContext) -> Iterator[Violation]:
+    parts = ctx.path.replace("\\", "/").split("/")
+    if any(fragment in parts for fragment in _REP014_SANCTIONED_DIRS):
+        return
+
+    def hit(node: ast.AST, what: str) -> Violation:
+        return Violation(
+            "REP014",
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            f"{what}: a dtype pinned outside src/repro/tensor/ bypasses "
+            "the precision policy — use repro.tensor.default_dtype() / "
+            "compute_dtype(), or let the Tensor boundary cast; suppress "
+            "with '# noqa: REP014' plus a comment for buffers that must "
+            "stay at a fixed width (e.g. float64 solver goldens)",
+        )
+
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _REP014_DTYPE_ATTRS
+            and _dotted_name(node.value) in {"np", "numpy"}
+        ):
+            yield hit(node, f"np.{node.attr} literal")
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if (
+                    kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value in _REP014_DTYPE_ATTRS
+                ):
+                    yield hit(node, f"dtype={kw.value.value!r} string literal")
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
@@ -876,6 +933,7 @@ _FILE_RULES = {
     "REP007": rule_rep007,
     "REP008": rule_rep008,
     "REP013": rule_rep013,
+    "REP014": rule_rep014,
 }
 
 

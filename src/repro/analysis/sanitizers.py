@@ -8,6 +8,11 @@ while active and restore it on exit, so default-mode code pays nothing:
   backward closure produces) flows through — and raises
   :class:`~repro.exceptions.SanitizerError` on the first NaN/Inf,
   naming the creating op and carrying the creation stack.
+- :class:`PrecisionSanitizer` wraps the same :meth:`Tensor.from_op`
+  chokepoint and raises on the first op output whose floating dtype
+  disagrees with the active precision policy — the symptom of a silent
+  up-cast (a float64 literal or NumPy default creeping into a float32
+  graph) that would quietly forfeit the float32 mode's speedup.
 - :class:`ShapeContract` wraps :meth:`Module.__call__` and enforces the
   layer-boundary contract: tensor inputs are floating dtype, outputs
   are tensors, and a given module maps a given input signature to a
@@ -28,9 +33,10 @@ import numpy as np
 
 from ..exceptions import SanitizerError
 from ..nn.module import Module
+from ..tensor.precision import default_dtype
 from ..tensor.tensor import Tensor
 
-__all__ = ["FloatSanitizer", "ShapeContract"]
+__all__ = ["FloatSanitizer", "PrecisionSanitizer", "ShapeContract"]
 
 
 def _creation_stack(skip: int = 2, limit: int = 14) -> str:
@@ -85,6 +91,73 @@ class FloatSanitizer:
                     for produced in grads:
                         if produced is not None:
                             _check_finite(produced, op_name, "gradient")
+                    return grads
+
+                backward = checked_backward
+            return original(data, parents, backward, op_name)
+
+        Tensor.from_op = staticmethod(checked_from_op)  # type: ignore[assignment]
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        setattr(Tensor, "from_op", self._saved)
+        self._saved = None
+
+
+class PrecisionSanitizer:
+    """Raise on the first op output that deviates from the precision policy.
+
+    While active, every array flowing out of :meth:`Tensor.from_op` must
+    carry exactly the policy dtype (:func:`~repro.tensor.default_dtype`
+    at check time, so entering the sanitizer and then switching modes
+    works).  Non-floating outputs (comparison masks, argmax indices) are
+    exempt.  Under float32 this catches the classic leak: one float64
+    constant in an expression promotes the whole downstream graph back
+    to float64 and silently forfeits the speedup.
+
+    Parameters
+    ----------
+    check_gradients:
+        Also check every gradient array produced by backward closures
+        against the policy dtype (wrapped at graph-construction time,
+        like :class:`FloatSanitizer`).
+    """
+
+    def __init__(self, check_gradients: bool = True) -> None:
+        self.check_gradients = check_gradients
+        self._saved: Any = None
+
+    @staticmethod
+    def _check_dtype(value: Any, op_name: str, where: str) -> None:
+        array = np.asarray(value)
+        if not np.issubdtype(array.dtype, np.floating):
+            return
+        expected = default_dtype()
+        if array.dtype == expected:
+            return
+        raise SanitizerError(
+            f"op {op_name!r} produced a {array.dtype} {where} under the "
+            f"{np.dtype(expected).name} precision policy — a silent "
+            f"{'up' if array.dtype.itemsize > expected.itemsize else 'down'}"
+            f"-cast entered the graph; creating-op stack:\n{_creation_stack()}"
+        )
+
+    def __enter__(self) -> "PrecisionSanitizer":
+        self._saved = Tensor.__dict__["from_op"]
+        original = Tensor.from_op  # resolved staticmethod -> plain function
+        check_gradients = self.check_gradients
+        check_dtype = self._check_dtype
+
+        def checked_from_op(data, parents, backward, op_name):
+            check_dtype(data, op_name, "forward output")
+            if check_gradients:
+                inner = backward
+
+                def checked_backward(grad):
+                    grads = inner(grad)
+                    for produced in grads:
+                        if produced is not None:
+                            check_dtype(produced, op_name, "gradient")
                     return grads
 
                 backward = checked_backward

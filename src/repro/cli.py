@@ -101,6 +101,29 @@ def _add_scenario_flag(parser, *, resolved_from: str | None = None) -> None:
         )
 
 
+def _add_precision_flag(parser, *, resolved_from: str | None = None) -> None:
+    """Add ``--precision``; commands that can recover the compute mode
+    from a recorded artifact default to that, everything else to the
+    historical float64."""
+    if resolved_from is None:
+        parser.add_argument(
+            "--precision",
+            default="float64",
+            choices=["float32", "float64"],
+            help="compute precision for tensors, kernels, and optimizer "
+            "state (default: float64, the bit-exact historical mode; "
+            "float32 halves memory traffic)",
+        )
+    else:
+        parser.add_argument(
+            "--precision",
+            default=None,
+            choices=["float32", "float64"],
+            help=f"compute precision (default: recorded in the "
+            f"{resolved_from}, else float64)",
+        )
+
+
 def _add_generate(subparsers) -> None:
     parser = subparsers.add_parser(
         "generate", help="simulate a scenario's dataset and save it"
@@ -131,6 +154,7 @@ def _add_train(subparsers) -> None:
     parser.add_argument("checkpoint", help="output model checkpoint (.npz)")
     parser.add_argument("--dataset", help="input dataset (.npz); generated if omitted")
     _add_scenario_flag(parser, resolved_from="dataset")
+    _add_precision_flag(parser)
     parser.add_argument("--grid-size", type=int, default=64)
     parser.add_argument("--snapshots", type=int, default=150)
     parser.add_argument("--train-fraction", type=float, default=2.0 / 3.0)
@@ -191,6 +215,7 @@ def _add_evaluate(subparsers) -> None:
     parser.add_argument("checkpoint", help="model checkpoint (.npz)")
     parser.add_argument("--dataset", help="dataset (.npz); regenerated if omitted")
     _add_scenario_flag(parser, resolved_from="checkpoint")
+    _add_precision_flag(parser, resolved_from="checkpoint")
     parser.add_argument("--snapshots", type=int, default=150)
     parser.add_argument("--steps", type=int, default=1, help="rollout depth")
     _add_trace_flag(parser)
@@ -199,6 +224,7 @@ def _add_evaluate(subparsers) -> None:
 def _add_scaling(subparsers) -> None:
     parser = subparsers.add_parser("scaling", help="run the Fig.-4 scaling study")
     _add_scenario_flag(parser)
+    _add_precision_flag(parser)
     parser.add_argument("--grid-size", type=int, default=64)
     parser.add_argument("--snapshots", type=int, default=25)
     parser.add_argument("--epochs", type=int, default=2)
@@ -325,6 +351,7 @@ def _add_check(subparsers) -> None:
         help="also smoke-test the float/shape/MPI sanitizers on a live "
         "forward pass and halo exchange",
     )
+    _add_precision_flag(parser)
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -335,6 +362,7 @@ def _add_perf(subparsers) -> None:
         "allocation-free InferencePlan rollout",
     )
     _add_scenario_flag(parser)
+    _add_precision_flag(parser)
     parser.add_argument("--grid-size", type=int, default=128)
     parser.add_argument("--steps", type=int, default=5, help="rollout steps")
     parser.add_argument("--repeats", type=int, default=3, help="forward timing repeats")
@@ -488,7 +516,9 @@ def _cmd_train(args) -> int:
         save_parallel_models,
     )
     from .scenarios import cnn_config
+    from .tensor import set_precision
 
+    set_precision(args.precision)
     dataset, scenario, _ = _load_or_generate(
         args.dataset, args.snapshots, args.grid_size, args.scenario
     )
@@ -527,7 +557,9 @@ def _cmd_train(args) -> int:
         execution=args.execution,
         validation=validation if args.validate else None,
     )
-    save_parallel_models(args.checkpoint, result, scenario=scenario)
+    save_parallel_models(
+        args.checkpoint, result, scenario=scenario, precision=args.precision
+    )
     print(
         f"trained in {result.max_train_time:.2f}s (slowest rank); "
         f"final losses {[f'{l:.4g}' for l in result.final_losses]}"
@@ -542,14 +574,20 @@ def _cmd_train(args) -> int:
 def _cmd_evaluate(args) -> int:
     from .core import (
         ParallelPredictor,
+        load_checkpoint_precision,
         load_checkpoint_scenario,
         load_parallel_models,
         per_channel,
         relative_l2,
     )
     from .scenarios import channels, scenario_residual
+    from .tensor import set_precision
 
-    models, decomposition, config = load_parallel_models(args.checkpoint)
+    precision = args.precision or load_checkpoint_precision(args.checkpoint)
+    set_precision(precision)
+    models, decomposition, config = load_parallel_models(
+        args.checkpoint, precision=precision
+    )
     scenario = args.scenario or load_checkpoint_scenario(args.checkpoint)
     grid_size = decomposition.field_shape[0]
     dataset, scenario, snapshot_dt = _load_or_generate(
@@ -563,7 +601,7 @@ def _cmd_evaluate(args) -> int:
     errors = per_channel(relative_l2, prediction, target, channels(scenario))
     print(
         f"scenario: {scenario}; strategy: {config.strategy.value}; "
-        f"rollout depth {args.steps}"
+        f"precision: {precision}; rollout depth {args.steps}"
     )
     for name, value in errors.items():
         print(f"  {name:>4}: relative L2 = {value:.4f}")
@@ -581,7 +619,9 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_scaling(args) -> int:
     from .experiments import DataConfig, Fig4Config, default_training_config, run_fig4
+    from .tensor import set_precision
 
+    set_precision(args.precision)
     config = Fig4Config(
         data=DataConfig(
             grid_size=args.grid_size,
@@ -698,7 +738,12 @@ def _cmd_analyze(args) -> int:
 def _sanitizer_smoke(seed: int) -> list[str]:
     """Exercise each sanitizer on a real forward pass / halo exchange."""
     from . import mpi
-    from .analysis import FloatSanitizer, MpiSanitizer, ShapeContract
+    from .analysis import (
+        FloatSanitizer,
+        MpiSanitizer,
+        PrecisionSanitizer,
+        ShapeContract,
+    )
     from .domain.decomposition import BlockDecomposition
     from .domain.halo import HaloExchanger
     from .nn import Conv2d, Sequential, Tanh
@@ -707,10 +752,10 @@ def _sanitizer_smoke(seed: int) -> list[str]:
     rng = np.random.default_rng(seed)
     lines = []
 
-    with FloatSanitizer(), ShapeContract():
+    with FloatSanitizer(), PrecisionSanitizer(), ShapeContract():
         net = Sequential(Conv2d(4, 8, 3, padding=1, rng=rng), Tanh())
         net(Tensor(rng.standard_normal((2, 4, 8, 8))))
-    lines.append("float/shape sanitizers: forward pass clean")
+    lines.append("float/shape/precision sanitizers: forward pass clean")
 
     with MpiSanitizer(strict=True) as sanitizer:
         decomposition = BlockDecomposition((8, 8), (2, 2))
@@ -729,7 +774,9 @@ def _sanitizer_smoke(seed: int) -> list[str]:
 
 def _cmd_check(args) -> int:
     from .analysis import check_all_ops, ops_by_module
+    from .tensor import set_precision
 
+    set_precision(args.precision)
     rng = np.random.default_rng(args.seed)
     report = check_all_ops(rng)
     print(report.format())
@@ -753,8 +800,9 @@ def _cmd_perf(args) -> int:
     from .domain.decomposition import BlockDecomposition
     from .obs import trace
     from .scenarios import channels
-    from .tensor import no_grad, perf, workspace_disabled
+    from .tensor import no_grad, perf, set_precision, workspace_disabled
 
+    set_precision(args.precision)
     rng = np.random.default_rng(args.seed)
     size = args.grid_size
     num_channels = len(channels(args.scenario))

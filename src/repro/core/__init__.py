@@ -4,6 +4,7 @@ halo-exchange parallel inference of PDE-surrogate CNNs."""
 from .checkpoint import (
     TrainingCheckpoint,
     load_checkpoint,
+    load_checkpoint_precision,
     load_checkpoint_scenario,
     load_parallel_models,
     save_checkpoint,
@@ -77,6 +78,7 @@ __all__ = [
     "ProgressLogger",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_precision",
     "load_checkpoint_scenario",
     "TrainingCheckpoint",
     "PaddingStrategy",

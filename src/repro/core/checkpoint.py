@@ -25,6 +25,7 @@ import numpy as np
 
 from ..domain.decomposition import BlockDecomposition
 from ..exceptions import DatasetError
+from ..tensor.precision import get_precision, precision as precision_scope
 from .model import CNNConfig, SubdomainCNN
 from .padding import PaddingStrategy
 from .parallel import ParallelTrainingResult
@@ -62,6 +63,7 @@ def save_parallel_models(
     result: ParallelTrainingResult,
     *,
     scenario: str | None = None,
+    precision: str | None = None,
 ) -> None:
     """Persist the trained per-rank networks of ``result``.
 
@@ -69,7 +71,9 @@ def save_parallel_models(
     ``rank<r>/<param>``, plus the architecture and decomposition
     metadata.  ``scenario`` records which registered scenario the
     models were trained on, so ``repro evaluate`` can resolve the
-    matching physics without being told again.
+    matching physics without being told again; ``precision`` (default:
+    the active compute mode) records the dtype the models were trained
+    in, so loading rebuilds them with matching parameter storage.
     """
     arrays: dict[str, np.ndarray] = {}
     for rank_result in result.rank_results:
@@ -82,6 +86,7 @@ def save_parallel_models(
         "pgrid": list(decomp.pgrid),
         "field_shape": list(decomp.field_shape),
         "cnn_config": _config_to_json(result.cnn_config),
+        "precision": get_precision() if precision is None else str(precision),
     }
     if scenario is not None:
         meta["scenario"] = str(scenario)
@@ -100,14 +105,32 @@ def load_checkpoint_scenario(path: str | os.PathLike) -> str | None:
     return None if scenario is None else str(scenario)
 
 
+def load_checkpoint_precision(path: str | os.PathLike) -> str:
+    """The compute precision recorded in a parallel-model checkpoint.
+
+    Checkpoints written before the precision policy existed are
+    implicitly float64 (the historical compute mode).
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise DatasetError(f"{path} is not a repro model checkpoint")
+        meta = json.loads(str(archive["__meta__"]))
+    return str(meta.get("precision", "float64"))
+
+
 def load_parallel_models(
     path: str | os.PathLike,
+    *,
+    precision: str | None = None,
 ) -> tuple[list[SubdomainCNN], BlockDecomposition, CNNConfig]:
     """Load networks saved by :func:`save_parallel_models`.
 
     Returns the rank-ordered models, the decomposition, and the
     architecture config — everything a
     :class:`~repro.core.inference.ParallelPredictor` needs.
+    ``precision`` overrides the compute mode recorded in the checkpoint
+    (the parameters are cast on load), e.g. to run a float64-trained
+    model's rollout in float32.
     """
     with np.load(path, allow_pickle=False) as archive:
         if "__meta__" not in archive:
@@ -124,18 +147,22 @@ def load_parallel_models(
             tuple(meta["field_shape"]), tuple(meta["pgrid"])
         )
         models: list[SubdomainCNN] = []
-        for rank in range(int(meta["num_ranks"])):
-            prefix = f"rank{rank}/"
-            state = {
-                key[len(prefix):]: archive[key]
-                for key in archive.files
-                if key.startswith(prefix)
-            }
-            if not state:
-                raise DatasetError(f"checkpoint misses parameters for rank {rank}")
-            model = SubdomainCNN(config, rng=np.random.default_rng(0))
-            model.load_state_dict(state)
-            models.append(model)
+        # Rebuild parameters in the recorded compute mode so the loaded
+        # weights land in matching storage (load_state_dict casts the
+        # archived arrays to the parameters' dtype).
+        with precision_scope(precision or meta.get("precision", "float64")):
+            for rank in range(int(meta["num_ranks"])):
+                prefix = f"rank{rank}/"
+                state = {
+                    key[len(prefix):]: archive[key]
+                    for key in archive.files
+                    if key.startswith(prefix)
+                }
+                if not state:
+                    raise DatasetError(f"checkpoint misses parameters for rank {rank}")
+                model = SubdomainCNN(config, rng=np.random.default_rng(0))
+                model.load_state_dict(state)
+                models.append(model)
     return models, decomposition, config
 
 
@@ -200,6 +227,8 @@ class TrainingCheckpoint:
     epoch_losses: list[float] = field(default_factory=list)
     epoch_times: list[float] = field(default_factory=list)
     val_losses: list[float] = field(default_factory=list)
+    #: compute mode the run was training in ("float64" pre-policy)
+    precision: str = "float64"
 
 
 def save_checkpoint(
@@ -228,6 +257,7 @@ def save_checkpoint(
         optimizer_meta = _pack_state(optimizer.state_dict(), arrays, "optimizer/")
     meta = {
         "format_version": _TRAIN_FORMAT_VERSION,
+        "precision": get_precision(),
         "epoch": int(epoch),
         "training_config": training_config.to_dict(),
         "config_digest": training_config_digest(training_config),
@@ -284,4 +314,5 @@ def load_checkpoint(path: str | os.PathLike) -> TrainingCheckpoint:
             epoch_losses=list(history.get("epoch_losses", [])),
             epoch_times=list(history.get("epoch_times", [])),
             val_losses=list(history.get("val_losses", [])),
+            precision=str(meta.get("precision", "float64")),
         )

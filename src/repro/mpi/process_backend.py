@@ -242,6 +242,7 @@ def _worker_main(
     result_queue: Any,
     deadlock_timeout: float | None,
     obs_flags: tuple[bool, bool] = (False, False),
+    precision: str = "float64",
 ) -> None:
     """Entry point of one rank process (module-level for spawn support).
 
@@ -249,9 +250,14 @@ def _worker_main(
     launch: module-level enable state does not survive a ``spawn``, and
     under ``fork`` the child additionally inherits the parent's event
     buffers, which must be cleared so the rank ships only its own
-    telemetry.
+    telemetry.  ``precision`` is the parent's compute mode at launch,
+    re-applied here for the same reason — a float32 training run must
+    stay float32 inside every rank process.
     """
     trace_on, perf_on = obs_flags
+    from ..tensor.precision import set_precision
+
+    set_precision(precision)
     trace.set_rank(rank)
     if trace_on:
         trace.reset()
@@ -302,12 +308,23 @@ def run_parallel_processes(
     mailboxes = [ctx.Queue() for _ in range(size)]
     result_queue = ctx.Queue()
     from ..tensor import perf
+    from ..tensor.precision import get_precision
 
     obs_flags = (trace.enabled(), perf.perf_enabled())
+    precision = get_precision()
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, size, fns, mailboxes, result_queue, deadlock_timeout, obs_flags),
+            args=(
+                rank,
+                size,
+                fns,
+                mailboxes,
+                result_queue,
+                deadlock_timeout,
+                obs_flags,
+                precision,
+            ),
             name=f"repro-rank-{rank}",
             daemon=True,
         )

@@ -45,7 +45,10 @@ class EulerState:
     # Constructors / converters
     # ------------------------------------------------------------------
     @classmethod
-    def zeros(cls, shape: tuple[int, int], dtype=np.float64) -> "EulerState":
+    # Solver states are the float64 physics reference: the sha256 golden
+    # pins and seeded-equivalence tests require bit-exact float64 fields
+    # regardless of the active (network) precision policy.
+    def zeros(cls, shape: tuple[int, int], dtype=np.float64) -> "EulerState":  # noqa: REP014
         """All-quiescent state."""
         return cls(*(np.zeros(shape, dtype=dtype) for _ in CHANNELS))
 

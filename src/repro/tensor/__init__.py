@@ -13,6 +13,14 @@ Importing this package registers every differentiable op on
 
 from . import autograd as _autograd
 from .autograd import enable_grad, grad_enabled, no_grad
+from .precision import (
+    compute_dtype,
+    default_dtype,
+    get_precision,
+    precision,
+    resolve_precision,
+    set_precision,
+)
 from .tensor import (
     DEFAULT_DTYPE,
     Tensor,
@@ -70,6 +78,12 @@ min = tensor_min  # noqa: A001
 
 __all__ = [
     "DEFAULT_DTYPE",
+    "precision",
+    "get_precision",
+    "set_precision",
+    "resolve_precision",
+    "default_dtype",
+    "compute_dtype",
     "Tensor",
     "ensure_tensor",
     "zeros",

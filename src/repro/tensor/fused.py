@@ -63,9 +63,19 @@ def leaky_relu_scale(z: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
     """The leaky-ReLU derivative mask ``where(z >= 0, 1, slope)``.
 
     Shared by the out-of-place op's backward and the fused conv2d
-    backward so both scale gradients with the exact same array.
+    backward so both scale gradients with the exact same array.  The
+    mask is built in ``z``'s own dtype: the float64 values are
+    unchanged (1.0 and any Python-float slope are exact in float32 and
+    float64 alike for the slopes we use), and a float32 backward pass
+    would otherwise be silently promoted to float64 by the float64
+    array ``np.where`` produces from Python-float branches.
     """
-    return np.where(z >= 0.0, 1.0, negative_slope)
+    # Training-only allocation: InferencePlan steps never set
+    # keep_scale, so this is unreachable from a warmed-up rollout.
+    scale = np.empty_like(z)  # noqa: REP012
+    scale[...] = negative_slope
+    np.copyto(scale, 1.0, where=z >= 0.0)
+    return scale
 
 
 def bias_leaky_relu_(
@@ -78,19 +88,28 @@ def bias_leaky_relu_(
     """GEMM epilogue: ``out += bias`` then leaky-ReLU, all in place.
 
     ``out`` is the 2-D ``(rows, F)`` GEMM result; ``bias`` broadcasts
-    along rows.  With a ``workspace`` the boolean negativity mask comes
+    along rows.  With a ``workspace`` the scaled-copy scratch comes
     from the arena (keyed by ``slot``) instead of a fresh allocation.
     Returns ``out`` for chaining.
+
+    The activation is computed as ``max(z, slope * z)``, which is
+    bit-identical to the masked-multiply form for ``0 <= slope <= 1``:
+    non-negative lanes win the max and keep ``z`` untouched (ties at
+    ``±0.0`` compare equal bitwise), negative lanes lose to the exact
+    same IEEE product.  Two dense vector ops beat NumPy's buffered
+    ``where=``-masked multiply several times over on large outputs —
+    the masked form is what originally made the fused conv *lose* to
+    the plain one at 256x256.
     """
     with perf.timed("fused.bias_leaky_relu"):
         if bias is not None:
             out += bias
         if workspace is not None:
-            mask = workspace.request(slot, out.shape, np.bool_)
-            np.less(out, 0.0, out=mask)
+            scaled = workspace.request(slot, out.shape, out.dtype)
+            np.multiply(out, negative_slope, out=scaled)
         else:
-            mask = out < 0.0
-        np.multiply(out, negative_slope, out=out, where=mask)
+            scaled = out * negative_slope
+        np.maximum(out, scaled, out=out)
     return out
 
 

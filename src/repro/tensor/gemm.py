@@ -1,0 +1,116 @@
+"""Optional intra-rank GEMM threading (``REPRO_GEMM_THREADS``).
+
+The reference BLAS shipped with manylinux NumPy wheels is frequently
+single-threaded, so one rank's big im2col GEMM leaves every other core
+idle.  :func:`matmul` is a drop-in ``np.matmul`` that, when the
+``REPRO_GEMM_THREADS`` environment variable is set to an integer > 1,
+splits the *rows* of the left operand across a small thread pool.
+NumPy releases the GIL inside BLAS, so the slices genuinely overlap.
+
+Correctness is unconditional: every output row is the same full-K dot
+product whichever thread computes it, so the result is bit-identical
+to the unthreaded call — row splitting never reassociates the
+reduction.  The feature is **off by default** (unset/0/1 all mean "just
+call ``np.matmul``"): the thread-backed MPI ranks already oversubscribe
+cores, and nested threading there would thrash.  It exists for the
+single-rank / process-backend regime where each rank owns its cores.
+
+Confined to ``repro.tensor`` by design: kernels call :func:`matmul`,
+nothing else spawns compute threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = ["configured_threads", "threaded_matmul"]
+
+#: Below this many rows per thread the split overhead beats the win.
+_MIN_ROWS_PER_THREAD = 256
+
+_lock = threading.Lock()
+_executor: ThreadPoolExecutor | None = None
+_executor_threads = 0
+
+
+def configured_threads() -> int:
+    """The ``REPRO_GEMM_THREADS`` setting (0 when unset or invalid).
+
+    Read per call rather than cached at import so tests and CLI runs
+    can toggle the variable without re-importing the library.
+    """
+    raw = os.environ.get("REPRO_GEMM_THREADS", "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def _pool(threads: int) -> ThreadPoolExecutor:
+    global _executor, _executor_threads
+    with _lock:
+        if _executor is None or _executor_threads != threads:
+            if _executor is not None:
+                _executor.shutdown(wait=False)
+            _executor = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-gemm"
+            )
+            _executor_threads = threads
+        return _executor
+
+
+def threaded_matmul(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``a @ b`` with optional row-split threading.
+
+    Falls back to plain ``np.matmul`` whenever threading is off, the
+    operands are not plain 2-D matrices, or the problem is too small to
+    amortize the dispatch.  With an ``out`` the result always lands
+    there; without one the unthreaded path allocates exactly like
+    ``a @ b`` would.
+    """
+    threads = configured_threads()
+    if (
+        threads <= 1
+        or a.ndim != 2
+        or b.ndim != 2
+        or a.shape[0] < threads * _MIN_ROWS_PER_THREAD
+    ):
+        if out is None:
+            return a @ b
+        return np.matmul(a, b, out=out)
+    m = a.shape[0]
+    if out is None:
+        # Never reached from a warmed-up InferencePlan: plan steps bind
+        # their GEMM outputs to arena buffers.
+        out = np.empty((m, b.shape[1]), dtype=np.result_type(a, b))  # noqa: REP012
+    chunk = -(-m // threads)  # ceil division
+
+    def run(start: int) -> None:
+        stop = min(m, start + chunk)
+        np.matmul(a[start:stop], b, out=out[start:stop])
+
+    pool = _pool(threads)
+    futures = [pool.submit(run, start) for start in range(0, m, chunk)]
+    for future in futures:
+        future.result()
+    return out
+
+
+def _drop_pool_after_fork() -> None:
+    # A forked rank inherits the pool object but not its worker
+    # threads; drop it so the child lazily builds a working pool.
+    global _executor, _executor_threads
+    _executor = None
+    _executor_threads = 0
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_drop_pool_after_fork)

@@ -34,9 +34,10 @@ from typing import Any
 import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
-from . import autograd, perf
+from . import autograd, gemm, perf
+from .blocked import conv2d_forward_blocked, should_block
 from .fused import bias_leaky_relu_, leaky_relu_scale
-from .im2col import col2im, im2col
+from .im2col import col2im, conv_output_size, im2col
 from .tensor import Tensor, ensure_tensor, register_op
 from .workspace import Workspace, get_workspace
 
@@ -86,10 +87,7 @@ def conv2d_forward(
     kh, kw = weight.shape[2], weight.shape[3]
     cols, (oh, ow) = im2col(x, (kh, kw), stride, padding, workspace=workspace)
     wmat = weight.reshape(f, c * kh * kw)
-    if gemm_out is None:
-        out = cols @ wmat.T  # (N*OH*OW, F)
-    else:
-        out = np.matmul(cols, wmat.T, out=gemm_out)
+    out = gemm.threaded_matmul(cols, wmat.T, out=gemm_out)  # (N*OH*OW, F)
     act_scale = None
     if activation is None:
         if bias is not None:
@@ -163,8 +161,33 @@ def conv2d(
     )
     # The backward closure captures ``cols``; arena scratch would be
     # recycled by the next same-shape call, so only the no-grad path
-    # may borrow from the workspace.
+    # may borrow from the workspace for its *forward* scratch.  (The
+    # backward pass borrows its own, separately named slots at backward
+    # time — those are consumed within one closure invocation.)
     workspace = None if needs_grad else get_workspace()
+    parents = (tx, tw) if tb is None else (tx, tw, tb)
+
+    if not needs_grad and workspace is not None:
+        sh, sw = stride
+        ph, pw = padding
+        oh = conv_output_size(h, kh, sh, ph)
+        ow = conv_output_size(w, kw, sw, pw)
+        compute = np.result_type(tx.dtype, tw.dtype)
+        if should_block(n, c, oh, ow, kh, kw, compute.itemsize):
+            # Large shapes: strip-mined kernel (nothing kept — there is
+            # no backward on this path).
+            with perf.timed("conv2d"):
+                out, _ = conv2d_forward_blocked(
+                    tx.data,
+                    tw.data,
+                    None if tb is None else tb.data,
+                    stride,
+                    padding,
+                    activation=activation,
+                    negative_slope=negative_slope,
+                    workspace=workspace,
+                )
+            return Tensor.from_op(out, parents, _no_backward, "conv2d")
 
     with perf.timed("conv2d"):
         out, cols, wmat, act_scale, (oh, ow) = conv2d_forward(
@@ -179,27 +202,60 @@ def conv2d(
             keep_scale=needs_grad and activation is not None,
         )
 
-    parents = (tx, tw) if tb is None else (tx, tw, tb)
-
     def backward(grad: np.ndarray):
-        # grad: (N, F, OH, OW) -> (N*OH*OW, F)
-        gmat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, f)
-        if act_scale is not None:
-            # Chain rule through the fused activation; elementwise, so
-            # applying it in the 2-D layout matches the standalone op's
-            # 4-D multiply bit for bit.
-            gmat = gmat * act_scale
-        grad_w = (gmat.T @ cols).reshape(f, c, kh, kw) if tw.requires_grad else None
-        grad_x = None
-        if tx.requires_grad:
-            gcols = gmat @ wmat  # (N*OH*OW, C*kh*kw)
-            grad_x = col2im(gcols, (n, c, h, w), (kh, kw), stride, padding)
-        if tb is None:
-            return grad_x, grad_w
-        grad_b = gmat.sum(axis=0) if tb.requires_grad else None
-        return grad_x, grad_w, grad_b
+        # Backward-internal scratch (the patch-sized matrices) comes
+        # from the thread's arena when one is enabled: the buffers are
+        # consumed before this closure returns, and the escaping
+        # gradients below are always freshly allocated.  Slots are
+        # namespaced "conv2d.bwd.*" so an interleaved no-grad forward
+        # can never recycle them mid-closure.
+        ws = get_workspace()
+        uniform = grad.dtype == wmat.dtype == cols.dtype
+        with perf.timed("conv2d.backward"):
+            # grad: (N, F, OH, OW) -> (N*OH*OW, F)
+            if ws is not None and uniform:
+                gmat = ws.request("conv2d.bwd.gmat", (n * oh * ow, f), grad.dtype)
+                np.copyto(
+                    gmat.reshape(n, oh, ow, f), grad.transpose(0, 2, 3, 1)
+                )
+                if act_scale is not None:
+                    # Fused activation backward epilogue: same chain-rule
+                    # multiply as the naive path, applied in place on the
+                    # arena buffer.
+                    np.multiply(gmat, act_scale, out=gmat)
+            else:
+                gmat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, f)
+                if act_scale is not None:
+                    gmat = gmat * act_scale
+            grad_w = (
+                (gmat.T @ cols).reshape(f, c, kh, kw) if tw.requires_grad else None
+            )
+            grad_x = None
+            if tx.requires_grad:
+                if ws is not None and uniform:
+                    gcols = ws.request(
+                        "conv2d.bwd.gcols", (n * oh * ow, c * kh * kw), gmat.dtype
+                    )
+                    gemm.threaded_matmul(gmat, wmat, out=gcols)
+                    # col2im's result aliases the arena scatter base, so
+                    # the escaping gradient is copied out of it.
+                    grad_x = col2im(
+                        gcols, (n, c, h, w), (kh, kw), stride, padding,
+                        workspace=ws,
+                    ).copy()
+                else:
+                    gcols = gemm.threaded_matmul(gmat, wmat)  # (N*OH*OW, C*kh*kw)
+                    grad_x = col2im(gcols, (n, c, h, w), (kh, kw), stride, padding)
+            if tb is None:
+                return grad_x, grad_w
+            grad_b = gmat.sum(axis=0) if tb.requires_grad else None
+            return grad_x, grad_w, grad_b
 
     return Tensor.from_op(out, parents, backward, "conv2d")
+
+
+def _no_backward(grad: np.ndarray):  # pragma: no cover - detached by from_op
+    raise AssertionError("blocked conv2d fast path is no-grad only")
 
 
 @register_op("conv_transpose2d")

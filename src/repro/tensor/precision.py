@@ -1,0 +1,131 @@
+"""Process-wide floating-point precision policy.
+
+Every float dtype decision in the library funnels through this module:
+:class:`Tensor` construction, the factory functions, im2col/col2im
+buffers, fused epilogues, optimizer state (via ``np.zeros_like`` on
+parameter storage) and :class:`~repro.core.inference.InferencePlan`
+warmup all resolve their compute dtype from the active policy instead
+of hard-coding ``np.float64``.
+
+Two modes exist:
+
+``float64`` (default)
+    Bit-for-bit identical to the historical behaviour: floating inputs
+    keep their dtype, non-floating inputs are promoted to float64.
+    Solver goldens and every seeded-equivalence test run in this mode.
+
+``float32``
+    All floating inputs are cast to float32 at :class:`Tensor`
+    construction unless an explicit ``dtype=`` overrides it.  Casting
+    at the Tensor boundary (rather than at every call site) is what
+    keeps the policy airtight: float64 initializer output, float64
+    data batches and float64 literals all land in float32 storage, and
+    NumPy's promotion rules then keep intermediate results in float32.
+
+The policy is a plain module-global guarded by a context manager, not
+a thread-local: precision is a property of the experiment, and worker
+threads spawned by the process/thread execution backends must inherit
+it.  Forked workers inherit the global through the usual copy-on-write
+snapshot.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: The two supported compute modes, by canonical name.
+_MODES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+_lock = threading.Lock()
+_active: str = "float64"
+
+
+def resolve_precision(value: Any) -> str:
+    """Canonicalise ``value`` to ``"float32"`` or ``"float64"``.
+
+    Accepts the canonical strings, NumPy dtypes/scalar types, and
+    common spellings (``"fp32"``, ``"single"``, ``"double"``).  Raises
+    :class:`~repro.exceptions.ConfigurationError` for anything else so
+    CLI typos fail loudly instead of silently running in the default.
+    """
+    if isinstance(value, str):
+        aliases = {
+            "float32": "float32",
+            "fp32": "float32",
+            "single": "float32",
+            "float64": "float64",
+            "fp64": "float64",
+            "double": "float64",
+        }
+        name = aliases.get(value.strip().lower())
+        if name is not None:
+            return name
+        raise ConfigurationError(
+            f"unknown precision {value!r}; expected 'float32' or 'float64'"
+        )
+    if value is None:
+        # np.dtype(None) would silently resolve to float64 — but callers
+        # use None as an "unset" sentinel, so treat it as a hard error.
+        raise ConfigurationError("unknown precision None; expected 'float32' or 'float64'")
+    try:
+        dtype = np.dtype(value)
+    except TypeError as exc:
+        raise ConfigurationError(f"unknown precision {value!r}") from exc
+    for name, mode_dtype in _MODES.items():
+        if dtype == mode_dtype:
+            return name
+    raise ConfigurationError(
+        f"unsupported precision dtype {dtype}; expected float32 or float64"
+    )
+
+
+def get_precision() -> str:
+    """Name of the active compute mode (``"float32"`` or ``"float64"``)."""
+    return _active
+
+
+def set_precision(value: Any) -> str:
+    """Switch the process-wide compute mode; returns the canonical name."""
+    global _active
+    name = resolve_precision(value)
+    with _lock:
+        _active = name
+    return name
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors default to under the active policy."""
+    return _MODES[_active]
+
+
+def compute_dtype() -> np.dtype:
+    """Alias of :func:`default_dtype` for call sites that read better
+    as "the dtype we compute in" (plan warmup, workspace slots)."""
+    return _MODES[_active]
+
+
+@contextlib.contextmanager
+def precision(value: Any) -> Iterator[np.dtype]:
+    """Temporarily switch the compute mode::
+
+        with precision("float32"):
+            model = SubdomainCNN(config)   # float32 parameters
+
+    Yields the mode's dtype.  Restores the previous mode on exit even
+    when the body raises.
+    """
+    previous = get_precision()
+    set_precision(value)
+    try:
+        yield default_dtype()
+    finally:
+        set_precision(previous)

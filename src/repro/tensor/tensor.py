@@ -14,10 +14,12 @@ import numpy as np
 
 from ..exceptions import AutogradError
 from . import autograd
+from .precision import default_dtype as _default_dtype
 
-#: Default floating-point dtype for new tensors.  float64 keeps the
-#: finite-difference gradient checks in the test suite tight; training
-#: code may pass float32 explicitly for speed.
+#: Floating-point dtype of the default (``float64``) compute mode.
+#: Kept as a module constant for backwards compatibility; the live
+#: policy is :func:`repro.tensor.precision.default_dtype`, switched
+#: with ``set_precision("float32")`` or the ``precision(...)`` context.
 DEFAULT_DTYPE = np.float64
 
 # Registry of differentiable operations, populated by the ops modules.
@@ -60,8 +62,14 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a NumPy array.  Floating inputs keep
-        their dtype; other inputs are converted to :data:`DEFAULT_DTYPE`.
+        Anything convertible to a NumPy array.  Non-floating inputs are
+        converted to the policy dtype
+        (:func:`repro.tensor.precision.default_dtype`).  Floating
+        inputs keep their dtype, except under the ``float32`` compute
+        mode, where float64 inputs are down-cast unless an explicit
+        ``dtype=`` overrides the policy — casting at this single
+        boundary is what keeps float64 from silently leaking back into
+        a float32 run.
     requires_grad:
         Whether gradients should flow into this tensor.  Leaf tensors
         with ``requires_grad=True`` accumulate into ``.grad``.
@@ -90,7 +98,11 @@ class Tensor:
             data = data.data
         array = np.asarray(data, dtype=dtype)
         if not np.issubdtype(array.dtype, np.floating):
-            array = array.astype(DEFAULT_DTYPE)
+            array = array.astype(_default_dtype())
+        elif dtype is None and array.dtype == np.float64:
+            target = _default_dtype()
+            if array.dtype != target:
+                array = array.astype(target)
         self.data: np.ndarray = array
         self.requires_grad: bool = bool(requires_grad)
         self.grad: np.ndarray | None = None
@@ -183,11 +195,13 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a view of the data cut off from the autodiff graph."""
-        return Tensor(self.data, requires_grad=False)
+        # Pin the dtype so a float32-mode policy never turns this view
+        # into a casting copy of an explicitly-float64 tensor.
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
         """Return a detached deep copy of the data."""
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (no copy). Mutating it while the
@@ -201,9 +215,18 @@ class Tensor:
     def _item_error(self) -> float:
         raise AutogradError(f"item() on tensor of shape {self.shape}")
 
-    def astype(self, dtype: np.dtype | type) -> "Tensor":
-        """Return a detached copy with the requested dtype."""
-        return Tensor(self.data.astype(dtype), requires_grad=False)
+    def astype(self, dtype: np.dtype | type, requires_grad: bool = False) -> "Tensor":
+        """Return a copy with the requested dtype.
+
+        The result is detached from the autodiff graph and, by default,
+        does **not** require grad — the historical (and once silent)
+        behaviour, now an explicit keyword so precision casts that
+        should stay trainable leaves must say ``requires_grad=True``
+        rather than losing the flag unnoticed.
+        """
+        return Tensor(
+            self.data.astype(dtype), requires_grad=requires_grad, dtype=dtype
+        )
 
     # ------------------------------------------------------------------
     # Operator overloads (delegate to the op registry).
@@ -313,17 +336,17 @@ def ensure_tensor(value: Any, dtype: np.dtype | type | None = None) -> Tensor:
 # ----------------------------------------------------------------------
 def zeros(shape: Sequence[int], requires_grad: bool = False, dtype: Any = None) -> Tensor:
     """Tensor of zeros with the given shape."""
-    return Tensor(np.zeros(shape, dtype=dtype or DEFAULT_DTYPE), requires_grad)
+    return Tensor(np.zeros(shape, dtype=dtype or _default_dtype()), requires_grad)
 
 
 def ones(shape: Sequence[int], requires_grad: bool = False, dtype: Any = None) -> Tensor:
     """Tensor of ones with the given shape."""
-    return Tensor(np.ones(shape, dtype=dtype or DEFAULT_DTYPE), requires_grad)
+    return Tensor(np.ones(shape, dtype=dtype or _default_dtype()), requires_grad)
 
 
 def full(shape: Sequence[int], value: float, requires_grad: bool = False, dtype: Any = None) -> Tensor:
     """Constant tensor with the given fill value."""
-    return Tensor(np.full(shape, value, dtype=dtype or DEFAULT_DTYPE), requires_grad)
+    return Tensor(np.full(shape, value, dtype=dtype or _default_dtype()), requires_grad)
 
 
 def randn(
@@ -334,7 +357,7 @@ def randn(
 ) -> Tensor:
     """Standard-normal tensor. Pass an explicit ``rng`` for reproducibility."""
     generator = rng if rng is not None else np.random.default_rng()
-    data = generator.standard_normal(tuple(shape)).astype(dtype or DEFAULT_DTYPE)
+    data = generator.standard_normal(tuple(shape)).astype(dtype or _default_dtype())
     return Tensor(data, requires_grad)
 
 
@@ -348,5 +371,5 @@ def uniform(
 ) -> Tensor:
     """Uniform tensor on ``[low, high)``."""
     generator = rng if rng is not None else np.random.default_rng()
-    data = generator.uniform(low, high, tuple(shape)).astype(dtype or DEFAULT_DTYPE)
+    data = generator.uniform(low, high, tuple(shape)).astype(dtype or _default_dtype())
     return Tensor(data, requires_grad)

@@ -1,0 +1,12 @@
+"""Fixture with planted REP014 violations (never imported, only linted)."""
+
+import numpy as np
+
+
+def rogue_pinned_dtypes(field):
+    # Pinned float dtypes outside src/repro/tensor/: the first silently
+    # re-promotes a float32 graph to float64, the second freezes a
+    # buffer out of the --precision flag's reach.
+    promoted = field.astype(np.float64)
+    frozen = np.zeros_like(field, dtype="float32")
+    return promoted, frozen

@@ -27,6 +27,19 @@ def test_op_gradcheck(module, op):
     assert cases_run >= 1
 
 
+@pytest.mark.parametrize("op", ["conv2d", "matmul", "mul", "leaky_relu"])
+def test_op_gradcheck_float32_policy(op):
+    """Representative ops stay gradcheckable under the float32 policy:
+    float32 analytic gradients against the float64 finite-difference
+    reference, with the widened *_FLOAT32 tolerance floors (the full
+    registry runs at both precisions in the CI kernels job via
+    ``repro check --precision``)."""
+    from repro.tensor import precision
+
+    with precision("float32"):
+        assert check_op(op, np.random.default_rng(7)) >= 1
+
+
 def test_numerical_gradient_matches_closed_form():
     arrays = [np.array([0.5, -1.5, 2.0])]
     (grad,) = numerical_gradient(lambda t: t * t, arrays)

@@ -603,3 +603,53 @@ class TestRep013:
     def test_noqa_suppression(self):
         source = "eq = Diffusion2D(nu=0.5)  # noqa: REP013 convergence study\n"
         assert lint_snippet(source, rules={"REP013"}) == []
+
+
+# ----------------------------------------------------------------------
+# REP014 — float dtype literals outside the precision policy
+# ----------------------------------------------------------------------
+class TestRep014:
+    def test_np_float64_attribute_flagged(self):
+        hits = lint_snippet("x = np.zeros(4, dtype=np.float64)\n", rules={"REP014"})
+        assert [v.rule for v in hits] == ["REP014"]
+        assert "precision policy" in hits[0].message
+
+    def test_np_float32_attribute_flagged(self):
+        hits = lint_snippet("y = arr.astype(np.float32)\n", rules={"REP014"})
+        assert [v.rule for v in hits] == ["REP014"]
+
+    def test_qualified_numpy_spelling_flagged(self):
+        hits = lint_snippet("x = numpy.float64(0.0)\n", rules={"REP014"})
+        assert [v.rule for v in hits] == ["REP014"]
+
+    def test_dtype_string_literal_flagged(self):
+        hits = lint_snippet('x = np.zeros(4, dtype="float32")\n', rules={"REP014"})
+        assert [v.rule for v in hits] == ["REP014"]
+        assert "'float32'" in hits[0].message
+
+    def test_policy_helpers_ok(self):
+        source = """
+        x = np.zeros(4, dtype=default_dtype())
+        y = arr.astype(compute_dtype())
+        """
+        assert lint_snippet(source, rules={"REP014"}) == []
+
+    def test_other_dtypes_ok(self):
+        # Only the two policy-managed float widths are guarded: bool
+        # masks, index arrays and complex dtypes are out of scope.
+        source = """
+        m = np.zeros(4, dtype=np.bool_)
+        i = np.zeros(4, dtype=np.int64)
+        """
+        assert lint_snippet(source, rules={"REP014"}) == []
+
+    def test_tensor_package_sanctioned(self):
+        source = "x = np.zeros(4, dtype=np.float64)\n"
+        assert (
+            lint_snippet(source, path="src/repro/tensor/precision.py", rules={"REP014"})
+            == []
+        )
+
+    def test_noqa_suppression(self):
+        source = "ref = np.zeros(4, dtype=np.float64)  # noqa: REP014 solver golden\n"
+        assert lint_snippet(source, rules={"REP014"}) == []

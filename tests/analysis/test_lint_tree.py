@@ -31,6 +31,7 @@ def test_planted_fixtures_are_caught(capsys):
     assert "REP006" in output
     assert "REP007" in output
     assert "REP008" in output
+    assert "REP014" in output
 
 
 def test_fixture_report_details():
@@ -52,6 +53,9 @@ def test_fixture_report_details():
     assert report.count("REP008") >= 3  # from-import, bare call, qualified calls
     rep008 = [v for v in report.violations if v.rule == "REP008"]
     assert rep008[0].path.endswith("planted_rep008.py")
+    assert report.count("REP014") >= 2  # np.float64 attribute AND dtype string
+    rep014 = [v for v in report.violations if v.rule == "REP014"]
+    assert rep014[0].path.endswith("planted_rep014.py")
 
 
 def test_rule_subset_runs_only_selected():

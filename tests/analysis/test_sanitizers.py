@@ -4,11 +4,16 @@ import numpy as np
 import pytest
 
 from repro import mpi
-from repro.analysis import FloatSanitizer, MpiSanitizer, ShapeContract
+from repro.analysis import (
+    FloatSanitizer,
+    MpiSanitizer,
+    PrecisionSanitizer,
+    ShapeContract,
+)
 from repro.exceptions import SanitizerError
 from repro.mpi.router import MessageRouter
 from repro.nn.module import Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, precision
 
 
 # ----------------------------------------------------------------------
@@ -62,6 +67,62 @@ def test_float_sanitizer_clean_pass_is_silent():
     with FloatSanitizer():
         (t.exp() * 2.0).sum().backward()
     np.testing.assert_allclose(t.grad, 2.0 * np.exp(t.data))
+
+
+# ----------------------------------------------------------------------
+# PrecisionSanitizer
+# ----------------------------------------------------------------------
+def test_precision_sanitizer_restores_chokepoint():
+    before = Tensor.__dict__["from_op"]
+    with PrecisionSanitizer():
+        assert Tensor.__dict__["from_op"] is not before
+    assert Tensor.__dict__["from_op"] is before
+
+
+def test_precision_sanitizer_flags_float64_leak_under_float32():
+    """A float64 operand entering a float32 graph promotes the op
+    output to float64 — exactly the silent up-cast the sanitizer
+    exists to catch."""
+    with precision("float32"), PrecisionSanitizer():
+        t = Tensor(np.ones(3))  # float32 under the policy
+        leak = Tensor(np.ones(3), dtype=np.float64)
+        with pytest.raises(SanitizerError, match="float64.*float32"):
+            t + leak
+
+
+def test_precision_sanitizer_clean_float32_graph_is_silent():
+    with precision("float32"), PrecisionSanitizer():
+        t = Tensor(np.ones((2, 3)), requires_grad=True)
+        (t.exp() * 2.0).sum().backward()
+    assert t.grad.dtype == np.float32
+
+
+def test_precision_sanitizer_checks_gradients():
+    """Gradient arrays produced by backward closures are checked too.
+    A float64 seed alone can't trigger it (backward_pass casts the seed
+    to the root's dtype), so the leak has to live inside a closure —
+    here a backward that multiplies by a float64 constant."""
+    with precision("float32"), PrecisionSanitizer(check_gradients=True):
+        t = Tensor(np.ones(3), requires_grad=True)
+        scale64 = np.full(3, 2.0, dtype=np.float64)  # backward-only leak
+        out = Tensor.from_op(
+            t.data * np.float32(1.0), [t], lambda grad: (grad * scale64,), "leaky-op"
+        )
+        with pytest.raises(SanitizerError, match="gradient"):
+            out.sum().backward()
+
+
+def test_precision_sanitizer_ignores_non_floating_outputs():
+    with precision("float32"), PrecisionSanitizer():
+        t = Tensor(np.array([1.0, -2.0]))
+        assert (t > 0.0).dtype == np.bool_ or (t > 0.0) is not None
+
+
+def test_precision_sanitizer_default_float64_mode_is_silent():
+    with PrecisionSanitizer():
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 3.0).sum().backward()
+    assert t.grad.dtype == np.float64
 
 
 # ----------------------------------------------------------------------

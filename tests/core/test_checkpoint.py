@@ -11,6 +11,7 @@ from repro.core import (
     SubdomainCNN,
     TrainingConfig,
     load_checkpoint,
+    load_checkpoint_precision,
     load_parallel_models,
     save_checkpoint,
     save_parallel_models,
@@ -18,6 +19,7 @@ from repro.core import (
 from repro.core.engine import build_optimizer
 from repro.data import SnapshotDataset, synthetic_advection_snapshots
 from repro.exceptions import DatasetError
+from repro.tensor import precision, set_precision
 
 
 @pytest.fixture
@@ -70,6 +72,116 @@ class TestValidation:
         np.savez(path, stuff=np.zeros(3))
         with pytest.raises(DatasetError):
             load_parallel_models(path)
+
+
+class TestPrecisionMetadata:
+    @pytest.fixture(autouse=True)
+    def _restore_precision(self):
+        yield
+        set_precision("float64")
+
+    def test_default_records_float64(self, tmp_path, trained_result):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result)
+        assert load_checkpoint_precision(path) == "float64"
+
+    def test_active_policy_recorded(self, tmp_path, trained_result):
+        path = tmp_path / "models.npz"
+        with precision("float32"):
+            save_parallel_models(path, trained_result)
+        assert load_checkpoint_precision(path) == "float32"
+
+    def test_explicit_precision_wins(self, tmp_path, trained_result):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result, precision="float32")
+        assert load_checkpoint_precision(path) == "float32"
+
+    def test_float32_checkpoint_reloads_float32_parameters(self, tmp_path):
+        """A float32-trained checkpoint must come back with float32
+        parameter storage even when the loading process is still in the
+        default float64 mode — the recorded precision drives the
+        rebuild."""
+        dataset = SnapshotDataset(
+            synthetic_advection_snapshots(grid_size=12, num_snapshots=6, seed=0)
+        )
+        path = tmp_path / "models.npz"
+        with precision("float32"):
+            result = ParallelTrainer(
+                CNNConfig(channels=(4, 6, 4), kernel_size=3),
+                TrainingConfig(epochs=1, batch_size=4, lr=0.01, loss="mse"),
+                num_ranks=4,
+            ).train(dataset, execution="serial")
+            save_parallel_models(path, result)
+        models, _, _ = load_parallel_models(path)
+        for model in models:
+            assert all(p.dtype == np.float32 for p in model.parameters())
+
+    def test_load_precision_override(self, tmp_path, trained_result):
+        path = tmp_path / "models.npz"
+        save_parallel_models(path, trained_result)  # float64 checkpoint
+        models, _, _ = load_parallel_models(path, precision="float32")
+        for model in models:
+            assert all(p.dtype == np.float32 for p in model.parameters())
+
+    def test_training_checkpoint_records_precision(self, tmp_path):
+        with precision("float32"):
+            model, cnn_config = small_model()
+            config = TrainingConfig(epochs=1, batch_size=4, loss="mse")
+            path = tmp_path / "ckpt.npz"
+            save_checkpoint(path, model, config, model_config=cnn_config)
+        assert load_checkpoint(path).precision == "float32"
+
+
+class TestFloat32RoundTrip:
+    """Train → save → load → rollout entirely in float32 on the paper's
+    euler-gaussian scenario, on both execution backends.
+
+    Documented tolerance: one epoch of Adam in float32 drifts from the
+    float64 trajectory by well under 1% relative L2 at this scale, so
+    the rollout comparison uses ``rtol=0.05`` — loose enough to absorb
+    optimizer-path divergence, tight enough to catch any dtype mix-up
+    (a float64 leak mid-graph changes results at the 1e-7 level but a
+    *wrong* computation changes them at the 1e-1 level).
+    """
+
+    @pytest.fixture(autouse=True)
+    def _restore_precision(self):
+        yield
+        set_precision("float64")
+
+    def _train_rollout(self, tmp_path, execution, mode):
+        from repro.data import generate_scenario_dataset
+
+        produced = generate_scenario_dataset(
+            "euler-gaussian", grid_size=16, num_snapshots=6, num_train=4
+        )
+        dataset = SnapshotDataset(produced.full_snapshots)
+        path = tmp_path / f"models-{mode}-{execution}.npz"
+        with precision(mode):
+            result = ParallelTrainer(
+                CNNConfig(channels=(4, 6, 4), kernel_size=3),
+                TrainingConfig(epochs=1, batch_size=4, lr=0.01, loss="mse", seed=0),
+                num_ranks=4,
+                seed=0,
+            ).train(dataset, execution=execution)
+            save_parallel_models(path, result)
+        assert load_checkpoint_precision(path) == mode
+        models, decomposition, _ = load_parallel_models(path)
+        with precision(load_checkpoint_precision(path)):
+            rollout = ParallelPredictor(models, decomposition).rollout(
+                dataset.snapshots[0], num_steps=2
+            )
+        return np.asarray(rollout.trajectory)
+
+    @pytest.mark.parametrize("execution", ["threads", "processes"])
+    def test_float32_matches_float64_within_tolerance(self, tmp_path, execution):
+        reference = self._train_rollout(tmp_path, execution, "float64")
+        trajectory = self._train_rollout(tmp_path, execution, "float32")
+        assert np.all(np.isfinite(trajectory))
+        scale = float(np.abs(reference).max())
+        np.testing.assert_allclose(
+            trajectory, reference, rtol=0.05, atol=0.05 * scale
+        )
 
 
 # ----------------------------------------------------------------------

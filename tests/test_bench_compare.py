@@ -117,11 +117,89 @@ def test_compare_order_ratio_math():
     baseline = {op: {"median_seconds": s} for op, s in [("a", 1.0), ("b", 2.0)]}
     current = {op: {"median_seconds": s} for op, s in [("a", 1.2), ("b", 2.0)]}
     _, violations = bench_compare.compare_order(
-        baseline, current, [("a", "b")], tolerance=1.25
+        baseline, current, [("a", "b", "relative")], tolerance=1.25
     )
     assert violations == 0
     current["a"]["median_seconds"] = 1.3
     _, violations = bench_compare.compare_order(
-        baseline, current, [("a", "b")], tolerance=1.25
+        baseline, current, [("a", "b", "relative")], tolerance=1.25
     )
     assert violations == 1
+
+
+# ----------------------------------------------------------------------
+# Absolute ordering pairs (A<=B)
+# ----------------------------------------------------------------------
+def test_absolute_ordering_passes_when_a_is_faster(tmp_path, baseline):
+    current = _write(
+        tmp_path / "cur.json", _records(fused=0.020, plain=0.026, naive=0.052)
+    )
+    status = bench_compare.main(
+        ["--baseline", baseline, "--current", current,
+         "--require-order", "fused<=naive"]
+    )
+    assert status == 0
+
+
+def test_absolute_ordering_inversion_is_hard_violation(tmp_path, baseline, capsys):
+    """fused slower than the op it must beat outright: exit 2."""
+    current = _write(
+        tmp_path / "cur.json", _records(fused=0.060, plain=0.026, naive=0.052)
+    )
+    status = bench_compare.main(
+        ["--baseline", baseline, "--current", current,
+         "--require-order", "fused<=naive"]
+    )
+    assert status == 2
+    assert "slack" in capsys.readouterr().out
+
+
+def test_absolute_ordering_slack_absorbs_jitter(tmp_path, baseline):
+    """A ~3% loss is measurement jitter under the default 1.05 slack;
+    a wider --order-slack is honoured too."""
+    current = _write(
+        tmp_path / "cur.json", _records(fused=0.0535, plain=0.026, naive=0.052)
+    )
+    args = ["--baseline", baseline, "--current", current,
+            "--tolerance", "2.0", "--require-order", "fused<=naive"]
+    assert bench_compare.main(args) == 0
+    assert bench_compare.main(args + ["--order-slack", "1.0"]) == 2
+
+
+def test_absolute_ordering_ignores_baseline_records(tmp_path):
+    """A<=B consults only the current run: the ops may be entirely
+    absent from the baseline file (new benchmarks land this way)."""
+    base = _write(tmp_path / "base.json", _records(other=1.0))
+    current = _write(tmp_path / "cur.json", _records(f32=0.010, f64=0.020))
+    assert bench_compare.main(
+        ["--baseline", base, "--current", current, "--require-order", "f32<=f64"]
+    ) == 0
+
+
+def test_absolute_ordering_missing_current_op_is_hard_failure(tmp_path, baseline, capsys):
+    current = _write(tmp_path / "cur.json", _records(plain=0.026))
+    status = bench_compare.main(
+        ["--baseline", baseline, "--current", current,
+         "--require-order", "fused<=plain"]
+    )
+    assert status == 2
+    assert "missing" in capsys.readouterr().out
+
+
+def test_relative_and_absolute_pairs_mix(tmp_path, baseline):
+    current = _write(
+        tmp_path / "cur.json", _records(fused=0.029, plain=0.026, naive=0.052)
+    )
+    assert bench_compare.main(
+        ["--baseline", baseline, "--current", current,
+         "--require-order", "fused:plain",
+         "--require-order", "fused<=naive"]
+    ) == 0
+
+
+def test_order_slack_below_one_rejected(tmp_path, baseline):
+    with pytest.raises(SystemExit):
+        bench_compare.main(
+            ["--baseline", baseline, "--current", baseline,
+             "--require-order", "fused<=naive", "--order-slack", "0.9"]
+        )
