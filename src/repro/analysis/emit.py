@@ -9,6 +9,9 @@ diff (GitHub's ``::error`` workflow command).  ``repro analyze``
 additionally reports ``baselined`` findings (accepted via
 ``analysis-baseline.json``) and stale baseline entries; ``repro lint``
 reports its optional ruff/mypy ``baseline_tools`` passes.
+
+``repro scenarios --format json`` shares the envelope style (a ``tool``
+tag plus a machine-readable body) via :func:`scenarios_payload`.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ __all__ = [
     "violation_payload",
     "lint_report_payload",
     "analysis_report_payload",
+    "scenarios_payload",
     "to_json",
 ]
 
@@ -89,6 +93,24 @@ def analysis_report_payload(report: Any) -> dict[str, Any]:
             }
             for entry in report.stale_entries
         ],
+    }
+
+
+def scenarios_payload(specs: list[Any]) -> dict[str, Any]:
+    """JSON payload for ``repro scenarios --format json``.
+
+    Same envelope family as the lint/analyze reports (a ``tool`` tag
+    plus a machine-readable body), so CI consumers parse one schema.
+    Each entry is the spec's canonical dict — including the per-scenario
+    parareal defaults — exactly what ``Scenario.from_dict`` accepts.
+    """
+    from ..scenarios import DEFAULT_SCENARIO  # lazy: avoid analysis<->scenarios cycle
+
+    return {
+        "tool": "repro-scenarios",
+        "count": len(specs),
+        "default": DEFAULT_SCENARIO,
+        "scenarios": [spec.to_dict() for spec in specs],
     }
 
 

@@ -75,6 +75,10 @@ RULES: dict[str, str] = {
     "src/repro/tensor/ — compute dtypes must come from the precision "
     "policy (repro.tensor.default_dtype / the Tensor boundary), not be "
     "pinned inline",
+    "REP015": "Parareal correction arithmetic outside "
+    "src/repro/solver/parareal.py — the predictor-corrector update "
+    "G(U_k+1) + F(U_k) - G(U_k) and its convergence bookkeeping live "
+    "in PararealDriver, not at call sites",
 }
 
 #: ruff-style suppression comment: bare ``# noqa`` (all rules) or
@@ -923,6 +927,68 @@ def rule_rep014(ctx: FileContext) -> Iterator[Violation]:
                     yield hit(node, f"dtype={kw.value.value!r} string literal")
 
 
+# ======================================================================
+# REP015 — Parareal correction arithmetic outside the driver
+# ======================================================================
+#: The one sanctioned home of the Parareal predictor-corrector update
+#: ``G(U_k+1) + F(U_k) - G(U_k)``.  Re-deriving the correction at call
+#: sites forks the convergence semantics (tolerance handling, the
+#: pipelined schedule, the exactness guarantee) away from the driver
+#: the tests pin — use ``PararealDriver`` instead.
+_REP015_SANCTIONED_SUFFIX = "solver/parareal.py"
+
+
+def _addsub_leaves(node: ast.AST) -> list[ast.AST] | None:
+    """Leaf operands of a pure ``+``/``-`` expression tree, or ``None``
+    as soon as any other operator appears."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = _addsub_leaves(node.left)
+        right = _addsub_leaves(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return [node]
+
+
+def rule_rep015(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.path.replace("\\", "/").endswith(_REP015_SANCTIONED_SUFFIX):
+        return
+
+    # Only flag the outermost chain of a +/- tree so a four-term
+    # correction does not double-report through its sub-expressions.
+    nested: set[ast.AST] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            for child in (node.left, node.right):
+                if isinstance(child, ast.BinOp) and isinstance(
+                    child.op, (ast.Add, ast.Sub)
+                ):
+                    nested.add(child)
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.BinOp) or node in nested:
+            continue
+        leaves = _addsub_leaves(node)
+        if leaves is None or len(leaves) < 3:
+            continue
+        names = [_dotted_name(leaf).lower() for leaf in leaves]
+        if any("coarse" in name for name in names) and any(
+            "fine" in name for name in names
+        ):
+            yield Violation(
+                "REP015",
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "a +/- chain mixing coarse- and fine-propagator terms is "
+                "the Parareal correction, whose one sanctioned home is "
+                "src/repro/solver/parareal.py — run the update through "
+                "PararealDriver instead of re-deriving it; suppress with "
+                "'# noqa: REP015' plus a rationale for genuine "
+                "non-Parareal arithmetic",
+            )
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
@@ -934,6 +1000,7 @@ _FILE_RULES = {
     "REP008": rule_rep008,
     "REP013": rule_rep013,
     "REP014": rule_rep014,
+    "REP015": rule_rep015,
 }
 
 

@@ -10,6 +10,10 @@ Subcommands cover the full workflow:
   the scenario's data-free physics-residual score,
 - ``repro scenarios`` — list the registered PDE scenarios (equation,
   IC, BC, grid) or dump one spec as JSON,
+- ``repro parareal``  — parallel-in-time rollout: Parareal iteration
+  with the checkpoint's CNN as coarse propagator and the FD solver as
+  fine propagator, reporting iterations-to-converge and speedup over
+  serial fine stepping,
 - ``repro scaling``   — the Fig.-4 strong-scaling study,
 - ``repro table1``    — print the architecture table,
 - ``repro lint``      — repo-specific static analysis (REP00x rules
@@ -218,6 +222,72 @@ def _add_evaluate(subparsers) -> None:
     _add_precision_flag(parser, resolved_from="checkpoint")
     parser.add_argument("--snapshots", type=int, default=150)
     parser.add_argument("--steps", type=int, default=1, help="rollout depth")
+    parser.add_argument(
+        "--parareal",
+        action="store_true",
+        help="also run a parallel-in-time study from the dataset's initial "
+        "state using the scenario's parareal defaults (threads backend)",
+    )
+    _add_trace_flag(parser)
+
+
+def _add_parareal(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "parareal",
+        help="parallel-in-time rollout: Parareal iteration with the "
+        "checkpoint's CNN as coarse propagator, the FD solver as fine "
+        "propagator",
+    )
+    parser.add_argument("checkpoint", help="model checkpoint (.npz)")
+    _add_scenario_flag(parser, resolved_from="checkpoint")
+    _add_precision_flag(parser, resolved_from="checkpoint")
+    parser.add_argument(
+        "--slices",
+        type=int,
+        default=None,
+        help="time slices / ranks (default: the scenario's parareal_slices)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="convergence tolerance on the successive-iterate delta "
+        "(default: the scenario's parareal_tolerance)",
+    )
+    parser.add_argument(
+        "--coarse-steps",
+        type=int,
+        default=None,
+        help="coarse (CNN) applications per slice "
+        "(default: the scenario's parareal_coarse_steps)",
+    )
+    parser.add_argument(
+        "--fine-steps-per-coarse",
+        type=int,
+        default=None,
+        help="fine solver steps spanned by one coarse application "
+        "(default: the scenario's steps_per_snapshot — the spacing the "
+        "CNN was trained on)",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="correction sweeps before giving up (default: slices, which "
+        "always suffices)",
+    )
+    parser.add_argument(
+        "--execution",
+        default="threads",
+        choices=["threads", "processes"],
+        help="backend fanning the fine slices across ranks",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the seed of a randomized initial condition",
+    )
     _add_trace_flag(parser)
 
 
@@ -420,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(subparsers)
     _add_train(subparsers)
     _add_evaluate(subparsers)
+    _add_parareal(subparsers)
     _add_scaling(subparsers)
     subparsers.add_parser("table1", help="print the Table-I architecture")
     _add_scenarios_cmd(subparsers)
@@ -614,7 +685,109 @@ def _cmd_evaluate(args) -> int:
         f"halo messages: {rollout.messages_sent}, "
         f"volume: {rollout.bytes_sent / 1024:.1f} KiB"
     )
+    if args.parareal:
+        from .scenarios import parareal_config
+
+        print()
+        return _parareal_study(
+            scenario, models, decomposition, initial, parareal_config(scenario)
+        )
     return 0
+
+
+def _parareal_study(
+    scenario, models, decomposition, initial, config, execution="threads"
+) -> int:
+    """Run Parareal from ``initial`` and report convergence + speedup
+    against serial fine stepping of the same horizon.  Returns a shell
+    exit code (non-zero when the iteration failed to converge)."""
+    from .obs import trace
+    from .scenarios import build_grid, build_simulation
+    from .solver.parareal import (
+        EnsembleCoarseOperator,
+        ModelCoarseOperator,
+        PararealDriver,
+        serial_fine,
+    )
+
+    grid = build_grid(scenario, decomposition.field_shape[0])
+    simulation = build_simulation(scenario, grid)
+    if len(models) == 1:
+        coarse = ModelCoarseOperator(models[0])
+    else:
+        coarse = EnsembleCoarseOperator(models, decomposition)
+    driver = PararealDriver(simulation, coarse, config)
+    initial = np.asarray(initial, dtype=float)
+
+    start = trace.clock()
+    result = driver.solve(initial, execution=execution)
+    parareal_seconds = trace.clock() - start
+    start = trace.clock()
+    reference = serial_fine(simulation, initial, config)
+    fine_seconds = trace.clock() - start
+
+    scale = float(np.max(np.abs(reference)))
+    error = float(np.max(np.abs(result.states - reference)))
+    if scale > 0.0:
+        error /= scale
+    status = "converged" if result.converged else "did NOT converge"
+    print(
+        f"parareal: {config.slices} slices x {config.coarse_steps} coarse "
+        f"step(s), {config.fine_steps_per_slice} fine steps/slice "
+        f"({len(models)} model(s) as G, {execution} backend)"
+    )
+    print(
+        f"  {status} in {result.iterations} sweep(s); final delta "
+        f"{result.deltas[-1]:.3e} (tolerance {config.tolerance:g})"
+    )
+    print(f"  max relative error vs serial fine: {error:.3e}")
+    print(
+        f"  wall-clock: parareal {parareal_seconds:.3f}s vs serial fine "
+        f"{fine_seconds:.3f}s "
+        f"({fine_seconds / max(parareal_seconds, 1e-12):.2f}x)"
+    )
+    print(
+        f"  work: {result.coarse_steps_applied} coarse applications, "
+        f"{result.fine_steps_applied} fine steps across all ranks"
+    )
+    return 0 if result.converged else 1
+
+
+def _cmd_parareal(args) -> int:
+    from .core import (
+        load_checkpoint_precision,
+        load_checkpoint_scenario,
+        load_parallel_models,
+    )
+    from .scenarios import build_grid, build_initial_state, parareal_config
+    from .tensor import set_precision
+
+    precision = args.precision or load_checkpoint_precision(args.checkpoint)
+    set_precision(precision)
+    models, decomposition, _config = load_parallel_models(
+        args.checkpoint, precision=precision
+    )
+    scenario = args.scenario or load_checkpoint_scenario(args.checkpoint)
+    overrides = {
+        key: value
+        for key, value in {
+            "slices": args.slices,
+            "tolerance": args.tolerance,
+            "coarse_steps": args.coarse_steps,
+            "fine_steps_per_coarse": args.fine_steps_per_coarse,
+            "max_iterations": args.max_iterations,
+        }.items()
+        if value is not None
+    }
+    config = parareal_config(scenario, **overrides)
+    grid = build_grid(scenario, decomposition.field_shape[0])
+    initial = build_initial_state(scenario, grid, seed=args.seed)
+    if hasattr(initial, "to_array"):
+        initial = initial.to_array()
+    print(f"scenario: {scenario}; precision: {precision}")
+    return _parareal_study(
+        scenario, models, decomposition, initial, config, execution=args.execution
+    )
 
 
 def _cmd_scaling(args) -> int:
@@ -646,8 +819,6 @@ def _cmd_table1(_args) -> int:
 
 
 def _cmd_scenarios(args) -> int:
-    import json
-
     from .exceptions import ConfigurationError
     from .scenarios import available_scenarios, get_scenario
 
@@ -658,8 +829,9 @@ def _cmd_scenarios(args) -> int:
         print(f"repro scenarios: error: {exc}", file=sys.stderr)
         return 2
     if args.output_format == "json":
-        payload = specs[0].to_dict() if args.name else [s.to_dict() for s in specs]
-        print(json.dumps(payload, indent=2))
+        from .analysis.emit import scenarios_payload, to_json
+
+        print(to_json(scenarios_payload(specs)))
         return 0
     if args.name:
         for key, value in specs[0].to_dict().items():
@@ -911,6 +1083,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
+    "parareal": _cmd_parareal,
     "scaling": _cmd_scaling,
     "table1": _cmd_table1,
     "scenarios": _cmd_scenarios,

@@ -19,6 +19,7 @@ from .build import (
     build_simulation,
     channels,
     cnn_config,
+    parareal_config,
     simulate,
 )
 from .builtin import DEFAULT_SCENARIO
@@ -39,6 +40,7 @@ __all__ = [
     "build_simulation",
     "channels",
     "cnn_config",
+    "parareal_config",
     "simulate",
     "physics_residual",
     "scenario_residual",

@@ -205,3 +205,24 @@ def cnn_config(spec: str | Scenario, **overrides):
     num = len(channels(spec))
     defaults = {"channels": (num, 6, 16, 6, num)}
     return CNNConfig(**{**defaults, **overrides})
+
+
+def parareal_config(spec: str | Scenario, **overrides):
+    """The scenario's parallel-in-time schedule as a
+    :class:`~repro.solver.parareal.PararealConfig`.
+
+    One coarse application equals one CNN step, which spans the
+    snapshot spacing the model was trained on
+    (``spec.steps_per_snapshot`` fine solver steps); ``overrides``
+    win over the spec's ``parareal_*`` defaults.
+    """
+    from ..solver.parareal import PararealConfig
+
+    spec = get_scenario(spec)
+    defaults = {
+        "slices": spec.parareal_slices,
+        "tolerance": spec.parareal_tolerance,
+        "coarse_steps": spec.parareal_coarse_steps,
+        "fine_steps_per_coarse": spec.steps_per_snapshot,
+    }
+    return PararealConfig(**{**defaults, **overrides})

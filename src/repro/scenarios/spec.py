@@ -86,6 +86,13 @@ class Scenario:
     rollout_steps: int = 10
     #: wall cells excluded from the physics-residual metric
     residual_margin: int = 2
+    #: Parareal: number of time slices (= ranks) for parallel-in-time runs
+    parareal_slices: int = 8
+    #: Parareal: successive-iterate convergence tolerance
+    parareal_tolerance: float = 1e-3
+    #: Parareal: coarse (CNN) applications per time slice; each spans
+    #: ``steps_per_snapshot`` fine solver steps
+    parareal_coarse_steps: int = 1
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -111,6 +118,18 @@ class Scenario:
         if self.residual_margin < 0:
             raise ConfigurationError(
                 f"residual_margin must be >= 0, got {self.residual_margin}"
+            )
+        if self.parareal_slices < 1:
+            raise ConfigurationError(
+                f"parareal_slices must be >= 1, got {self.parareal_slices}"
+            )
+        if self.parareal_tolerance <= 0:
+            raise ConfigurationError(
+                f"parareal_tolerance must be positive, got {self.parareal_tolerance}"
+            )
+        if self.parareal_coarse_steps < 1:
+            raise ConfigurationError(
+                f"parareal_coarse_steps must be >= 1, got {self.parareal_coarse_steps}"
             )
         for attr in ("equation_params", "ic_params"):
             object.__setattr__(

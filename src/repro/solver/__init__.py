@@ -46,7 +46,16 @@ from .initial_conditions import (
     scalar_blobs,
     scalar_gaussian,
 )
-from .simulation import FieldSimulation, Simulation, SimulationResult
+from .parareal import (
+    CoarseOperator,
+    EnsembleCoarseOperator,
+    ModelCoarseOperator,
+    PararealConfig,
+    PararealDriver,
+    PararealResult,
+    serial_fine,
+)
+from .simulation import FieldSimulation, Simulation, SimulationResult, SteppedSimulation
 from .state import CHANNELS, NUM_CHANNELS, EulerState
 from .time_integrators import euler_step, get_integrator, heun_step, rk4_step
 
@@ -65,6 +74,14 @@ __all__ = [
     "Simulation",
     "FieldSimulation",
     "SimulationResult",
+    "SteppedSimulation",
+    "PararealConfig",
+    "PararealDriver",
+    "PararealResult",
+    "CoarseOperator",
+    "ModelCoarseOperator",
+    "EnsembleCoarseOperator",
+    "serial_fine",
     "gaussian_pulse",
     "paper_initial_condition",
     "plane_wave",

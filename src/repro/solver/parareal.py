@@ -1,0 +1,425 @@
+"""Parallel-in-time Parareal driver: the CNN as coarse propagator.
+
+The paper parallelizes space only (domain decomposition, one CNN per
+subdomain); the time axis stays strictly serial.  This module opens the
+second axis: the rollout horizon is split into N slices, the trained
+CNN plays the cheap coarse propagator G, the finite-difference solver
+is the expensive fine propagator F, and the Parareal correction
+
+    U_{n+1}^{k+1} = G(U_n^{k+1}) + F(U_n^k) - G(U_n^k)
+
+is iterated until successive slice-start iterates agree within
+tolerance.  The fixed point of the correction is the serial fine
+solution, and after k full sweeps the first k slice states are exactly
+the fine trajectory, so the iteration converges in at most N sweeps no
+matter how rough G is — a well-trained CNN just gets there in 1-3,
+which is where the speedup over serial fine stepping comes from
+(ideal wall-clock ratio ~ N / (K + 1) when G is much cheaper than F).
+
+Ranks map one-to-one onto time slices via ``repro.mpi.run_parallel``
+(threads or processes), handing the corrected slice-boundary states
+down the rank chain point-to-point.  The schedule is *pipelined*: each
+rank propagates its fine slice F(U_n^k) **before** blocking on the
+corrected start state U_n^{k+1} from rank n-1, so the expensive fine
+work overlaps the serial coarse sweep trickling through earlier ranks.
+
+Precision: fine states stay float64 (the solver's native mode); a
+float32 coarse model returns float32 predictions, which NumPy promotes
+back to float64 inside the correction — the coarse term only needs to
+be *close*, its rounding error is part of what the iteration corrects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .. import mpi
+from ..exceptions import ConfigurationError
+from ..obs import trace
+from .simulation import SteppedSimulation
+
+__all__ = [
+    "PararealConfig",
+    "PararealResult",
+    "PararealDriver",
+    "CoarseOperator",
+    "ModelCoarseOperator",
+    "EnsembleCoarseOperator",
+    "serial_fine",
+]
+
+
+def _handoff_tag(iteration: int) -> int:
+    """Message tag of the slice-boundary handoff in sweep ``iteration``.
+
+    Rank n sends its corrected slice-end state to rank n+1 under this
+    tag and rank n+1 receives with the same call, so the paired-message
+    audit (REP003) resolves both sites to one symbolic key.
+    """
+    return 64 + iteration
+
+
+def _relative_delta(new: np.ndarray, old: np.ndarray) -> float:
+    """Relative L2 change between iterates (the customary Parareal
+    stopping norm: max-norm would let one interface pixel of a trained
+    surrogate dominate an otherwise converged field)."""
+    scale = float(np.linalg.norm(new))
+    change = float(np.linalg.norm(new - old))
+    if scale == 0.0:
+        return change
+    return change / scale
+
+
+@dataclass(frozen=True)
+class PararealConfig:
+    """Parareal schedule parameters.
+
+    Scenario-tuned defaults come from
+    :func:`repro.scenarios.parareal_config`; the total horizon covered
+    is ``slices * coarse_steps * fine_steps_per_coarse`` fine solver
+    steps.
+    """
+
+    #: number of time slices == world size (one rank per slice)
+    slices: int = 8
+    #: convergence threshold on the allreduced successive-iterate
+    #: relative L2 delta of the slice-start states
+    tolerance: float = 1e-3
+    #: coarse propagator applications per slice
+    coarse_steps: int = 1
+    #: fine solver steps spanned by one coarse application — for a
+    #: trained CNN, the snapshot spacing it learned
+    #: (``Scenario.steps_per_snapshot``)
+    fine_steps_per_coarse: int = 1
+    #: correction sweeps before giving up; ``None`` means ``slices``,
+    #: which the exactness property guarantees is always enough
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.slices < 1:
+            raise ConfigurationError(f"slices must be >= 1, got {self.slices}")
+        if self.tolerance <= 0:
+            raise ConfigurationError(
+                f"tolerance must be positive, got {self.tolerance}"
+            )
+        if self.coarse_steps < 1:
+            raise ConfigurationError(
+                f"coarse_steps must be >= 1, got {self.coarse_steps}"
+            )
+        if self.fine_steps_per_coarse < 1:
+            raise ConfigurationError(
+                f"fine_steps_per_coarse must be >= 1, got "
+                f"{self.fine_steps_per_coarse}"
+            )
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1 or None, got {self.max_iterations}"
+            )
+
+    @property
+    def fine_steps_per_slice(self) -> int:
+        return self.coarse_steps * self.fine_steps_per_coarse
+
+    @property
+    def iteration_cap(self) -> int:
+        return self.slices if self.max_iterations is None else self.max_iterations
+
+
+@dataclass
+class PararealResult:
+    """Outcome of a Parareal solve."""
+
+    #: slice-boundary states ``(slices + 1, C, ny, nx)``: element 0 is
+    #: the initial state, element n the converged estimate of U_n
+    states: np.ndarray
+    #: correction sweeps actually run (0 = coarse initialization only)
+    iterations: int
+    #: whether the successive-iterate delta fell below tolerance
+    converged: bool
+    #: allreduced max relative delta after each sweep
+    deltas: list[float]
+    #: fine solver time step
+    dt: float
+    #: coarse applications summed over all ranks and sweeps
+    coarse_steps_applied: int
+    #: fine solver steps summed over all ranks and sweeps
+    fine_steps_applied: int
+
+    @property
+    def num_slices(self) -> int:
+        return self.states.shape[0] - 1
+
+
+class CoarseOperator:
+    """Base coarse propagator G: advances a global ``(C, ny, nx)`` state.
+
+    ``num_steps`` counts *coarse* applications; the driver maps each to
+    ``PararealConfig.fine_steps_per_coarse`` fine solver steps of
+    physical time.
+    """
+
+    def spawn(self) -> "CoarseOperator":
+        """A per-rank instance.
+
+        Inference plans and their workspaces belong to a single thread,
+        so the driver calls this once inside every rank instead of
+        sharing one operator across the world.
+        """
+        raise NotImplementedError
+
+    def advance(self, state: np.ndarray, num_steps: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ModelCoarseOperator(CoarseOperator):
+    """A single full-domain CNN as G.
+
+    Applies the :class:`~repro.core.inference.SequentialPredictor`
+    stepping rule — zero-pad the physical halo, run the allocation-free
+    :class:`~repro.core.inference.InferencePlan` — without the
+    predictor's snapshot bookkeeping.
+    """
+
+    def __init__(self, model, use_plan: bool = True) -> None:
+        self.model = model
+        self.use_plan = use_plan
+        self.halo = int(getattr(model, "input_halo", 0))
+        self._plan = None
+        if use_plan:
+            from ..core.inference import InferencePlan  # lazy: core imports solver
+
+            self._plan = InferencePlan.try_compile(model)
+
+    def spawn(self) -> "ModelCoarseOperator":
+        return ModelCoarseOperator(self.model, use_plan=self.use_plan)
+
+    def _forward(self, batch: np.ndarray) -> np.ndarray:
+        if self._plan is not None:
+            return self._plan.run(batch)
+        from ..tensor import Tensor, no_grad  # lazy: keep solver import-light
+
+        with no_grad():
+            return self.model(Tensor(batch)).numpy()
+
+    def advance(self, state: np.ndarray, num_steps: int) -> np.ndarray:
+        for _ in range(num_steps):
+            padded = state
+            if self.halo > 0:
+                pad = ((0, 0), (self.halo, self.halo), (self.halo, self.halo))
+                padded = np.pad(state, pad)
+            state = self._forward(padded[np.newaxis])[0]
+        return state
+
+
+class EnsembleCoarseOperator(CoarseOperator):
+    """The domain-decomposed CNN ensemble as G.
+
+    Each coarse application pads every subdomain block with ``halo``
+    lines of neighbour data cut straight from the *global* state
+    (``BlockDecomposition.extract(halo=...)``) — byte-identical to what
+    a point-to-point halo exchange would deliver, without nesting a
+    second MPI world inside a Parareal rank — runs each subdomain's
+    network, and reassembles the global field.  One application
+    therefore matches ``ParallelPredictor.predict_step`` exactly
+    (pinned by tests).
+    """
+
+    def __init__(
+        self,
+        models: Sequence,
+        decomposition,
+        fill: str = "zero",
+        use_plan: bool = True,
+    ) -> None:
+        if len(models) != decomposition.num_subdomains:
+            raise ConfigurationError(
+                f"{len(models)} models for {decomposition.num_subdomains} "
+                f"subdomains"
+            )
+        self.models = list(models)
+        self.decomposition = decomposition
+        self.fill = fill
+        self.use_plan = use_plan
+        self.halo = int(getattr(self.models[0], "input_halo", 0))
+        self._plans = [None] * len(self.models)
+        if use_plan:
+            from ..core.inference import InferencePlan  # lazy: core imports solver
+
+            self._plans = [InferencePlan.try_compile(m) for m in self.models]
+
+    def spawn(self) -> "EnsembleCoarseOperator":
+        return EnsembleCoarseOperator(
+            self.models, self.decomposition, fill=self.fill, use_plan=self.use_plan
+        )
+
+    def _forward(self, index: int, batch: np.ndarray) -> np.ndarray:
+        plan = self._plans[index]
+        if plan is not None:
+            return plan.run(batch)
+        from ..tensor import Tensor, no_grad  # lazy: keep solver import-light
+
+        with no_grad():
+            return self.models[index](Tensor(batch)).numpy()
+
+    def advance(self, state: np.ndarray, num_steps: int) -> np.ndarray:
+        for _ in range(num_steps):
+            pieces = []
+            for rank in range(len(self.models)):
+                block = self.decomposition.extract(
+                    state, rank, halo=self.halo, fill=self.fill
+                )
+                pieces.append(self._forward(rank, block[np.newaxis])[0])
+            state = self.decomposition.assemble(pieces)
+        return state
+
+
+def serial_fine(
+    simulation: SteppedSimulation, initial: np.ndarray, config: PararealConfig
+) -> np.ndarray:
+    """Reference serial fine trajectory.
+
+    Returns the ``(slices + 1, C, ny, nx)`` slice-boundary states the
+    Parareal iteration converges to — the honest single-worker baseline
+    for the speedup benchmarks.
+    """
+    state = np.asarray(initial, dtype=float)
+    states = [state]
+    for _ in range(config.slices):
+        with trace.span("parareal.fine", cat="compute", serial=True):
+            state = simulation.advance_array(state, config.fine_steps_per_slice)
+        states.append(state)
+    return np.stack(states)
+
+
+class PararealDriver:
+    """Parareal iteration over one slice per rank.
+
+    Parameters
+    ----------
+    simulation:
+        The fine propagator — any :class:`SteppedSimulation`
+        (``Simulation`` for Euler, ``FieldSimulation`` for scalar
+        equations), stepped through its ``advance_array`` surface.
+    coarse:
+        The coarse propagator G (usually a trained CNN wrapped in
+        :class:`ModelCoarseOperator` or :class:`EnsembleCoarseOperator`).
+    config:
+        Slice count, tolerance, and the coarse/fine step mapping.
+    """
+
+    def __init__(
+        self,
+        simulation: SteppedSimulation,
+        coarse: CoarseOperator,
+        config: PararealConfig,
+    ) -> None:
+        self.simulation = simulation
+        self.coarse = coarse
+        self.config = config
+
+    def solve(self, initial: np.ndarray, execution: str = "threads") -> PararealResult:
+        """Run the Parareal iteration from ``initial`` (``(C, ny, nx)``).
+
+        ``execution`` picks the :func:`repro.mpi.run_parallel` backend
+        (``"threads"`` or ``"processes"``); numerics are identical on
+        both, pinned by tests.
+        """
+        cfg = self.config
+        start_state = np.asarray(initial, dtype=float)
+        expected = (self.simulation.num_channels,) + self.simulation.grid.shape
+        if start_state.shape != expected:
+            raise ConfigurationError(
+                f"initial state shape {start_state.shape} does not match "
+                f"(channels,) + grid shape {expected}"
+            )
+        simulation = self.simulation
+        operator = self.coarse
+        size = cfg.slices
+        cap = cfg.iteration_cap
+
+        def program(comm):
+            rank = comm.rank
+            coarse = operator.spawn()
+            counters = {"coarse": 0, "fine": 0}
+
+            def coarse_slice(state):
+                counters["coarse"] += cfg.coarse_steps
+                with trace.span("parareal.coarse", cat="compute", slice=rank):
+                    return coarse.advance(state, cfg.coarse_steps)
+
+            def fine_slice(state):
+                counters["fine"] += cfg.fine_steps_per_slice
+                with trace.span("parareal.fine", cat="compute", slice=rank):
+                    return simulation.advance_array(state, cfg.fine_steps_per_slice)
+
+            # Sweep 0: the serial coarse initialization trickles the first
+            # slice-start estimates down the rank chain.
+            if rank == 0:
+                slice_start = start_state
+            else:
+                slice_start = comm.recv(rank - 1, tag=_handoff_tag(0))
+            coarse_end = coarse_slice(slice_start)
+            if rank + 1 < size:
+                comm.send(coarse_end, rank + 1, tag=_handoff_tag(0))
+            slice_end = coarse_end
+
+            iterations = 0
+            converged = False
+            deltas = []
+            for sweep in range(1, cap + 1):
+                # Pipelined schedule: this rank's expensive fine slice
+                # runs *before* the blocking receive, so it overlaps the
+                # serial correction sweep still working through the
+                # earlier ranks.
+                fine_end = fine_slice(slice_start)
+                if rank == 0:
+                    corrected_start = start_state
+                else:
+                    corrected_start = comm.recv(rank - 1, tag=_handoff_tag(sweep))
+                delta = _relative_delta(corrected_start, slice_start)
+                with trace.span(
+                    "parareal.correct", cat="compute", slice=rank, sweep=sweep
+                ):
+                    coarse_new = coarse_slice(corrected_start)
+                    # The Parareal correction — REP015 confines this
+                    # arithmetic to this module.
+                    slice_end = coarse_new + fine_end - coarse_end
+                if rank + 1 < size:
+                    comm.send(slice_end, rank + 1, tag=_handoff_tag(sweep))
+                slice_start = corrected_start
+                coarse_end = coarse_new
+                iterations = sweep
+                # Unconditional collective: every rank takes the same
+                # trip count and the reduced value is identical, so the
+                # break below fires on all ranks at once.
+                max_delta = float(comm.allreduce(delta, op=mpi.MAX))
+                deltas.append(max_delta)
+                if max_delta <= cfg.tolerance:
+                    converged = True
+                    break
+            return (
+                slice_start,
+                slice_end,
+                iterations,
+                converged,
+                deltas,
+                counters["coarse"],
+                counters["fine"],
+            )
+
+        with trace.span("parareal.solve", cat="compute", slices=size):
+            outputs = mpi.run_parallel(program, size, backend=execution)
+
+        states = np.stack([out[0] for out in outputs] + [outputs[-1][1]])
+        return PararealResult(
+            states=states,
+            iterations=outputs[0][2],
+            converged=outputs[0][3],
+            deltas=list(outputs[0][4]),
+            dt=simulation.dt,
+            coarse_steps_applied=sum(out[5] for out in outputs),
+            fine_steps_applied=sum(out[6] for out in outputs),
+        )

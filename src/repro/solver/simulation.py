@@ -3,6 +3,15 @@
 This is the package's *Ateles* stand-in: it advances the linearized
 Euler equations and records the channel-stacked snapshots
 ``(T, 4, ny, nx)`` that become the CNN training data.
+
+Both drivers — the paper-baseline :class:`Simulation` (EulerState in,
+EulerState out) and the channel-agnostic :class:`FieldSimulation`
+(plain ``(C, ny, nx)`` stacks) — share one time loop through
+:class:`SteppedSimulation`: a single ``advance``/``run`` implementation
+plus the array-in/array-out :meth:`SteppedSimulation.advance_array`
+surface that the Parareal fine propagator steps through.  The loop
+structure is bit-exact to the historical per-class loops, pinned by
+the sha256 golden tests.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from .boundary import (
 )
 from .equations import Equation, LinearizedEuler
 from .grid import UniformGrid2D
-from .state import EulerState
+from .state import NUM_CHANNELS, EulerState
 from .time_integrators import Integrator, get_integrator
 
 
@@ -43,8 +52,107 @@ class SimulationResult:
         return self.snapshots.shape[0]
 
 
+class SteppedSimulation:
+    """The shared stepping surface of :class:`Simulation` and
+    :class:`FieldSimulation`.
+
+    Subclasses provide the representation-specific hooks (one solver
+    step, initial-state validation, array conversion, diagnostics);
+    this base owns the single ``advance``/``run`` loop both drivers
+    used to duplicate, plus :meth:`advance_array` — the
+    representation-agnostic entry point used by the Parareal fine
+    propagator and anything else that thinks in channel stacks.
+    """
+
+    # set by the subclass dataclasses / their __post_init__
+    grid: UniformGrid2D
+    cfl: float
+    dt: float
+
+    # -- representation hooks ------------------------------------------
+    def _step_once(self, state):
+        """One solver step (integrator + boundary), not in place."""
+        raise NotImplementedError
+
+    def _prepare_initial(self, initial):
+        """Validate, copy, and boundary-condition the initial state."""
+        raise NotImplementedError
+
+    def _state_array(self, state) -> np.ndarray:
+        """``(C, ny, nx)`` view/copy of ``state``."""
+        raise NotImplementedError
+
+    def _state_from_array(self, fields: np.ndarray):
+        """Inverse of :meth:`_state_array` (no boundary application)."""
+        raise NotImplementedError
+
+    def _is_finite(self, state) -> bool:
+        raise NotImplementedError
+
+    def _energy(self, state) -> float:
+        raise NotImplementedError
+
+    @property
+    def num_channels(self) -> int:
+        raise NotImplementedError
+
+    # -- the one stepping surface --------------------------------------
+    def advance(self, state, num_steps: int = 1):
+        """Advance ``state`` by ``num_steps`` time steps (not in place)."""
+        current = state
+        for _ in range(num_steps):
+            current = self._step_once(current)
+        return current
+
+    def advance_array(self, fields: np.ndarray, num_steps: int = 1) -> np.ndarray:
+        """Advance a ``(C, ny, nx)`` channel stack by ``num_steps``.
+
+        Euler runs convert through :class:`EulerState`; field runs pass
+        arrays straight through.  This is the fine-propagator surface
+        of :mod:`repro.solver.parareal`.
+        """
+        state = self._state_from_array(fields)
+        return self._state_array(self.advance(state, num_steps))
+
+    def run(
+        self,
+        initial,
+        num_snapshots: int,
+        steps_per_snapshot: int = 1,
+        check_stability: bool = True,
+    ) -> SimulationResult:
+        """Run and record ``num_snapshots`` states (including the initial
+        one) spaced ``steps_per_snapshot`` solver steps apart.
+
+        Raises :class:`~repro.exceptions.SolverError` if the solution
+        blows up (non-finite values), which catches CFL violations early.
+        """
+        if num_snapshots < 1:
+            raise SolverError("num_snapshots must be >= 1")
+        if steps_per_snapshot < 1:
+            raise SolverError("steps_per_snapshot must be >= 1")
+        state = self._prepare_initial(initial)
+        ny, nx = self.grid.shape
+        snapshots = np.empty((num_snapshots, self.num_channels, ny, nx))
+        times = np.empty(num_snapshots)
+        energies = np.empty(num_snapshots)
+
+        for index in range(num_snapshots):
+            if index > 0:
+                state = self.advance(state, steps_per_snapshot)
+            if check_stability and not self._is_finite(state):
+                raise SolverError(
+                    f"solution blew up at snapshot {index} "
+                    f"(dt={self.dt:.3e}, cfl={self.cfl}); reduce the CFL number"
+                )
+            snapshots[index] = self._state_array(state)
+            times[index] = index * steps_per_snapshot * self.dt
+            energies[index] = self._energy(state)
+        return SimulationResult(snapshots, times, energies, self.dt)
+
+
 @dataclass
-class Simulation:
+class Simulation(SteppedSimulation):
     """Configurable linearized-Euler run.
 
     Parameters
@@ -76,61 +184,41 @@ class Simulation:
     def _rhs(self, state: EulerState) -> EulerState:
         return self.equations.rhs(state, self.grid.dx, self.grid.dy)
 
-    def advance(self, state: EulerState, num_steps: int = 1) -> EulerState:
-        """Advance ``state`` by ``num_steps`` time steps (not in place)."""
-        current = state
-        for _ in range(num_steps):
-            current = self._step(current, self._rhs, self.dt)
-            self._bc(current)
-        return current
+    # -- SteppedSimulation hooks ---------------------------------------
+    def _step_once(self, state: EulerState) -> EulerState:
+        state = self._step(state, self._rhs, self.dt)
+        self._bc(state)
+        return state
 
-    def run(
-        self,
-        initial: EulerState,
-        num_snapshots: int,
-        steps_per_snapshot: int = 1,
-        check_stability: bool = True,
-    ) -> SimulationResult:
-        """Run and record ``num_snapshots`` states (including the initial
-        one) spaced ``steps_per_snapshot`` solver steps apart.
-
-        Raises :class:`~repro.exceptions.SolverError` if the solution
-        blows up (non-finite values), which catches CFL violations early.
-        """
-        if num_snapshots < 1:
-            raise SolverError("num_snapshots must be >= 1")
-        if steps_per_snapshot < 1:
-            raise SolverError("steps_per_snapshot must be >= 1")
+    def _prepare_initial(self, initial: EulerState) -> EulerState:
         if initial.shape != self.grid.shape:
             raise SolverError(
                 f"initial state shape {initial.shape} does not match grid "
                 f"{self.grid.shape}"
             )
-        ny, nx = self.grid.shape
-        snapshots = np.empty((num_snapshots, 4, ny, nx))
-        times = np.empty(num_snapshots)
-        energies = np.empty(num_snapshots)
-
         state = initial.copy()
         self._bc(state)
-        for index in range(num_snapshots):
-            if index > 0:
-                state = self.advance(state, steps_per_snapshot)
-            if check_stability and not state.is_finite():
-                raise SolverError(
-                    f"solution blew up at snapshot {index} "
-                    f"(dt={self.dt:.3e}, cfl={self.cfl}); reduce the CFL number"
-                )
-            snapshots[index] = state.to_array()
-            times[index] = index * steps_per_snapshot * self.dt
-            energies[index] = self.equations.acoustic_energy(
-                state, self.grid.dx, self.grid.dy
-            )
-        return SimulationResult(snapshots, times, energies, self.dt)
+        return state
+
+    def _state_array(self, state: EulerState) -> np.ndarray:
+        return state.to_array()
+
+    def _state_from_array(self, fields: np.ndarray) -> EulerState:
+        return EulerState.from_array(np.asarray(fields, dtype=float))
+
+    def _is_finite(self, state: EulerState) -> bool:
+        return state.is_finite()
+
+    def _energy(self, state: EulerState) -> float:
+        return self.equations.acoustic_energy(state, self.grid.dx, self.grid.dy)
+
+    @property
+    def num_channels(self) -> int:
+        return NUM_CHANNELS
 
 
 @dataclass
-class FieldSimulation:
+class FieldSimulation(SteppedSimulation):
     """Channel-agnostic run of any :class:`~repro.solver.Equation`.
 
     The array twin of :class:`Simulation`: states are plain
@@ -168,32 +256,18 @@ class FieldSimulation:
     def _rhs(self, fields: np.ndarray) -> np.ndarray:
         return self.equation.rhs_array(fields, self.grid.dx, self.grid.dy)
 
-    def advance(self, fields: np.ndarray, num_steps: int = 1) -> np.ndarray:
-        """Advance ``fields`` by ``num_steps`` time steps (not in place)."""
-        current = fields
-        for _ in range(num_steps):
-            if self._step is None:
-                current = self.equation.strang_step(
-                    current, self.grid.dx, self.grid.dy, self.dt
-                )
-            else:
-                current = self._step(current, self._rhs, self.dt)
-            self._bc(current)
-        return current
+    # -- SteppedSimulation hooks ---------------------------------------
+    def _step_once(self, fields: np.ndarray) -> np.ndarray:
+        if self._step is None:
+            fields = self.equation.strang_step(
+                fields, self.grid.dx, self.grid.dy, self.dt
+            )
+        else:
+            fields = self._step(fields, self._rhs, self.dt)
+        self._bc(fields)
+        return fields
 
-    def run(
-        self,
-        initial: np.ndarray,
-        num_snapshots: int,
-        steps_per_snapshot: int = 1,
-        check_stability: bool = True,
-    ) -> SimulationResult:
-        """Record ``num_snapshots`` channel-stacked states, mirroring
-        :meth:`Simulation.run` (including the blow-up guard)."""
-        if num_snapshots < 1:
-            raise SolverError("num_snapshots must be >= 1")
-        if steps_per_snapshot < 1:
-            raise SolverError("steps_per_snapshot must be >= 1")
+    def _prepare_initial(self, initial: np.ndarray) -> np.ndarray:
         initial = np.asarray(initial, dtype=float)
         expected = (self.equation.num_channels,) + self.grid.shape
         if initial.shape != expected:
@@ -201,21 +275,20 @@ class FieldSimulation:
                 f"initial fields shape {initial.shape} does not match "
                 f"(channels,) + grid shape {expected}"
             )
-        num_channels, ny, nx = expected
-        snapshots = np.empty((num_snapshots, num_channels, ny, nx))
-        times = np.empty(num_snapshots)
-        energies = np.empty(num_snapshots)
+        return self._bc(initial.copy())
 
-        fields = self._bc(initial.copy())
-        for index in range(num_snapshots):
-            if index > 0:
-                fields = self.advance(fields, steps_per_snapshot)
-            if check_stability and not np.isfinite(fields).all():
-                raise SolverError(
-                    f"solution blew up at snapshot {index} "
-                    f"(dt={self.dt:.3e}, cfl={self.cfl}); reduce the CFL number"
-                )
-            snapshots[index] = fields
-            times[index] = index * steps_per_snapshot * self.dt
-            energies[index] = self.equation.energy(fields, self.grid.dx, self.grid.dy)
-        return SimulationResult(snapshots, times, energies, self.dt)
+    def _state_array(self, fields: np.ndarray) -> np.ndarray:
+        return fields
+
+    def _state_from_array(self, fields: np.ndarray) -> np.ndarray:
+        return np.asarray(fields, dtype=float)
+
+    def _is_finite(self, fields: np.ndarray) -> bool:
+        return bool(np.isfinite(fields).all())
+
+    def _energy(self, fields: np.ndarray) -> float:
+        return self.equation.energy(fields, self.grid.dx, self.grid.dy)
+
+    @property
+    def num_channels(self) -> int:
+        return self.equation.num_channels

@@ -1,0 +1,31 @@
+"""Fixture with planted REP015 violations (never imported, only linted)."""
+
+
+def corrected_slice(coarse_new, coarse_prev, fine_prev):
+    # Hand-rolled Parareal update outside the sanctioned driver module.
+    return coarse_new + fine_prev - coarse_prev
+
+
+def corrected_attributes(sweep):
+    update = sweep.coarse_new - sweep.coarse_old + sweep.fine_end  # second hit
+    return update
+
+
+def harmless_two_terms(coarse_total, fine_total):
+    # Only two operands: an error metric, not the three-term correction.
+    return coarse_total - fine_total
+
+
+def harmless_no_fine(coarse_a, coarse_b, other):
+    # Three terms but no fine-propagator counterpart.
+    return coarse_a + coarse_b - other
+
+
+def harmless_other_ops(coarse_new, fine_prev, coarse_prev):
+    # Multiplication breaks the pure +/- chain: relaxation, not Parareal.
+    return coarse_new + 0.5 * (fine_prev - coarse_prev)
+
+
+def suppressed(coarse_new, coarse_prev, fine_prev):
+    # Documented exception: pedagogical snippet in a docs generator.
+    return coarse_new + fine_prev - coarse_prev  # noqa: REP015 teaching example

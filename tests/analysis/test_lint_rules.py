@@ -653,3 +653,51 @@ class TestRep014:
     def test_noqa_suppression(self):
         source = "ref = np.zeros(4, dtype=np.float64)  # noqa: REP014 solver golden\n"
         assert lint_snippet(source, rules={"REP014"}) == []
+
+
+# ----------------------------------------------------------------------
+# REP015 — Parareal correction arithmetic outside the driver
+# ----------------------------------------------------------------------
+class TestRep015:
+    def test_three_term_correction_flagged(self):
+        source = "u = coarse_new + fine_prev - coarse_prev\n"
+        hits = lint_snippet(source, rules={"REP015"})
+        assert [v.rule for v in hits] == ["REP015"]
+        assert "PararealDriver" in hits[0].message
+
+    def test_attribute_operands_flagged(self):
+        source = "u = sweep.coarse_new - sweep.coarse_old + sweep.fine_end\n"
+        hits = lint_snippet(source, rules={"REP015"})
+        assert [v.rule for v in hits] == ["REP015"]
+
+    def test_four_term_chain_flagged_once(self):
+        # Sub-expressions of one chain must not double-report.
+        source = "u = coarse_new + fine_prev - coarse_prev + fine_drift\n"
+        hits = lint_snippet(source, rules={"REP015"})
+        assert [v.rule for v in hits] == ["REP015"]
+
+    def test_two_terms_ok(self):
+        # An error metric, not the three-term correction.
+        assert lint_snippet("e = coarse_end - fine_end\n", rules={"REP015"}) == []
+
+    def test_no_fine_counterpart_ok(self):
+        source = "u = coarse_a + coarse_b - other\n"
+        assert lint_snippet(source, rules={"REP015"}) == []
+
+    def test_other_operator_breaks_chain(self):
+        # Relaxation-style blend: the multiply subtree is opaque.
+        source = "u = coarse_new + 0.5 * (fine_prev - coarse_prev)\n"
+        assert lint_snippet(source, rules={"REP015"}) == []
+
+    def test_driver_module_sanctioned(self):
+        source = "u = coarse_new + fine_prev - coarse_prev\n"
+        assert (
+            lint_snippet(
+                source, path="src/repro/solver/parareal.py", rules={"REP015"}
+            )
+            == []
+        )
+
+    def test_noqa_suppression(self):
+        source = "u = coarse_new + fine_prev - coarse_prev  # noqa: REP015 teaching example\n"
+        assert lint_snippet(source, rules={"REP015"}) == []

@@ -32,6 +32,7 @@ def test_planted_fixtures_are_caught(capsys):
     assert "REP007" in output
     assert "REP008" in output
     assert "REP014" in output
+    assert "REP015" in output
 
 
 def test_fixture_report_details():
@@ -56,6 +57,9 @@ def test_fixture_report_details():
     assert report.count("REP014") >= 2  # np.float64 attribute AND dtype string
     rep014 = [v for v in report.violations if v.rule == "REP014"]
     assert rep014[0].path.endswith("planted_rep014.py")
+    assert report.count("REP015") >= 2  # name chain AND attribute chain
+    rep015 = [v for v in report.violations if v.rule == "REP015"]
+    assert rep015[0].path.endswith("planted_rep015.py")
 
 
 def test_rule_subset_runs_only_selected():

@@ -312,3 +312,106 @@ class TestProcessBackendPrecision:
         with precision("float32"):
             results = mpi.run_parallel(program, 2, backend="processes")
         assert results == [True, True]
+
+
+class TestRestorationPaths:
+    """The mode must survive exceptions: a crashed scoped block or a
+    rejected set_precision call may not leave the process stuck in the
+    wrong compute mode (every later Tensor would inherit it)."""
+
+    def test_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with precision("float32"):
+                assert get_precision() == "float32"
+                raise RuntimeError("boom")
+        assert get_precision() == "float64"
+
+    def test_nested_contexts_restore_on_inner_exception(self):
+        with precision("float32"):
+            with pytest.raises(ValueError):
+                with precision("float64"):
+                    assert get_precision() == "float64"
+                    raise ValueError("inner")
+            assert get_precision() == "float32"
+        assert get_precision() == "float64"
+
+    def test_invalid_set_precision_leaves_mode_unchanged(self):
+        set_precision("float32")
+        with pytest.raises(ConfigurationError):
+            set_precision("float16")
+        assert get_precision() == "float32"
+
+    def test_invalid_context_value_leaves_mode_unchanged(self):
+        with pytest.raises(ConfigurationError):
+            with precision("bfloat16"):
+                pass  # pragma: no cover - never entered
+        assert get_precision() == "float64"
+
+
+class TestPlanWarmupAcrossModes:
+    """A plan computes in its *parameters'* dtype, not the global mode
+    at run time: warming up under a policy different from the
+    checkpoint's recorded mode must not silently mix dtypes."""
+
+    def test_float32_model_warmed_under_float64_policy(self, rng):
+        from repro.core import CNNConfig, InferencePlan, SubdomainCNN
+
+        config = CNNConfig(channels=(4, 6, 4), kernel_size=3)
+        with precision("float32"):
+            model = SubdomainCNN(config, rng=np.random.default_rng(0))
+        # Global mode is float64 again here; the plan must still follow
+        # the model's float32 parameters end to end.
+        plan = InferencePlan(model)
+        assert plan.compute_dtype == np.float32
+        x64 = rng.standard_normal((1, 4, 10, 10))
+        first = plan.run(x64).copy()
+        assert first.dtype == np.float32
+        # Warmed-up repeat under yet another mode: still float32, still
+        # the same answer — no dtype leaks through the workspace slots.
+        with precision("float32"):
+            assert np.array_equal(plan.run(x64), first)
+
+    def test_float64_model_warmed_under_float32_policy(self, rng):
+        from repro.core import CNNConfig, InferencePlan, SubdomainCNN
+
+        config = CNNConfig(channels=(4, 6, 4), kernel_size=3)
+        model = SubdomainCNN(config, rng=np.random.default_rng(0))
+        with precision("float32"):
+            plan = InferencePlan(model)
+            assert plan.compute_dtype == np.float64
+            out = plan.run(rng.standard_normal((1, 4, 10, 10)).astype(np.float32))
+        assert out.dtype == np.float64
+
+    def test_checkpoint_roundtrip_keeps_recorded_mode(self, rng, tmp_path):
+        from repro.core import (
+            CNNConfig,
+            InferencePlan,
+            ParallelTrainer,
+            TrainingConfig,
+            load_checkpoint_precision,
+            load_parallel_models,
+            save_parallel_models,
+        )
+
+        from repro.data import SnapshotDataset
+
+        data = SnapshotDataset(rng.standard_normal((4, 4, 12, 12)))
+        with precision("float32"):
+            trainer = ParallelTrainer(
+                cnn_config=CNNConfig(channels=(4, 6, 4), kernel_size=3),
+                training_config=TrainingConfig(epochs=1, batch_size=2, seed=0),
+                num_ranks=1,
+            )
+            result = trainer.train(data)
+        path = tmp_path / "model32.npz"
+        save_parallel_models(path, result, precision="float32")
+        assert load_checkpoint_precision(path) == "float32"
+        # Loading under the default float64 process mode must rebuild
+        # float32 parameters and a float32-computing plan.
+        models, _decomposition, _config = load_parallel_models(
+            path, precision=load_checkpoint_precision(path)
+        )
+        plan = InferencePlan(models[0])
+        assert plan.compute_dtype == np.float32
+        out = plan.run(rng.standard_normal((1, 4, 10, 10)))
+        assert out.dtype == np.float32

@@ -13,10 +13,20 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("generate", "train", "evaluate", "scaling", "table1", "perf", "trace"):
+        for command in (
+            "generate",
+            "train",
+            "evaluate",
+            "parareal",
+            "scaling",
+            "table1",
+            "scenarios",
+            "perf",
+            "trace",
+        ):
             if command == "generate":
                 args = parser.parse_args([command, "out.npz"])
-            elif command in ("train", "evaluate"):
+            elif command in ("train", "evaluate", "parareal"):
                 args = parser.parse_args([command, "ckpt.npz"])
             elif command == "trace":
                 args = parser.parse_args([command, "out.json"])
@@ -296,3 +306,109 @@ class TestTraceFlag:
         summary = json.loads(out.with_suffix(".summary.json").read_text())
         assert {"0", "1"} <= set(summary)
         assert out.with_suffix(".jsonl").exists()
+
+
+class TestScenariosCommand:
+    def test_text_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "euler-gaussian" in out
+        assert "allen-cahn" in out
+
+    def test_json_uses_shared_envelope(self, capsys):
+        import json
+
+        assert main(["scenarios", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-scenarios"
+        assert payload["default"] == "euler-gaussian"
+        assert payload["count"] == len(payload["scenarios"]) > 0
+        by_name = {spec["name"]: spec for spec in payload["scenarios"]}
+        # The machine-readable catalogue carries the parareal defaults.
+        assert by_name["euler-gaussian"]["parareal_slices"] == 8
+        assert by_name["diffusion"]["parareal_tolerance"] == 1e-4
+
+    def test_json_single_name_round_trips(self, capsys):
+        import json
+
+        from repro.scenarios import Scenario
+
+        assert main(["scenarios", "allen-cahn", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        spec = Scenario.from_dict(payload["scenarios"][0])
+        assert spec.name == "allen-cahn"
+
+    def test_unknown_name_errors(self, capsys):
+        assert main(["scenarios", "no-such-scenario"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPararealCommand:
+    def _train_checkpoint(self, tmp_path, ranks=1):
+        dataset = tmp_path / "diff.npz"
+        checkpoint = tmp_path / "diff-model.npz"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(dataset),
+                    "--scenario",
+                    "diffusion",
+                    "--grid-size",
+                    "24",
+                    "--snapshots",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "train",
+                    str(checkpoint),
+                    "--dataset",
+                    str(dataset),
+                    "--ranks",
+                    str(ranks),
+                    "--epochs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        return dataset, checkpoint
+
+    def test_parareal_converges_and_reports_speedup(self, tmp_path, capsys):
+        _, checkpoint = self._train_checkpoint(tmp_path, ranks=1)
+        code = main(["parareal", str(checkpoint), "--slices", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario: diffusion" in out
+        assert "3 slices" in out
+        assert "converged" in out
+        assert "vs serial fine" in out
+
+    def test_parareal_with_ensemble_checkpoint(self, tmp_path, capsys):
+        _, checkpoint = self._train_checkpoint(tmp_path, ranks=2)
+        code = main(["parareal", str(checkpoint), "--slices", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 model(s) as G" in out
+
+    def test_evaluate_parareal_flag(self, tmp_path, capsys):
+        dataset, checkpoint = self._train_checkpoint(tmp_path, ranks=1)
+        code = main(
+            ["evaluate", str(checkpoint), "--dataset", str(dataset), "--parareal"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "relative L2" in out
+        assert "parareal:" in out
+
+    def test_parareal_flag_defaults(self):
+        args = build_parser().parse_args(["parareal", "ckpt.npz"])
+        assert args.slices is None
+        assert args.execution == "threads"
+        assert args.trace is None
