@@ -325,3 +325,73 @@ def test_allreduce_weight_volume(benchmark):
 
     results = benchmark(round_trip)
     assert np.allclose(results[0], payload * 4)
+
+
+#: Rounds / iterations for the metrics-overhead rollout pair.  The
+#: <2% ordering gate compares two independently-timed medians, so each
+#: round averages several rollouts (mean of ``ITERATIONS``) and the
+#: median is taken over many rounds — squeezing scheduler noise well
+#: below the 1.02 slack the CI gate allows.
+METRICS_ROLLOUT_ROUNDS = 25
+METRICS_ROLLOUT_ITERATIONS = 4
+
+
+def _metrics_rollout_pair_setup():
+    from repro.core import ParallelPredictor, build_paper_cnn
+
+    rng = np.random.default_rng(0)
+    models = [
+        build_paper_cnn("zero", rng=np.random.default_rng(r)) for r in range(2)
+    ]
+    predictor = ParallelPredictor(models, BlockDecomposition((96, 96), (1, 2)))
+    initial = rng.standard_normal((4, 96, 96))
+    return predictor, initial
+
+
+def test_rollout_step_metrics_off_96(benchmark):
+    """The B side of the metrics-overhead ordering gate: a 3-step
+    two-rank rollout with the metrics registry disabled (every metered
+    site pays only its module-flag check)."""
+    from repro.obs import metrics
+
+    benchmark.extra_info["grid"] = 96
+    benchmark.extra_info["ranks"] = 2
+    benchmark.extra_info["steps"] = 3
+    benchmark.extra_info["metrics"] = "off"
+    predictor, initial = _metrics_rollout_pair_setup()
+    assert not metrics.enabled()
+    predictor.rollout(initial, num_steps=1)  # warm arenas before timing
+
+    out = benchmark.pedantic(
+        lambda: predictor.rollout(initial, num_steps=3),
+        rounds=METRICS_ROLLOUT_ROUNDS,
+        iterations=METRICS_ROLLOUT_ITERATIONS,
+        warmup_rounds=2,
+    )
+    assert out.trajectory.shape == (4, 4, 96, 96)
+
+
+def test_rollout_step_metrics_on_96(benchmark):
+    """The A side of the gate: the identical rollout with the metrics
+    registry collecting (step histograms, byte counters, heartbeats).
+    CI asserts A <= B * 1.02 — metrics-enabled overhead under 2%."""
+    from repro.obs import metrics
+
+    benchmark.extra_info["grid"] = 96
+    benchmark.extra_info["ranks"] = 2
+    benchmark.extra_info["steps"] = 3
+    benchmark.extra_info["metrics"] = "on"
+    predictor, initial = _metrics_rollout_pair_setup()
+    predictor.rollout(initial, num_steps=1)  # warm arenas before timing
+
+    metrics.reset()
+    with metrics.collecting():
+        out = benchmark.pedantic(
+            lambda: predictor.rollout(initial, num_steps=3),
+            rounds=METRICS_ROLLOUT_ROUNDS,
+            iterations=METRICS_ROLLOUT_ITERATIONS,
+            warmup_rounds=2,
+        )
+    assert out.trajectory.shape == (4, 4, 96, 96)
+    assert metrics.histogram("rollout.step_seconds").count(0) > 0
+    metrics.reset()

@@ -79,6 +79,10 @@ RULES: dict[str, str] = {
     "src/repro/solver/parareal.py — the predictor-corrector update "
     "G(U_k+1) + F(U_k) - G(U_k) and its convergence bookkeeping live "
     "in PararealDriver, not at call sites",
+    "REP016": "metric instrument (Counter/Gauge/Histogram) constructed "
+    "outside src/repro/obs/ — instruments are process-wide singletons; "
+    "call sites must use the repro.obs.metrics registry factories "
+    "(metrics.counter/gauge/histogram), not build private instruments",
 }
 
 #: ruff-style suppression comment: bare ``# noqa`` (all rules) or
@@ -989,6 +993,71 @@ def rule_rep015(ctx: FileContext) -> Iterator[Violation]:
             )
 
 
+# ======================================================================
+# REP016 — metric instruments constructed outside the obs layer
+# ======================================================================
+#: Where constructing Counter/Gauge/Histogram instruments directly is
+#: legitimate: the obs package, whose :mod:`repro.obs.metrics` registry
+#: owns the process-wide singletons.  Everywhere else a direct
+#: ``metrics.Gauge(...)`` (or a bare ``Gauge(...)`` imported from the
+#: metrics module) creates a private instrument the registry cannot
+#: snapshot, merge across ranks, or export — call sites must go through
+#: the lowercase factories ``metrics.counter/gauge/histogram`` instead.
+_REP016_SANCTIONED_DIRS = ("obs",)
+
+#: Instrument class names the rule looks for.
+_REP016_INSTRUMENTS = {"Counter", "Gauge", "Histogram"}
+
+
+def rule_rep016(ctx: FileContext) -> Iterator[Violation]:
+    posix = ctx.path.replace("\\", "/")
+    parts = posix.split("/")
+    if any(fragment in parts for fragment in _REP016_SANCTIONED_DIRS):
+        return
+
+    # Bare ``Counter(...)`` is ambiguous (collections.Counter, the perf
+    # registry's own Counter class): only flag it when this file imports
+    # Counter from a metrics module.  Bare Gauge/Histogram have no such
+    # stdlib/in-repo doppelgangers and are always flagged.
+    metrics_imports: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.rsplit(".", 1)[-1] == "metrics":
+                for alias in node.names:
+                    if alias.name in _REP016_INSTRUMENTS:
+                        metrics_imports.add(alias.asname or alias.name)
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf not in _REP016_INSTRUMENTS:
+            continue
+        if "." in name:
+            # Qualified: only the metrics module's attributes count
+            # (``metrics.Gauge`` / ``obs.metrics.Gauge``), so e.g.
+            # ``collections.Counter`` or ``perf.Counter`` stay clean.
+            prefix_leaf = name.rsplit(".", 2)[-2]
+            if prefix_leaf != "metrics":
+                continue
+        else:
+            if leaf == "Counter" and leaf not in metrics_imports:
+                continue
+        yield Violation(
+            "REP016",
+            ctx.path,
+            node.lineno,
+            node.col_offset,
+            f"{name}(...) constructs a metric instrument outside "
+            "src/repro/obs/: a private instrument is invisible to the "
+            "registry's snapshot/merge/export path — use the "
+            "repro.obs.metrics factories (metrics.counter(name) / "
+            "metrics.gauge(name) / metrics.histogram(name)), or "
+            "suppress with '# noqa: REP016' plus a justification",
+        )
+
+
 #: Per-file rules, run by :func:`run_file_rules`.
 _FILE_RULES = {
     "REP001": rule_rep001,
@@ -1001,6 +1070,7 @@ _FILE_RULES = {
     "REP013": rule_rep013,
     "REP014": rule_rep014,
     "REP015": rule_rep015,
+    "REP016": rule_rep016,
 }
 
 

@@ -28,12 +28,18 @@ Subcommands cover the full workflow:
   conv forward and an allocation-free ``InferencePlan`` rollout,
 - ``repro trace``     — record a traced rollout (or convert a JSONL
   event log) into a chrome://tracing timeline plus a per-rank
-  compute/communication summary.
+  compute/communication summary,
+- ``repro metrics``   — run a metrics-collected rollout and export the
+  rank-tagged counters/gauges/histograms (Prometheus text exposition +
+  repro-metrics-v1 JSONL) plus a per-rank p50/p95/p99 summary.
 
-``repro train`` / ``repro evaluate`` / ``repro scaling`` additionally
-accept ``--trace <path>``, which runs the command under the
-:mod:`repro.obs` tracer and writes the merged timeline (every rank, on
-every backend) next to the command's normal output.
+``repro train`` / ``repro evaluate`` / ``repro parareal`` /
+``repro scaling`` additionally accept ``--trace <path>``, which runs
+the command under the :mod:`repro.obs` tracer and writes the merged
+timeline (every rank, on every backend) next to the command's normal
+output, and ``--metrics <path>``, which collects the
+:mod:`repro.obs.metrics` registry over the run and writes the
+Prometheus snapshot (plus ``.jsonl``) alongside.
 
 The workflow commands all take ``--scenario <name>`` (any entry of the
 :mod:`repro.scenarios` registry — run ``repro scenarios`` for the
@@ -73,14 +79,41 @@ def _trace_session(path: str | None) -> Iterator[None]:
     with trace.tracing():
         yield
     spans, metrics = trace.spans(), trace.metrics()
+    dropped = trace.dropped()
     out = pathlib.Path(path)
     export.write_chrome_trace(out, spans, metrics)
-    jsonl = export.write_jsonl(out.with_suffix(".jsonl"), spans, metrics)
+    jsonl = export.write_jsonl(out.with_suffix(".jsonl"), spans, metrics,
+                               dropped=dropped)
     summary = export.write_summary(out.with_suffix(".summary.json"), spans)
-    print(export.format_summary(spans))
+    print(export.format_summary(spans, dropped=dropped))
     print(f"chrome trace: {out} (load via chrome://tracing)")
     print(f"event log:    {jsonl}")
     print(f"summary json: {summary}")
+
+
+@contextlib.contextmanager
+def _metrics_session(path: str | None) -> Iterator[None]:
+    """Run the body with the metrics registry collecting; export after.
+
+    ``path`` receives the Prometheus text exposition; the
+    ``repro-metrics-v1`` JSONL lands alongside (``.jsonl``).  No-op
+    when ``path`` is ``None``.
+    """
+    if path is None:
+        yield
+        return
+    from .obs import metrics, metrics_export
+
+    metrics.reset()
+    with metrics.collecting():
+        yield
+    snap = metrics.snapshot()
+    out = pathlib.Path(path)
+    metrics_export.write_prometheus(out, snap)
+    jsonl = metrics_export.write_metrics_jsonl(out.with_suffix(".jsonl"), snap)
+    print(metrics_export.format_metrics_summary(snap))
+    print(f"prometheus exposition: {out}")
+    print(f"metrics jsonl:         {jsonl}")
 
 
 def _add_scenario_flag(parser, *, resolved_from: str | None = None) -> None:
@@ -326,6 +359,14 @@ def _add_trace_flag(parser) -> None:
         "chrome://tracing timeline to PATH (plus .jsonl event log and "
         ".summary.json per-rank breakdown alongside)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="collect the repro.obs.metrics registry over this run and "
+        "write the Prometheus text exposition to PATH (plus a "
+        "repro-metrics-v1 .jsonl alongside)",
+    )
 
 
 def _add_scenarios_cmd(subparsers) -> None:
@@ -475,6 +516,29 @@ def _add_trace_cmd(subparsers) -> None:
     )
 
 
+def _add_metrics_cmd(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "metrics",
+        help="run a metrics-collected halo-exchange rollout and export "
+        "the registry (Prometheus text exposition + repro-metrics-v1 "
+        "JSONL + per-rank p50/p95/p99 summary)",
+    )
+    parser.add_argument("output", help="Prometheus exposition output path")
+    _add_scenario_flag(parser)
+    parser.add_argument("--grid-size", type=int, default=64)
+    parser.add_argument("--steps", type=int, default=3, help="rollout steps")
+    parser.add_argument("--pgrid", type=int, nargs=2, default=(2, 2), metavar=("PY", "PX"))
+    parser.add_argument("--strategy", default="neighbor_first")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--execution",
+        default="threads",
+        choices=["threads", "processes"],
+        help="MPI backend for the rollout ranks; process-rank metrics "
+        "merge into the parent's registry via the obs aggregation path",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -499,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check(subparsers)
     _add_perf(subparsers)
     _add_trace_cmd(subparsers)
+    _add_metrics_cmd(subparsers)
     return parser
 
 
@@ -1062,6 +1127,7 @@ def _cmd_trace(args) -> int:
     with trace.tracing():
         predictor.rollout(initial, num_steps=args.steps, execution=args.execution)
     spans, metrics = trace.spans(), trace.metrics()
+    dropped = trace.dropped()
     out = pathlib.Path(args.output)
     export.write_chrome_trace(out, spans, metrics)
     jsonl = export.write_jsonl(
@@ -1069,13 +1135,51 @@ def _cmd_trace(args) -> int:
         spans,
         metrics,
         meta={"workload": "rollout", "execution": args.execution, "ranks": py * px},
+        dropped=dropped,
     )
     summary = export.write_summary(out.with_suffix(".summary.json"), spans)
     print(f"rollout: {args.steps} steps on a {py}x{px} grid ({args.execution} backend)")
-    print(export.format_summary(spans))
+    print(export.format_summary(spans, dropped=dropped))
     print(f"chrome trace: {out} (load via chrome://tracing)")
     print(f"event log:    {jsonl}")
     print(f"summary json: {summary}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .core import ParallelPredictor, build_paper_cnn
+    from .domain.decomposition import BlockDecomposition
+    from .obs import metrics, metrics_export
+    from .scenarios import channels
+
+    rng = np.random.default_rng(args.seed)
+    size = args.grid_size
+    py, px = args.pgrid
+    num_channels = len(channels(args.scenario))
+    arch = (num_channels, 6, 16, 6, num_channels)
+    models = [
+        build_paper_cnn(
+            args.strategy, rng=np.random.default_rng(args.seed + r), channels=arch
+        )
+        for r in range(py * px)
+    ]
+    predictor = ParallelPredictor(models, BlockDecomposition((size, size), (py, px)))
+    initial = rng.standard_normal((num_channels, size, size))
+    metrics.reset()
+    with metrics.collecting():
+        predictor.rollout(initial, num_steps=args.steps, execution=args.execution)
+    snap = metrics.snapshot()
+    out = pathlib.Path(args.output)
+    metrics_export.write_prometheus(out, snap)
+    jsonl = metrics_export.write_metrics_jsonl(
+        out.with_suffix(".jsonl"),
+        snap,
+        meta={"workload": "rollout", "execution": args.execution, "ranks": py * px},
+    )
+    print(f"rollout: {args.steps} steps on a {py}x{px} grid ({args.execution} backend)")
+    print(metrics_export.format_metrics_summary(snap))
+    print(f"prometheus exposition: {out}")
+    print(f"metrics jsonl:         {jsonl}")
     return 0
 
 
@@ -1092,6 +1196,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "perf": _cmd_perf,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -1100,7 +1205,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     from .obs import log as obs_log
 
     obs_log.configure(args.log_level.upper())
-    with _trace_session(getattr(args, "trace", None)):
+    with _trace_session(getattr(args, "trace", None)), _metrics_session(
+        getattr(args, "metrics", None)
+    ):
         return _COMMANDS[args.command](args)
 
 

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn import Module, get_loss, loss_class
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..obs.log import progress as _log_progress
 from ..optim import (
@@ -68,6 +69,12 @@ __all__ = [
     "build_schedule",
     "evaluate_model",
 ]
+
+#: Training-loop instruments (rank-tagged; no-ops while the metrics
+#: registry is off — see :mod:`repro.obs.metrics`).
+_STEP_SECONDS = obs_metrics.histogram("engine.step_seconds")
+_LOSS_GAUGE = obs_metrics.gauge("engine.loss", forward_to_trace=False)
+_SAMPLES_PER_S = obs_metrics.gauge("engine.samples_per_s", forward_to_trace=False)
 
 
 # ======================================================================
@@ -543,6 +550,8 @@ class Engine:
         try:
             for epoch in range(self.epoch, config.epochs):
                 self.epoch = epoch
+                metered = obs_metrics.enabled()
+                epoch_start = trace.clock() if metered else 0.0
                 with trace.span("engine.epoch", cat="train", epoch=epoch):
                     self._emit("on_epoch_start")
                     epoch_loss = 0.0
@@ -550,6 +559,7 @@ class Engine:
                     for self.batch_index, (inputs, targets) in enumerate(
                         data.batches(config.batch_size, config.shuffle, self._rng)
                     ):
+                        step_start = trace.clock() if metered else 0.0
                         with trace.span("engine.batch", cat="train"):
                             self._emit("on_batch_start")
                             self.optimizer.zero_grad()
@@ -564,7 +574,15 @@ class Engine:
                             epoch_loss += self.last_batch_loss * batch
                             samples += batch
                             self._emit("on_batch_end")
+                        if metered:
+                            _STEP_SECONDS.observe(trace.clock() - step_start)
+                        obs_metrics.heartbeat()
                     self.train_loss = epoch_loss / samples
+                    if metered:
+                        _LOSS_GAUGE.set(self.train_loss)
+                        epoch_seconds = trace.clock() - epoch_start
+                        if epoch_seconds > 0:
+                            _SAMPLES_PER_S.set(samples / epoch_seconds)
                     self.val_loss = None
                     if validation_data is not None:
                         self.val_loss = self.evaluate(validation_data)

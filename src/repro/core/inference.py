@@ -29,6 +29,7 @@ from ..domain.decomposition import BlockDecomposition
 from ..domain.halo import HaloExchanger
 from ..exceptions import ConfigurationError, ShapeError
 from ..nn import Conv2d, ConvTranspose2d, LeakyReLU, Module, Sequential
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..tensor import Tensor, no_grad, perf
 from ..tensor.blocked import conv2d_forward_blocked, should_block
@@ -38,6 +39,9 @@ from ..tensor.ops_conv import conv2d_forward
 from ..tensor.workspace import Workspace
 from .model import SubdomainCNN
 from .padding import PaddingStrategy
+
+#: Rollout-loop latency instrument (no-op while metrics are off).
+_ROLLOUT_STEP_SECONDS = obs_metrics.histogram("rollout.step_seconds")
 
 
 @dataclass
@@ -386,7 +390,9 @@ class ParallelPredictor:
             messages = 0
             volume = 0
             trajectory = [local]
+            metered = obs_metrics.enabled()
             for step in range(num_steps):
+                step_start = trace.clock() if metered else 0.0
                 with trace.span("rollout.step", cat="rollout", step=step):
                     if exchanger is not None:
                         net_input = exchanger.exchange(local)
@@ -416,6 +422,9 @@ class ParallelPredictor:
                             f"subdomain block {trajectory[0].shape[-2:]}"
                         )
                     trajectory.append(local)
+                if metered:
+                    _ROLLOUT_STEP_SECONDS.observe(trace.clock() - step_start)
+                obs_metrics.heartbeat()
             return np.stack(trajectory), messages, volume
 
         rank_outputs = mpi.run_parallel(program, size, backend=execution)

@@ -15,11 +15,16 @@ import numpy as np
 
 from ..exceptions import DecompositionError
 from ..mpi.api import Communicator
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 from .decomposition import BlockDecomposition
 
 #: Tag block reserved for halo traffic; offsets encode (axis, direction).
 _HALO_TAG_BASE = 7000
+
+#: Completed halo exchanges per rank (no-op while metrics are off; the
+#: byte volume is already counted by the mpi.bytes_* counters).
+_HALO_EXCHANGES = obs_metrics.counter("halo.exchanges")
 
 
 def _halo_tag(phase: int, direction: int) -> int:
@@ -148,7 +153,9 @@ class HaloExchanger:
         # spans; this span only structures the timeline.
         with trace.span("halo.exchange", cat="comm.compound", halo=self.halo):
             extended = self._exchange_axis(local, axis=0, phase=0)
-            return self._exchange_axis(extended, axis=1, phase=1)
+            result = self._exchange_axis(extended, axis=1, phase=1)
+        _HALO_EXCHANGES.inc()
+        return result
 
 
 def gather_blocks(

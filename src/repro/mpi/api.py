@@ -23,6 +23,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 
 #: Wildcard source for :meth:`Communicator.recv`.
@@ -57,6 +58,12 @@ def _payload_nbytes(payload: Any) -> int:
     if isinstance(payload, dict):
         return sum(_payload_nbytes(item) for item in payload.values())
     return 0
+
+
+#: Point-to-point traffic totals per rank (no-ops while metrics are
+#: off); collectives are built from sends/receives, so they count too.
+_BYTES_SENT = obs_metrics.counter("mpi.bytes_sent")
+_BYTES_RECV = obs_metrics.counter("mpi.bytes_recv")
 
 
 class ReduceOp:
@@ -194,14 +201,20 @@ class Communicator:
         """
         self._check_peer(dest, "destination")
         self._check_tag(tag, allow_any=False)
-        if not trace.enabled():
+        traced = trace.enabled()
+        if not traced and not obs_metrics.enabled():
+            self._send(payload, dest, tag)
+            return
+        nbytes = _payload_nbytes(payload)
+        _BYTES_SENT.inc(nbytes)
+        if not traced:
             self._send(payload, dest, tag)
             return
         start = trace.clock()
         self._send(payload, dest, tag)
         trace.record(
             "mpi.send", "comm", start,
-            peer=dest, tag=tag, bytes=_payload_nbytes(payload),
+            peer=dest, tag=tag, bytes=nbytes,
         )
 
     def recv(
@@ -224,14 +237,18 @@ class Communicator:
         self._check_peer(source, "source")
         self._check_tag(tag, allow_any=True)
         effective = timeout if timeout is not None else self.deadlock_timeout
-        if not trace.enabled():
+        traced = trace.enabled()
+        if not traced and not obs_metrics.enabled():
             return self._recv(source, tag, effective)
         start = trace.clock()
         payload, status = self._recv(source, tag, effective)
-        trace.record(
-            "mpi.recv", "comm", start,
-            peer=status.source, tag=status.tag, bytes=_payload_nbytes(payload),
-        )
+        nbytes = _payload_nbytes(payload)
+        _BYTES_RECV.inc(nbytes)
+        if traced:
+            trace.record(
+                "mpi.recv", "comm", start,
+                peer=status.source, tag=status.tag, bytes=nbytes,
+            )
         return payload, status
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:

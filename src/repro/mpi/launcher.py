@@ -51,6 +51,7 @@ def run_parallel(
     isolate_messages: bool = True,
     backend: str = "threads",
     start_method: str | None = None,
+    heartbeat_timeout: float | None = None,
 ) -> list[Any]:
     """Run an SPMD (or MPMD) program on ``size`` ranks.
 
@@ -80,6 +81,12 @@ def run_parallel(
     start_method:
         Process backend only: ``multiprocessing`` start method
         (default: ``fork`` where available, else ``spawn``).
+    heartbeat_timeout:
+        Process backend only: declare a rank stalled (and abort the
+        world) when its :func:`repro.obs.metrics.heartbeat` beats go
+        silent for longer than this many seconds.  ``None`` (default)
+        disables stall detection.  Ignored by the thread backend,
+        where a stuck rank is visible to the in-process watchdogs.
 
     Returns
     -------
@@ -107,6 +114,7 @@ def run_parallel(
             timeout=timeout,
             deadlock_timeout=deadlock_timeout,
             start_method=start_method,
+            heartbeat_timeout=heartbeat_timeout,
         )
     raise CommunicatorError(
         f"unknown backend {backend!r} (use one of {BACKENDS})"

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..exceptions import CommunicatorError, DeadlockError
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 from .api import ANY_SOURCE, ANY_TAG, Communicator, Request, Status
 from .router import _isolate_payload
@@ -50,6 +51,14 @@ _ABORT_GRACE_SECONDS = 5.0
 #: cleanly-exited worker with no reported result is declared lost.
 _LOST_WORKER_POLLS = 20
 _POLL_SECONDS = 0.05
+
+#: Receive-wait chunk while heartbeats are armed: a rank blocked in
+#: recv wakes this often to beat, so it reads as alive (not stalled) to
+#: the supervisor no matter how long the legitimate wait runs.
+_HEARTBEAT_POLL_SECONDS = 0.1
+
+#: Depth of the local out-of-order inbox, sampled on every receive.
+_MAILBOX_DEPTH = obs_metrics.gauge("mpi.mailbox_depth", forward_to_trace=False)
 
 
 @dataclass(frozen=True)
@@ -150,6 +159,8 @@ class ProcessCommunicator(Communicator):
         mailbox = self._mailboxes[self._rank]
         while True:
             self._drain()
+            if obs_metrics.enabled():
+                _MAILBOX_DEPTH.set(len(self._inbox))
             self._check_failed()
             env = self._match(source, tag, remove=True)
             if env is not None:
@@ -162,8 +173,20 @@ class ProcessCommunicator(Communicator):
                     f"{len(self._inbox)} non-matching message(s) buffered locally; "
                     "likely deadlock"
                 )
+            wait = remaining
+            if obs_metrics.heartbeat_active():
+                # A rank blocked in recv is alive (it is polling its
+                # mailbox), not stalled: chunk the wait so it keeps
+                # beating and only truly silent ranks trip the
+                # supervisor's heartbeat_timeout.
+                obs_metrics.heartbeat()
+                wait = (
+                    _HEARTBEAT_POLL_SECONDS
+                    if wait is None
+                    else min(wait, _HEARTBEAT_POLL_SECONDS)
+                )
             try:
-                item = mailbox.get(timeout=remaining)
+                item = mailbox.get(timeout=wait)
             except queue_module.Empty:
                 continue
             self._admit(item)
@@ -241,20 +264,25 @@ def _worker_main(
     mailboxes: Sequence[Any],
     result_queue: Any,
     deadlock_timeout: float | None,
-    obs_flags: tuple[bool, bool] = (False, False),
+    obs_flags: tuple[bool, bool, bool] = (False, False, False),
     precision: str = "float64",
+    heartbeats: Any = None,
 ) -> None:
     """Entry point of one rank process (module-level for spawn support).
 
-    ``obs_flags`` is ``(tracing, perf)`` as observed in the parent at
-    launch: module-level enable state does not survive a ``spawn``, and
-    under ``fork`` the child additionally inherits the parent's event
-    buffers, which must be cleared so the rank ships only its own
-    telemetry.  ``precision`` is the parent's compute mode at launch,
-    re-applied here for the same reason — a float32 training run must
-    stay float32 inside every rank process.
+    ``obs_flags`` is ``(tracing, perf, metrics)`` as observed in the
+    parent at launch: module-level enable state does not survive a
+    ``spawn``, and under ``fork`` the child additionally inherits the
+    parent's event buffers, which must be cleared so the rank ships
+    only its own telemetry.  ``precision`` is the parent's compute mode
+    at launch, re-applied here for the same reason — a float32 training
+    run must stay float32 inside every rank process.  ``heartbeats``
+    is the shared per-rank last-alive array (or ``None``); when
+    present, this rank's :func:`repro.obs.metrics.heartbeat` beats are
+    mirrored into slot ``rank`` so the parent's supervisor can detect a
+    stall without any queue traffic.
     """
-    trace_on, perf_on = obs_flags
+    trace_on, perf_on, metrics_on = (*obs_flags, False, False)[:3]
     from ..tensor.precision import set_precision
 
     set_precision(precision)
@@ -267,6 +295,15 @@ def _worker_main(
 
         perf.reset()
         perf.enable()
+    if metrics_on:
+        obs_metrics.reset()
+        obs_metrics.enable()
+    if heartbeats is not None:
+        def _beat_sink(_rank: int | None, wall: float) -> None:
+            heartbeats[rank] = wall
+
+        obs_metrics.set_heartbeat_sink(_beat_sink)
+        obs_metrics.heartbeat()  # arm the slot: stall detection needs a first beat
     comm = ProcessCommunicator(rank, size, mailboxes, deadlock_timeout)
     try:
         result = fns[rank](comm)
@@ -276,8 +313,9 @@ def _worker_main(
         kind, value = "err", exc
     finally:
         comm.release_undelivered()
+        obs_metrics.set_heartbeat_sink(None)
     bundle = None
-    if trace_on or perf_on:
+    if trace_on or perf_on or metrics_on:
         # Captured on the error path too: post-mortem traces must
         # survive a crashed rank.
         from ..obs import aggregate
@@ -300,9 +338,24 @@ def run_parallel_processes(
     timeout: float | None = None,
     deadlock_timeout: float | None = 120.0,
     start_method: str | None = None,
+    heartbeat_timeout: float | None = None,
 ) -> list[Any]:
     """Run ``fns[rank]`` in one OS process per rank; returns per-rank
-    results (see :func:`repro.mpi.run_parallel` for the contract)."""
+    results (see :func:`repro.mpi.run_parallel` for the contract).
+
+    With ``heartbeat_timeout`` set, every rank mirrors its
+    :func:`repro.obs.metrics.heartbeat` beats into a shared array and
+    the supervision loop declares a rank **stalled** once its last beat
+    is older than the timeout — aborting the world so live peers wake
+    with :class:`DeadlockError` instead of blocking until the (much
+    longer) deadlock timeout.  Ranks blocked in a receive keep beating
+    while they poll their mailbox, so only truly silent ranks (stuck
+    compute, an infinite loop, a wedged syscall) trip the timeout; it
+    must comfortably exceed the longest expected gap between beats (an
+    epoch of batches, a rollout step).  Beats are armed at worker
+    start, so it also bounds the time to the program's first
+    instrumented loop.
+    """
     method = start_method if start_method is not None else _default_start_method()
     ctx = multiprocessing.get_context(method)
     mailboxes = [ctx.Queue() for _ in range(size)]
@@ -310,8 +363,11 @@ def run_parallel_processes(
     from ..tensor import perf
     from ..tensor.precision import get_precision
 
-    obs_flags = (trace.enabled(), perf.perf_enabled())
+    obs_flags = (trace.enabled(), perf.perf_enabled(), obs_metrics.enabled())
     precision = get_precision()
+    heartbeats = (
+        ctx.Array("d", size, lock=False) if heartbeat_timeout is not None else None
+    )
     workers = [
         ctx.Process(
             target=_worker_main,
@@ -324,6 +380,7 @@ def run_parallel_processes(
                 deadlock_timeout,
                 obs_flags,
                 precision,
+                heartbeats,
             ),
             name=f"repro-rank-{rank}",
             daemon=True,
@@ -338,6 +395,7 @@ def run_parallel_processes(
     aborted = False
     timed_out = False
     empty_polls = 0
+    stall_reason: str | None = None
 
     def abort_world(reason: str) -> None:
         nonlocal aborted
@@ -360,6 +418,26 @@ def run_parallel_processes(
                 report = result_queue.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
                 empty_polls += 1
+                if heartbeats is not None and stall_reason is None:
+                    now = time.time()
+                    for rank, worker in enumerate(workers):
+                        if rank in outcomes or not worker.is_alive():
+                            continue
+                        beat = heartbeats[rank]
+                        if beat > 0 and now - beat > heartbeat_timeout:
+                            stall_reason = (
+                                f"rank {rank} stalled: no heartbeat for "
+                                f"{now - beat:.2f}s (heartbeat_timeout="
+                                f"{heartbeat_timeout}s)"
+                            )
+                            # Record the stall as this rank's outcome so
+                            # supervision can finish even if it never
+                            # reports; a late report (the rank was merely
+                            # slow and wakes into the abort) overwrites
+                            # it and ships the rank's telemetry bundle.
+                            outcomes[rank] = ("err", CommunicatorError(stall_reason))
+                            abort_world(stall_reason)
+                            break
                 for rank, worker in enumerate(workers):
                     if rank in outcomes or worker.is_alive():
                         continue
@@ -402,6 +480,25 @@ def run_parallel_processes(
             if worker.is_alive():
                 worker.terminate()
                 worker.join(1.0)
+        # The loop above exits once every rank has an outcome — which a
+        # detected stall synthesizes without a report.  If the stalled
+        # rank was merely slow and reported after the loop ended, its
+        # report (with its partial telemetry bundle) is still sitting in
+        # the queue: drain it now, before _drain_and_close discards it.
+        while True:
+            try:
+                report = result_queue.get_nowait()
+            except (queue_module.Empty, OSError, EOFError):
+                break
+            try:
+                rank, kind, value, bundle = pickle.loads(report)
+            except Exception:  # pragma: no cover - torn queue at shutdown
+                break
+            if bundle is not None:
+                from ..obs import aggregate
+
+                aggregate.absorb(bundle)
+            outcomes[rank] = (kind, value)
     finally:
         _drain_and_close(mailboxes, result_queue)
 
@@ -413,8 +510,13 @@ def run_parallel_processes(
     )
     if errors:
         # Peers of a failed rank typically die with the induced abort
-        # DeadlockError; report the root cause instead.
+        # DeadlockError; report the root cause instead.  When the root
+        # cause was a detected stall and the stalled rank's own report
+        # (a DeadlockError from waking into the abort) overwrote the
+        # stall outcome, resurface the stall.
         primary = [e for e in errors if not isinstance(e[1], DeadlockError)]
+        if not primary and stall_reason is not None:
+            raise CommunicatorError(stall_reason)
         _, first = (primary or errors)[0]
         raise first
     return [outcomes[rank][1] for rank in range(size)]

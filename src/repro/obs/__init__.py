@@ -6,19 +6,26 @@ The observability layer for the parallel-training reproduction:
 * :mod:`repro.obs.trace` — low-overhead span tracer (off by default,
   single attribute-check fast path) with wall-clock-anchored
   timestamps and thread-local rank context.
+* :mod:`repro.obs.metrics` — rank-aware counters / gauges / log-bucket
+  histograms with the same off-by-default fast path, plus the rank
+  heartbeat the process-backend supervisor watches for stalls.
 * :mod:`repro.obs.export` — JSONL / Chrome-trace exporters and the
   per-rank compute-vs-communication summary table.
+* :mod:`repro.obs.metrics_export` — Prometheus text exposition,
+  ``repro-metrics-v1`` JSONL, and the human metrics summary.
 * :mod:`repro.obs.aggregate` — :class:`TraceBundle` capture/absorb for
-  shipping rank telemetry (spans + perf counters) from process-backend
-  workers to the parent, including post-mortem on abort.
+  shipping rank telemetry (spans + perf counters + metrics) from
+  process-backend workers to the parent, including post-mortem on
+  abort.
 * :mod:`repro.obs.callback` — :class:`ObsCallback`, the engine metrics
   emitter (loss / grad norm / lr / throughput).
 * :mod:`repro.obs.log` — rank-tagged stdlib logging for progress
   output.
 
 ``trace`` and ``log`` load eagerly (they are stdlib-only and imported
-from the lowest layers); the rest resolves lazily so importing
-``repro.obs`` from ``repro.mpi`` never drags in the tensor stack.
+from the lowest layers); the rest — including ``metrics``, which is
+stdlib-only too but only needed by instrumented paths — resolves
+lazily so importing ``repro.obs`` stays cheap.
 """
 
 from __future__ import annotations
@@ -45,6 +52,13 @@ __all__ = [
     "summary",
     "format_summary",
     "write_summary",
+    "metrics",
+    "metrics_export",
+    "prometheus_exposition",
+    "write_prometheus",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "format_metrics_summary",
 ]
 
 _LAZY = {
@@ -58,9 +72,16 @@ _LAZY = {
     "summary": "export",
     "format_summary": "export",
     "write_summary": "export",
+    "prometheus_exposition": "metrics_export",
+    "write_prometheus": "metrics_export",
+    "write_metrics_jsonl": "metrics_export",
+    "read_metrics_jsonl": "metrics_export",
+    "format_metrics_summary": "metrics_export",
     "aggregate": "aggregate",
     "callback": "callback",
     "export": "export",
+    "metrics": "metrics",
+    "metrics_export": "metrics_export",
 }
 
 

@@ -34,9 +34,13 @@ class TraceBundle:
     #: op name -> picklable counter state from ``tensor.perf.snapshot()``
     perf_counters: dict[str, Any] = field(default_factory=dict)
     dropped: int = 0
+    #: instrument name -> picklable state from ``obs.metrics.snapshot()``
+    metrics_state: dict[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
-        return bool(self.spans or self.metrics or self.perf_counters)
+        return bool(
+            self.spans or self.metrics or self.perf_counters or self.metrics_state
+        )
 
 
 def capture(rank: int | None = None) -> TraceBundle | None:
@@ -44,6 +48,7 @@ def capture(rank: int | None = None) -> TraceBundle | None:
     there is nothing to ship (the common untraced case — keeps the
     result-queue payload unchanged unless observability is on)."""
     from ..tensor import perf
+    from . import metrics as obs_metrics
 
     bundle = TraceBundle(
         rank=rank if rank is not None else trace.current_rank(),
@@ -51,6 +56,7 @@ def capture(rank: int | None = None) -> TraceBundle | None:
         metrics=trace.metrics(),
         perf_counters=perf.snapshot() if perf.perf_enabled() else {},
         dropped=trace.dropped(),
+        metrics_state=obs_metrics.snapshot(),
     )
     return bundle if bundle else None
 
@@ -76,3 +82,7 @@ def absorb(bundle: TraceBundle | None) -> None:
         from ..tensor import perf
 
         perf.merge_snapshot(bundle.perf_counters)
+    if getattr(bundle, "metrics_state", None):
+        from . import metrics as obs_metrics
+
+        obs_metrics.merge_snapshot(bundle.metrics_state, default_rank=bundle.rank)

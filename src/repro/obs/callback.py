@@ -1,7 +1,7 @@
 """``ObsCallback``: the engine-side metrics emitter.
 
 Rides the :class:`repro.core.engine.Engine` event sequence and samples
-training metrics into the trace buffer once per epoch::
+training metrics once per epoch::
 
     train.loss        mean training loss
     train.val_loss    validation loss (when validation data is given)
@@ -9,8 +9,12 @@ training metrics into the trace buffer once per epoch::
     train.throughput  training samples / second over the epoch
     train.grad_norm   global gradient norm of the last backward pass
 
-Metrics land next to the engine's epoch/batch spans on the shared
-timeline and show up as counter tracks in the Chrome trace export.
+The values publish through the :mod:`repro.obs.metrics` registry as
+rank-tagged gauges; each gauge forwards to :func:`repro.obs.trace.
+metric` on ``set``, so traced runs keep the exact event stream (and
+Chrome-trace counter tracks) this callback emitted before the registry
+existed, while metrics-collected runs additionally get the last value
+per rank in snapshots and the Prometheus export.
 
 The class deliberately does **not** subclass
 :class:`repro.core.engine.Callback`: the engine dispatches events by
@@ -23,13 +27,22 @@ from __future__ import annotations
 
 import math
 
-from . import trace
+from . import metrics, trace
 
 __all__ = ["ObsCallback"]
 
+#: The published gauges (module-level: registry instruments are
+#: process-wide singletons, construction confined here by REP016).
+_TRAIN_LOSS = metrics.gauge("train.loss")
+_TRAIN_VAL_LOSS = metrics.gauge("train.val_loss")
+_TRAIN_LR = metrics.gauge("train.lr")
+_TRAIN_THROUGHPUT = metrics.gauge("train.throughput")
+_TRAIN_GRAD_NORM = metrics.gauge("train.grad_norm")
+_TRAIN_BATCH_LOSS = metrics.gauge("train.batch_loss")
+
 
 class ObsCallback:
-    """Emit per-epoch training metrics into :mod:`repro.obs.trace`.
+    """Emit per-epoch training metrics through :mod:`repro.obs.metrics`.
 
     Parameters
     ----------
@@ -74,7 +87,7 @@ class ObsCallback:
     def on_batch_end(self, engine) -> None:
         self._samples += getattr(engine, "last_batch_size", 0)
         if self.batch_metrics and engine.last_batch_loss is not None:
-            trace.metric("train.batch_loss", engine.last_batch_loss)
+            _TRAIN_BATCH_LOSS.set(engine.last_batch_loss)
 
     def on_validation_end(self, engine) -> None: ...
 
@@ -83,20 +96,20 @@ class ObsCallback:
         sample: dict[str, float] = {"epoch": engine.epoch}
         if engine.train_loss is not None:
             sample["train.loss"] = engine.train_loss
-            trace.metric("train.loss", engine.train_loss)
+            _TRAIN_LOSS.set(engine.train_loss)
         if engine.val_loss is not None:
             sample["train.val_loss"] = engine.val_loss
-            trace.metric("train.val_loss", engine.val_loss)
+            _TRAIN_VAL_LOSS.set(engine.val_loss)
         if engine.optimizer is not None:
             sample["train.lr"] = engine.optimizer.lr
-            trace.metric("train.lr", engine.optimizer.lr)
+            _TRAIN_LR.set(engine.optimizer.lr)
         if elapsed > 0 and self._samples:
             throughput = self._samples / elapsed
             sample["train.throughput"] = throughput
-            trace.metric("train.throughput", throughput)
+            _TRAIN_THROUGHPUT.set(throughput)
         if self._last_grad_norm is not None:
             sample["train.grad_norm"] = self._last_grad_norm
-            trace.metric("train.grad_norm", self._last_grad_norm)
+            _TRAIN_GRAD_NORM.set(self._last_grad_norm)
         self.history.append(sample)
 
     def on_fit_end(self, engine) -> None: ...

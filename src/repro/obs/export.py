@@ -21,6 +21,12 @@ the halo exchange — carry ``comm.compound`` and are excluded so their
 inner sends and recvs are not counted twice.  ``comm.wait`` (time a
 recv spent blocked in the router) nests inside recv spans and is
 reported as its own column, never added to the comm total.
+
+Parareal spans (``parareal.solve/coarse/fine/correct``, category
+``parareal``) get their own accounting: per-rank ``parareal_seconds``
+plus a coarse/fine/correct split keyed off the span name, so a traced
+parareal run shows where the iteration's time went instead of lumping
+it into undifferentiated compute.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from .trace import Metric, Span
 __all__ = [
     "COMM_CATS",
     "WAIT_CAT",
+    "PARAREAL_CAT",
     "write_jsonl",
     "read_jsonl",
     "write_chrome_trace",
@@ -48,6 +55,9 @@ COMM_CATS = frozenset({"comm", "comm.collective"})
 #: Category for blocked-wait inside a recv (reported separately).
 WAIT_CAT = "comm.wait"
 
+#: Category of the Parareal iteration spans (own summary column).
+PARAREAL_CAT = "parareal"
+
 
 # ----------------------------------------------------------------------
 # JSONL
@@ -57,11 +67,14 @@ def write_jsonl(
     spans: Iterable[Span],
     metrics: Iterable[Metric] = (),
     meta: dict[str, Any] | None = None,
+    dropped: int | None = None,
 ) -> pathlib.Path:
     """Write the event log as JSON-lines; returns the path written.
 
     The first line is a ``{"kind": "meta", ...}`` header so readers can
-    sanity-check the file before streaming the rest.
+    sanity-check the file before streaming the rest.  Pass ``dropped``
+    (from :func:`repro.obs.trace.dropped`) so readers can tell a short
+    run from a truncated buffer.
     """
     path = pathlib.Path(path)
     span_list = list(spans)
@@ -69,6 +82,8 @@ def write_jsonl(
     with path.open("w") as fh:
         header = {"kind": "meta", "format": "repro-trace-v1",
                   "spans": len(span_list), "metrics": len(metric_list)}
+        if dropped is not None:
+            header["dropped"] = dropped
         if meta:
             header.update(meta)
         fh.write(json.dumps(header, sort_keys=True) + "\n")
@@ -173,9 +188,14 @@ def summary(spans: Iterable[Span]) -> dict[int | None, dict[str, float]]:
 
     For each rank: ``total_seconds`` is the span extent (latest end
     minus earliest start), ``comm_seconds`` sums spans in
-    :data:`COMM_CATS`, ``compute_seconds`` is the remainder (clamped at
-    zero), ``wait_seconds`` sums :data:`WAIT_CAT` spans, and
+    :data:`COMM_CATS`, ``compute_seconds`` is the remainder after comm
+    and parareal time (clamped at zero), ``wait_seconds`` sums
+    :data:`WAIT_CAT` spans, and
     ``comm_messages`` / ``comm_bytes`` count point-to-point traffic.
+    :data:`PARAREAL_CAT` spans additionally fill ``parareal_seconds``
+    and the ``parareal_coarse/fine/correct_seconds`` split (attributed
+    by span name; the driver-side ``parareal.solve`` wrapper counts
+    only toward the per-rank total, not the split).
     """
     per_rank: dict[int | None, dict[str, float]] = {}
     bounds: dict[int | None, tuple[float, float]] = {}
@@ -184,6 +204,8 @@ def summary(spans: Iterable[Span]) -> dict[int | None, dict[str, float]]:
             "total_seconds": 0.0, "comm_seconds": 0.0, "compute_seconds": 0.0,
             "wait_seconds": 0.0, "comm_messages": 0, "comm_bytes": 0,
             "comm_fraction": 0.0, "spans": 0,
+            "parareal_seconds": 0.0, "parareal_coarse_seconds": 0.0,
+            "parareal_fine_seconds": 0.0, "parareal_correct_seconds": 0.0,
         })
         row["spans"] += 1
         lo, hi = bounds.get(s.rank, (s.ts, s.end))
@@ -195,20 +217,39 @@ def summary(spans: Iterable[Span]) -> dict[int | None, dict[str, float]]:
                 row["comm_bytes"] += (s.args or {}).get("bytes", 0)
         elif s.cat == WAIT_CAT:
             row["wait_seconds"] += s.dur
+        elif s.cat == PARAREAL_CAT:
+            row["parareal_seconds"] += s.dur
+            phase = s.name.rsplit(".", 1)[-1]
+            if phase in ("coarse", "fine", "correct"):
+                row[f"parareal_{phase}_seconds"] += s.dur
     for rank, row in per_rank.items():
         lo, hi = bounds[rank]
         row["total_seconds"] = hi - lo
-        row["compute_seconds"] = max(0.0, row["total_seconds"] - row["comm_seconds"])
+        row["compute_seconds"] = max(
+            0.0,
+            row["total_seconds"] - row["comm_seconds"] - row["parareal_seconds"],
+        )
         row["comm_fraction"] = (
             row["comm_seconds"] / row["total_seconds"] if row["total_seconds"] > 0 else 0.0
         )
     return per_rank
 
 
-def format_summary(spans: Iterable[Span]) -> str:
-    """The per-rank breakdown as an aligned text table."""
+def format_summary(spans: Iterable[Span], dropped: int = 0) -> str:
+    """The per-rank breakdown as an aligned text table.
+
+    When any rank recorded :data:`PARAREAL_CAT` spans, a second table
+    splits the Parareal time into coarse/fine/correct phases.  A
+    non-zero ``dropped`` (see :func:`repro.obs.trace.dropped`) appends
+    a truncation warning so a silently capped buffer is never mistaken
+    for a complete trace.
+    """
     per_rank = summary(spans)
     if not per_rank:
+        if dropped:
+            return (f"trace summary: no spans recorded\n"
+                    f"WARNING: trace buffer truncated — {dropped} event(s) "
+                    "dropped past MAX_EVENTS")
         return "trace summary: no spans recorded"
     header = (f"{'rank':>6} {'total s':>10} {'compute s':>10} {'comm s':>10} "
               f"{'comm %':>7} {'wait s':>10} {'msgs':>7} {'bytes':>12} {'spans':>7}")
@@ -225,6 +266,25 @@ def format_summary(spans: Iterable[Span]) -> str:
             f"{row['wait_seconds']:>10.4f} {row['comm_messages']:>7.0f} "
             f"{row['comm_bytes']:>12.0f} {row['spans']:>7.0f}"
         )
+    if any(row["parareal_seconds"] > 0 for row in per_rank.values()):
+        p_header = (f"{'rank':>6} {'parareal s':>11} {'coarse s':>10} "
+                    f"{'fine s':>10} {'correct s':>10}")
+        lines += ["", "parareal breakdown (coarse vs. fine vs. correction per rank)",
+                  p_header, "-" * len(p_header)]
+        for rank in sorted(per_rank, key=sort_key):
+            row = per_rank[rank]
+            if row["parareal_seconds"] <= 0:
+                continue
+            label = "driver" if rank is None else str(rank)
+            lines.append(
+                f"{label:>6} {row['parareal_seconds']:>11.4f} "
+                f"{row['parareal_coarse_seconds']:>10.4f} "
+                f"{row['parareal_fine_seconds']:>10.4f} "
+                f"{row['parareal_correct_seconds']:>10.4f}"
+            )
+    if dropped:
+        lines += ["", f"WARNING: trace buffer truncated — {dropped} event(s) "
+                      "dropped past MAX_EVENTS"]
     return "\n".join(lines)
 
 

@@ -1,0 +1,299 @@
+"""Exporters for :mod:`repro.obs.metrics` snapshots.
+
+Three formats, all deterministic (sorted by metric name, then rank) so
+outputs are diffable and pinnable by golden-file tests:
+
+* :func:`prometheus_exposition` / :func:`write_prometheus` — the
+  Prometheus text exposition format (``repro_`` prefix, ``rank``
+  label, ``_total`` suffix on counters, cumulative ``_bucket{le=...}``
+  series per histogram), ready for a ``file``-based scrape or a
+  node-exporter textfile collector.
+* :func:`write_metrics_jsonl` / :func:`read_metrics_jsonl` — the
+  ``repro-metrics-v1`` JSONL interchange format: one meta header, then
+  one record per (instrument, rank), round-trippable back into a
+  snapshot dict.
+* :func:`format_metrics_summary` — the human summary printed by
+  ``repro metrics``: per-rank histogram quantiles (p50/p95/p99),
+  counter totals, and gauge values.
+
+All functions take the plain snapshot dict from
+:func:`repro.obs.metrics.snapshot` — no live registry access — so the
+same code paths export a local run, an absorbed multi-rank run, or a
+post-mortem bundle from a crashed rank.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .metrics import quantile_from_buckets
+
+__all__ = [
+    "prometheus_exposition",
+    "write_prometheus",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "format_metrics_summary",
+]
+
+METRICS_FORMAT = "repro-metrics-v1"
+
+
+def _rank_label(rank: int | None) -> str:
+    """Driver-side values (rank ``None``) get a stable label."""
+    return "driver" if rank is None else str(rank)
+
+
+def _rank_sort_key(rank: int | None) -> tuple[int, int]:
+    # Numbered ranks first in order, driver last.
+    return (1, 0) if rank is None else (0, rank)
+
+
+def _prom_name(name: str) -> str:
+    """``engine.step_seconds`` → ``repro_engine_step_seconds``."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _prom_number(value: float) -> str:
+    """Render a sample value: integers bare, floats via ``repr``."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_exposition(snapshot: dict[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload["kind"]
+        prom = _prom_name(name)
+        if kind == "counter":
+            prom += "_total"
+            lines.append(f"# TYPE {prom} counter")
+            for rank in sorted(payload["values"], key=_rank_sort_key):
+                value = payload["values"][rank]
+                lines.append(
+                    f'{prom}{{rank="{_rank_label(rank)}"}} {_prom_number(value)}'
+                )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            for rank in sorted(payload["values"], key=_rank_sort_key):
+                value = payload["values"][rank]
+                lines.append(
+                    f'{prom}{{rank="{_rank_label(rank)}"}} {_prom_number(value)}'
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            bounds = payload["bounds"]
+            for rank in sorted(payload["ranks"], key=_rank_sort_key):
+                state = payload["ranks"][rank]
+                label = _rank_label(rank)
+                cumulative = 0
+                for bound, count in zip(bounds, state["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f'{prom}_bucket{{rank="{label}",le="{_prom_number(bound)}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{prom}_bucket{{rank="{label}",le="+Inf"}} {state["count"]}'
+                )
+                lines.append(
+                    f'{prom}_sum{{rank="{label}"}} {_prom_number(state["sum"])}'
+                )
+                lines.append(f'{prom}_count{{rank="{label}"}} {state["count"]}')
+        else:  # pragma: no cover - corrupt snapshot
+            raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str | Path, snapshot: dict[str, Any]) -> Path:
+    """Write :func:`prometheus_exposition` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_exposition(snapshot))
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL (repro-metrics-v1)
+# ----------------------------------------------------------------------
+def write_metrics_jsonl(
+    path: str | Path,
+    snapshot: dict[str, Any],
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write a snapshot as ``repro-metrics-v1`` JSONL.
+
+    First line is a meta header (format tag, instrument count, any
+    caller-supplied ``meta`` keys); each following line is one
+    (instrument, rank) record with an explicit ``rank`` field (``null``
+    for driver-side values) so ranks survive JSON's string-keyed maps.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header: dict[str, Any] = {
+        "kind": "meta",
+        "format": METRICS_FORMAT,
+        "instruments": len(snapshot),
+    }
+    if meta:
+        header.update(meta)
+    with path.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            kind = payload["kind"]
+            if kind in ("counter", "gauge"):
+                for rank in sorted(payload["values"], key=_rank_sort_key):
+                    record: dict[str, Any] = {
+                        "kind": kind,
+                        "name": name,
+                        "rank": rank,
+                        "value": payload["values"][rank],
+                    }
+                    if kind == "gauge":
+                        record["forward"] = payload.get("forward", True)
+                    handle.write(json.dumps(record) + "\n")
+            else:
+                for rank in sorted(payload["ranks"], key=_rank_sort_key):
+                    state = payload["ranks"][rank]
+                    record = {
+                        "kind": "histogram",
+                        "name": name,
+                        "rank": rank,
+                        "bounds": list(payload["bounds"]),
+                        "counts": list(state["counts"]),
+                        "count": state["count"],
+                        "sum": state["sum"],
+                        "min": state["min"],
+                        "max": state["max"],
+                    }
+                    handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_metrics_jsonl(path: str | Path) -> dict[str, Any]:
+    """Load a ``repro-metrics-v1`` file back into a snapshot dict."""
+    snapshot: dict[str, Any] = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "meta":
+            if record.get("format") != METRICS_FORMAT:
+                raise ValueError(
+                    f"{path}: expected format {METRICS_FORMAT!r}, "
+                    f"got {record.get('format')!r}"
+                )
+            continue
+        name = record["name"]
+        rank = record["rank"]
+        if kind in ("counter", "gauge"):
+            payload = snapshot.setdefault(name, {"kind": kind, "values": {}})
+            payload["values"][rank] = record["value"]
+            if kind == "gauge":
+                payload["forward"] = record.get("forward", True)
+        elif kind == "histogram":
+            payload = snapshot.setdefault(
+                name, {"kind": "histogram", "bounds": record["bounds"], "ranks": {}}
+            )
+            payload["ranks"][rank] = {
+                "counts": record["counts"],
+                "count": record["count"],
+                "sum": record["sum"],
+                "min": record["min"],
+                "max": record["max"],
+            }
+        else:
+            raise ValueError(f"{path}: unknown record kind {kind!r}")
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Human summary
+# ----------------------------------------------------------------------
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _fmt_value(value: float) -> str:
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return f"{as_float:.6g}"
+
+
+def format_metrics_summary(snapshot: dict[str, Any]) -> str:
+    """The per-rank table printed by ``repro metrics``.
+
+    Histograms show per-rank sample counts and derived p50/p95/p99 plus
+    mean/max; counters show per-rank values and the cross-rank total;
+    gauges show last-set values.  Empty snapshot → a one-line notice.
+    """
+    if not snapshot:
+        return "metrics summary: no metrics recorded"
+    by_kind: dict[str, list[str]] = {"histogram": [], "counter": [], "gauge": []}
+    for name in sorted(snapshot):
+        by_kind[snapshot[name]["kind"]].append(name)
+
+    lines = ["metrics summary (per rank)"]
+    if by_kind["histogram"]:
+        lines.append(
+            f"  {'histogram':<28} {'rank':>6} {'count':>8} {'p50':>10} "
+            f"{'p95':>10} {'p99':>10} {'mean':>10} {'max':>10}"
+        )
+        for name in by_kind["histogram"]:
+            payload = snapshot[name]
+            bounds = payload["bounds"]
+            for rank in sorted(payload["ranks"], key=_rank_sort_key):
+                state = payload["ranks"][rank]
+                quantiles = [
+                    quantile_from_buckets(
+                        state["counts"], bounds, q, lo=state["min"], hi=state["max"]
+                    )
+                    for q in (0.50, 0.95, 0.99)
+                ]
+                mean = state["sum"] / state["count"] if state["count"] else None
+                lines.append(
+                    f"  {name:<28} {_rank_label(rank):>6} {state['count']:>8} "
+                    + " ".join(f"{_fmt_seconds(q):>10}" for q in quantiles)
+                    + f" {_fmt_seconds(mean):>10} {_fmt_seconds(state['max']):>10}"
+                )
+    if by_kind["counter"]:
+        lines.append(f"  {'counter':<28} {'rank':>6} {'value':>16}")
+        for name in by_kind["counter"]:
+            values = snapshot[name]["values"]
+            for rank in sorted(values, key=_rank_sort_key):
+                lines.append(
+                    f"  {name:<28} {_rank_label(rank):>6} {_fmt_value(values[rank]):>16}"
+                )
+            if len(values) > 1:
+                lines.append(
+                    f"  {name:<28} {'total':>6} "
+                    f"{_fmt_value(sum(values.values())):>16}"
+                )
+    if by_kind["gauge"]:
+        lines.append(f"  {'gauge':<28} {'rank':>6} {'value':>16}")
+        for name in by_kind["gauge"]:
+            values = snapshot[name]["values"]
+            for rank in sorted(values, key=_rank_sort_key):
+                lines.append(
+                    f"  {name:<28} {_rank_label(rank):>6} {_fmt_value(values[rank]):>16}"
+                )
+    return "\n".join(lines)

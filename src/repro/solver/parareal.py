@@ -38,6 +38,7 @@ import numpy as np
 
 from .. import mpi
 from ..exceptions import ConfigurationError
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 from .simulation import SteppedSimulation
 
@@ -50,6 +51,11 @@ __all__ = [
     "EnsembleCoarseOperator",
     "serial_fine",
 ]
+
+#: Per-rank sweep counter and last observed convergence delta (no-ops
+#: while the metrics registry is off — see :mod:`repro.obs.metrics`).
+_SWEEPS = obs_metrics.counter("parareal.sweeps")
+_CORRECTION_DELTA = obs_metrics.gauge("parareal.correction_delta", forward_to_trace=False)
 
 
 def _handoff_tag(iteration: int) -> int:
@@ -288,7 +294,7 @@ def serial_fine(
     state = np.asarray(initial, dtype=float)
     states = [state]
     for _ in range(config.slices):
-        with trace.span("parareal.fine", cat="compute", serial=True):
+        with trace.span("parareal.fine", cat="parareal", serial=True):
             state = simulation.advance_array(state, config.fine_steps_per_slice)
         states.append(state)
     return np.stack(states)
@@ -347,12 +353,12 @@ class PararealDriver:
 
             def coarse_slice(state):
                 counters["coarse"] += cfg.coarse_steps
-                with trace.span("parareal.coarse", cat="compute", slice=rank):
+                with trace.span("parareal.coarse", cat="parareal", slice=rank):
                     return coarse.advance(state, cfg.coarse_steps)
 
             def fine_slice(state):
                 counters["fine"] += cfg.fine_steps_per_slice
-                with trace.span("parareal.fine", cat="compute", slice=rank):
+                with trace.span("parareal.fine", cat="parareal", slice=rank):
                     return simulation.advance_array(state, cfg.fine_steps_per_slice)
 
             # Sweep 0: the serial coarse initialization trickles the first
@@ -380,10 +386,14 @@ class PararealDriver:
                 else:
                     corrected_start = comm.recv(rank - 1, tag=_handoff_tag(sweep))
                 delta = _relative_delta(corrected_start, slice_start)
+                # Coarse re-propagation sits *outside* the correct span
+                # so the summary's coarse/fine/correct attribution is
+                # disjoint (the correct span is the update arithmetic
+                # alone).
+                coarse_new = coarse_slice(corrected_start)
                 with trace.span(
-                    "parareal.correct", cat="compute", slice=rank, sweep=sweep
+                    "parareal.correct", cat="parareal", slice=rank, sweep=sweep
                 ):
-                    coarse_new = coarse_slice(corrected_start)
                     # The Parareal correction — REP015 confines this
                     # arithmetic to this module.
                     slice_end = coarse_new + fine_end - coarse_end
@@ -392,11 +402,14 @@ class PararealDriver:
                 slice_start = corrected_start
                 coarse_end = coarse_new
                 iterations = sweep
+                _SWEEPS.inc()
+                obs_metrics.heartbeat()
                 # Unconditional collective: every rank takes the same
                 # trip count and the reduced value is identical, so the
                 # break below fires on all ranks at once.
                 max_delta = float(comm.allreduce(delta, op=mpi.MAX))
                 deltas.append(max_delta)
+                _CORRECTION_DELTA.set(max_delta)
                 if max_delta <= cfg.tolerance:
                     converged = True
                     break
@@ -410,7 +423,7 @@ class PararealDriver:
                 counters["fine"],
             )
 
-        with trace.span("parareal.solve", cat="compute", slices=size):
+        with trace.span("parareal.solve", cat="parareal", slices=size):
             outputs = mpi.run_parallel(program, size, backend=execution)
 
         states = np.stack([out[0] for out in outputs] + [outputs[-1][1]])

@@ -701,3 +701,74 @@ class TestRep015:
     def test_noqa_suppression(self):
         source = "u = coarse_new + fine_prev - coarse_prev  # noqa: REP015 teaching example\n"
         assert lint_snippet(source, rules={"REP015"}) == []
+
+
+# ----------------------------------------------------------------------
+# REP016 — metric instruments constructed outside the obs layer
+# ----------------------------------------------------------------------
+class TestRep016:
+    def test_qualified_construction_flagged(self):
+        source = """
+        from repro.obs import metrics
+        GAUGE = metrics.Gauge("train.loss")
+        """
+        hits = lint_snippet(source, rules={"REP016"})
+        assert [v.rule for v in hits] == ["REP016"]
+        assert "metrics.counter" in hits[0].message
+
+    def test_deep_qualified_construction_flagged(self):
+        source = "h = obs.metrics.Histogram('lat')\n"
+        hits = lint_snippet(source, rules={"REP016"})
+        assert [v.rule for v in hits] == ["REP016"]
+
+    def test_bare_gauge_and_histogram_flagged(self):
+        source = """
+        from repro.obs.metrics import Gauge, Histogram
+        g = Gauge("x")
+        h = Histogram("y")
+        """
+        hits = lint_snippet(source, rules={"REP016"})
+        assert [v.rule for v in hits] == ["REP016", "REP016"]
+
+    def test_bare_counter_flagged_only_with_metrics_import(self):
+        source = """
+        from repro.obs.metrics import Counter
+        c = Counter("x")
+        """
+        hits = lint_snippet(source, rules={"REP016"})
+        assert [v.rule for v in hits] == ["REP016"]
+
+    def test_collections_counter_ok(self):
+        source = """
+        from collections import Counter
+        c = Counter("abcabc")
+        """
+        assert lint_snippet(source, rules={"REP016"}) == []
+
+    def test_perf_counter_lookalike_ok(self):
+        # The perf registry has its own Counter class; a qualified call
+        # through a non-metrics module stays clean.
+        source = "c = perf.Counter()\n"
+        assert lint_snippet(source, rules={"REP016"}) == []
+
+    def test_registry_factories_ok(self):
+        source = """
+        from repro.obs import metrics
+        c = metrics.counter("x")
+        g = metrics.gauge("y")
+        h = metrics.histogram("z")
+        """
+        assert lint_snippet(source, rules={"REP016"}) == []
+
+    def test_obs_package_sanctioned(self):
+        source = "g = metrics.Gauge('x')\n"
+        assert (
+            lint_snippet(
+                source, path="src/repro/obs/metrics_export.py", rules={"REP016"}
+            )
+            == []
+        )
+
+    def test_noqa_suppression(self):
+        source = "g = metrics.Gauge('x')  # noqa: REP016 test fixture\n"
+        assert lint_snippet(source, rules={"REP016"}) == []

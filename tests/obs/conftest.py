@@ -1,24 +1,29 @@
 """Shared fixtures for the observability tests.
 
-The tracer and the perf registry are process-global; every test here
-starts and ends with both disabled and empty so ordering never leaks
-state between tests (or into the rest of the suite).
+The tracer, the perf registry, and the metrics registry are
+process-global; every test here starts and ends with all three disabled
+and empty so ordering never leaks state between tests (or into the rest
+of the suite).
 """
 
 import pytest
 
-from repro.obs import trace
+from repro.obs import metrics, trace
 from repro.tensor import perf
+
+
+def _clean() -> None:
+    trace.disable()
+    trace.reset()
+    perf.disable()
+    perf.reset()
+    metrics.disable()
+    metrics.reset()
+    metrics.set_heartbeat_sink(None)
 
 
 @pytest.fixture(autouse=True)
 def clean_telemetry():
-    trace.disable()
-    trace.reset()
-    perf.disable()
-    perf.reset()
+    _clean()
     yield
-    trace.disable()
-    trace.reset()
-    perf.disable()
-    perf.reset()
+    _clean()

@@ -159,3 +159,75 @@ class TestSummary:
                 trace.record("mpi.send", "comm", trace.clock(), dur=0.1, bytes=8)
         per_rank = export.summary(trace.spans())
         assert per_rank[0]["comm_messages"] == 1
+
+
+class TestPararealAccounting:
+    def parareal_spans(self):
+        base = 1_700_000_000.0
+        return [
+            Span("parareal.solve", "parareal", None, 1, base, 1.000, None),
+            Span("parareal.coarse", "parareal", 0, 2, base + 0.000, 0.100, None),
+            Span("parareal.fine", "parareal", 0, 2, base + 0.100, 0.600, None),
+            Span("parareal.correct", "parareal", 0, 2, base + 0.700, 0.050, None),
+            Span("rollout.forward", "compute", 0, 2, base + 0.750, 0.250, None),
+        ]
+
+    def test_parareal_spans_get_their_own_column(self):
+        per_rank = export.summary(self.parareal_spans())
+        r0 = per_rank[0]
+        assert r0["parareal_seconds"] == pytest.approx(0.75)
+        assert r0["parareal_coarse_seconds"] == pytest.approx(0.1)
+        assert r0["parareal_fine_seconds"] == pytest.approx(0.6)
+        assert r0["parareal_correct_seconds"] == pytest.approx(0.05)
+        # Parareal time is no longer lumped into the compute residual.
+        assert r0["compute_seconds"] == pytest.approx(0.25)
+
+    def test_driver_solve_span_counts_toward_total_only(self):
+        driver = export.summary(self.parareal_spans())[None]
+        assert driver["parareal_seconds"] == pytest.approx(1.0)
+        # "solve" is not one of the coarse/fine/correct phases.
+        assert driver["parareal_coarse_seconds"] == 0.0
+        assert driver["parareal_fine_seconds"] == 0.0
+        assert driver["parareal_correct_seconds"] == 0.0
+
+    def test_rows_without_parareal_time_keep_zero_columns(self):
+        spans, _ = synthetic_events()
+        r0 = export.summary(spans)[0]
+        assert r0["parareal_seconds"] == 0.0
+
+    def test_format_summary_has_parareal_breakdown_table(self):
+        text = export.format_summary(self.parareal_spans())
+        assert "parareal breakdown" in text
+        assert "coarse" in text and "fine" in text and "correct" in text
+
+    def test_format_summary_omits_breakdown_without_parareal_spans(self):
+        spans, _ = synthetic_events()
+        assert "parareal breakdown" not in export.format_summary(spans)
+
+
+class TestDroppedEvents:
+    def test_jsonl_header_reports_drop_count(self, tmp_path):
+        spans, metrics = synthetic_events()
+        path = export.write_jsonl(tmp_path / "t.jsonl", spans, metrics, dropped=7)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["dropped"] == 7
+
+    def test_jsonl_header_omits_dropped_when_unknown(self, tmp_path):
+        spans, metrics = synthetic_events()
+        path = export.write_jsonl(tmp_path / "t.jsonl", spans, metrics)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert "dropped" not in first
+
+    def test_format_summary_warns_on_drops(self):
+        spans, _ = synthetic_events()
+        text = export.format_summary(spans, dropped=3)
+        assert "WARNING" in text
+        assert "3 event(s) dropped" in text
+
+    def test_format_summary_warns_even_with_no_spans(self):
+        text = export.format_summary([], dropped=2)
+        assert "2 event(s) dropped" in text
+
+    def test_no_warning_without_drops(self):
+        spans, _ = synthetic_events()
+        assert "WARNING" not in export.format_summary(spans)

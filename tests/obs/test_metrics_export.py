@@ -1,0 +1,132 @@
+"""Metrics exporters: Prometheus golden file, JSONL round trip, and
+the human summary."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics, metrics_export
+
+GOLDEN = Path(__file__).resolve().parent / "golden_metrics.prom"
+
+
+def synthetic_snapshot():
+    """A fixed two-rank snapshot: deterministic input for the golden
+    exposition and the summary/JSONL tests (values hand-picked)."""
+    return {
+        "mpi.bytes_sent": {"kind": "counter", "values": {0: 2048, 1: 1024}},
+        "engine.loss": {
+            "kind": "gauge",
+            "values": {0: 0.125, 1: 0.25},
+            "forward": False,
+        },
+        "repro.heartbeat": {
+            "kind": "gauge",
+            "values": {0: 1700000000.5, None: 1700000001.0},
+            "forward": False,
+        },
+        "demo.step_seconds": {
+            "kind": "histogram",
+            "bounds": [0.001, 0.01, 0.1],
+            "ranks": {
+                0: {"counts": [1, 2, 1, 0], "count": 4, "sum": 0.0315,
+                    "min": 0.0005, "max": 0.02},
+                1: {"counts": [0, 0, 0, 2], "count": 2, "sum": 0.5,
+                    "min": 0.2, "max": 0.3},
+            },
+        },
+    }
+
+
+class TestPrometheus:
+    def test_exposition_matches_golden_file(self):
+        # The exposition format is an external contract (scraped by
+        # Prometheus); regenerate the golden deliberately by writing
+        # prometheus_exposition(synthetic_snapshot()) over it.
+        text = metrics_export.prometheus_exposition(synthetic_snapshot())
+        assert text == GOLDEN.read_text()
+
+    def test_counter_gets_total_suffix_and_rank_labels(self):
+        text = metrics_export.prometheus_exposition(synthetic_snapshot())
+        assert "# TYPE repro_mpi_bytes_sent_total counter" in text
+        assert 'repro_mpi_bytes_sent_total{rank="0"} 2048' in text
+
+    def test_driver_rank_labelled_driver_and_sorted_last(self):
+        text = metrics_export.prometheus_exposition(synthetic_snapshot())
+        lines = [l for l in text.splitlines() if l.startswith("repro_repro_heartbeat")]
+        assert lines[-1].startswith('repro_repro_heartbeat{rank="driver"}')
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = metrics_export.prometheus_exposition(synthetic_snapshot())
+        r0 = [
+            l
+            for l in text.splitlines()
+            if l.startswith('repro_demo_step_seconds_bucket{rank="0"')
+        ]
+        assert r0 == [
+            'repro_demo_step_seconds_bucket{rank="0",le="0.001"} 1',
+            'repro_demo_step_seconds_bucket{rank="0",le="0.01"} 3',
+            'repro_demo_step_seconds_bucket{rank="0",le="0.1"} 4',
+            'repro_demo_step_seconds_bucket{rank="0",le="+Inf"} 4',
+        ]
+        assert 'repro_demo_step_seconds_sum{rank="0"} 0.0315' in text
+        assert 'repro_demo_step_seconds_count{rank="0"} 4' in text
+
+    def test_empty_snapshot_is_empty_exposition(self):
+        assert metrics_export.prometheus_exposition({}) == ""
+
+    def test_write_prometheus_creates_parents(self, tmp_path):
+        path = metrics_export.write_prometheus(
+            tmp_path / "deep" / "metrics.prom", synthetic_snapshot()
+        )
+        assert path.read_text().startswith("# TYPE repro_demo_step_seconds histogram")
+
+
+class TestJsonl:
+    def test_round_trip_preserves_snapshot(self, tmp_path):
+        snap = synthetic_snapshot()
+        path = metrics_export.write_metrics_jsonl(tmp_path / "m.jsonl", snap)
+        assert metrics_export.read_metrics_jsonl(path) == snap
+
+    def test_meta_header_first_line(self, tmp_path):
+        snap = synthetic_snapshot()
+        path = metrics_export.write_metrics_jsonl(
+            tmp_path / "m.jsonl", snap, meta={"workload": "rollout"}
+        )
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "meta"
+        assert first["format"] == metrics_export.METRICS_FORMAT
+        assert first["instruments"] == len(snap)
+        assert first["workload"] == "rollout"
+
+    def test_read_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "format": "other-v9"}\n')
+        with pytest.raises(ValueError, match="expected format"):
+            metrics_export.read_metrics_jsonl(path)
+
+    def test_round_trip_feeds_merge_snapshot(self, tmp_path):
+        path = metrics_export.write_metrics_jsonl(
+            tmp_path / "m.jsonl", synthetic_snapshot()
+        )
+        metrics.merge_snapshot(metrics_export.read_metrics_jsonl(path))
+        assert metrics.counter("mpi.bytes_sent").total() == 3072
+        assert metrics.histogram(
+            "demo.step_seconds", bounds=(0.001, 0.01, 0.1)
+        ).count(1) == 2
+
+
+class TestSummary:
+    def test_summary_shows_quantiles_counters_gauges(self):
+        text = metrics_export.format_metrics_summary(synthetic_snapshot())
+        assert "metrics summary (per rank)" in text
+        assert "demo.step_seconds" in text
+        assert "p50" in text and "p99" in text
+        assert "mpi.bytes_sent" in text
+        # Cross-rank total row for multi-rank counters.
+        assert "3072" in text
+        assert "engine.loss" in text
+
+    def test_empty_snapshot_notice(self):
+        assert "no metrics recorded" in metrics_export.format_metrics_summary({})

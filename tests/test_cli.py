@@ -308,6 +308,70 @@ class TestTraceFlag:
         assert out.with_suffix(".jsonl").exists()
 
 
+class TestMetricsCommand:
+    def test_metrics_flag_parses_on_train_evaluate_parareal_scaling(self):
+        parser = build_parser()
+        assert parser.parse_args(["train", "c.npz", "--metrics", "m.prom"]).metrics == "m.prom"
+        assert parser.parse_args(["evaluate", "c.npz", "--metrics", "m.prom"]).metrics == "m.prom"
+        assert parser.parse_args(["parareal", "c.npz", "--metrics", "m.prom"]).metrics == "m.prom"
+        assert parser.parse_args(["scaling", "--metrics", "m.prom"]).metrics == "m.prom"
+        assert parser.parse_args(["metrics", "m.prom"]).command == "metrics"
+
+    def test_metrics_rollout_writes_prom_and_jsonl(self, tmp_path, capsys):
+        from repro.obs import metrics_export
+
+        out = tmp_path / "metrics.prom"
+        code = main(
+            ["metrics", str(out), "--grid-size", "24", "--steps", "2",
+             "--pgrid", "1", "2"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "metrics summary" in printed
+        assert "rollout.step_seconds" in printed
+        assert "p50" in printed and "p99" in printed
+        text = out.read_text()
+        assert "repro_rollout_step_seconds_bucket" in text
+        assert 'rank="0"' in text and 'rank="1"' in text
+        snap = metrics_export.read_metrics_jsonl(out.with_suffix(".jsonl"))
+        assert "halo.exchanges" in snap
+        assert "mpi.bytes_sent" in snap
+
+    def test_metrics_over_four_process_ranks_merges_everything(self, tmp_path, capsys):
+        # The acceptance-criterion run: a 4-rank process-backend rollout
+        # must report per-rank step latency quantiles and comm bytes.
+        from repro.obs import metrics_export
+
+        out = tmp_path / "proc.prom"
+        code = main(
+            ["metrics", str(out), "--grid-size", "24", "--steps", "1",
+             "--pgrid", "2", "2", "--execution", "processes"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "rollout.step_seconds" in printed
+        assert "mpi.bytes_sent" in printed
+        snap = metrics_export.read_metrics_jsonl(out.with_suffix(".jsonl"))
+        assert set(snap["rollout.step_seconds"]["ranks"]) == {0, 1, 2, 3}
+        assert set(snap["mpi.bytes_sent"]["values"]) == {0, 1, 2, 3}
+
+    def test_scaling_with_metrics_flag_records_engine_histograms(self, tmp_path, capsys):
+        from repro.obs import metrics_export
+
+        out = tmp_path / "scaling.prom"
+        code = main(
+            ["scaling", "--grid-size", "24", "--snapshots", "8", "--epochs", "1",
+             "--ranks", "1", "2", "--metrics", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Fig. 4" in printed
+        assert "metrics summary" in printed
+        snap = metrics_export.read_metrics_jsonl(out.with_suffix(".jsonl"))
+        assert "engine.step_seconds" in snap
+        assert "engine.samples_per_s" in snap
+
+
 class TestScenariosCommand:
     def test_text_listing(self, capsys):
         assert main(["scenarios"]) == 0
